@@ -1,0 +1,68 @@
+// Command mddsm-bench regenerates the paper's evaluation results (§VII)
+// as printed reports. Without flags it runs every experiment; -e selects
+// one (e1..e6).
+//
+// Usage:
+//
+//	mddsm-bench [-e e1|e2|e3|e4|e5|e6] [-iters N] [-root DIR]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/mddsm/mddsm/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "mddsm-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("mddsm-bench", flag.ContinueOnError)
+	exp := fs.String("e", "", "experiment to run (e1..e6); empty runs all")
+	iters := fs.Int("iters", 50, "iterations per scenario for timing experiments (e2)")
+	root := fs.String("root", "", "repository root for source-size accounting (e5); auto-detected when empty")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	w := os.Stdout
+	runE5 := func() error {
+		dir := *root
+		if dir == "" {
+			var err error
+			dir, err = experiments.FindRepoRoot(".")
+			if err != nil {
+				return fmt.Errorf("e5 needs the repository sources; pass -root: %w", err)
+			}
+		}
+		return experiments.ReportE5(w, dir)
+	}
+
+	all := map[string]func() error{
+		"e1": func() error { return experiments.ReportE1(w) },
+		"e2": func() error { return experiments.ReportE2(w, *iters) },
+		"e3": func() error { return experiments.ReportE3(w) },
+		"e4": func() error { return experiments.ReportE4(w) },
+		"e5": runE5,
+		"e6": func() error { return experiments.ReportE6(w) },
+	}
+	if *exp != "" {
+		fn, ok := all[*exp]
+		if !ok {
+			return fmt.Errorf("unknown experiment %q (want e1..e6)", *exp)
+		}
+		return fn()
+	}
+	for _, name := range []string{"e1", "e2", "e3", "e4", "e5", "e6"} {
+		if err := all[name](); err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+	}
+	return nil
+}

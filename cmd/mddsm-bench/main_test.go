@@ -1,0 +1,32 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunSingleExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs experiments")
+	}
+	// The cheap experiments run as part of the CLI test; e2 (timing
+	// sweeps) is exercised with a tiny iteration count.
+	for _, e := range []string{"e1", "e3", "e4", "e5", "e6"} {
+		if err := run([]string{"-e", e, "-root", "../.."}); err != nil {
+			t.Errorf("experiment %s: %v", e, err)
+		}
+	}
+	if err := run([]string{"-e", "e2", "-iters", "2"}); err != nil {
+		t.Errorf("experiment e2: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{"-e", "e99"}); err == nil ||
+		!strings.Contains(err.Error(), "unknown experiment") {
+		t.Errorf("got %v", err)
+	}
+	if err := run([]string{"-bogusflag"}); err == nil {
+		t.Error("bad flag must fail")
+	}
+}

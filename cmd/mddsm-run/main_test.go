@@ -1,0 +1,54 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func data(t *testing.T, name string) string {
+	t.Helper()
+	path := filepath.Join("..", "..", "testdata", name)
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("testdata %s: %v", name, err)
+	}
+	return path
+}
+
+func TestRunCVM(t *testing.T) {
+	if err := run([]string{"-domain", "cvm", "-model", data(t, "session.json")}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunMGridVM(t *testing.T) {
+	if err := run([]string{"-domain", "mgridvm", "-model", data(t, "home.json")}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{"-domain", "cvm"}); err == nil {
+		t.Error("missing -model must fail")
+	}
+	if err := run([]string{"-domain", "nope", "-model", data(t, "session.json")}); err == nil ||
+		!strings.Contains(err.Error(), "unknown domain") {
+		t.Errorf("unknown domain: %v", err)
+	}
+	if err := run([]string{"-domain", "cvm", "-model", "missing.json"}); err == nil {
+		t.Error("missing file must fail")
+	}
+	// A model for the wrong domain fails conformance inside the platform.
+	if err := run([]string{"-domain", "cvm", "-model", data(t, "home.json")}); err == nil {
+		t.Error("wrong-domain model must fail")
+	}
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("{"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-domain", "cvm", "-model", bad}); err == nil {
+		t.Error("bad JSON must fail")
+	}
+}

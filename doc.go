@@ -1,0 +1,12 @@
+// Package mddsm is a from-scratch Go implementation of Model-Driven
+// Domain-Specific Middleware (MD-DSM), reproducing Costa, Morris, Kon and
+// Clarke, "Model-Driven Domain-Specific Middleware", IEEE ICDCS 2017.
+//
+// The implementation lives under internal/: a metamodel framework
+// (replacing EMF), the four-layer reference architecture (UI, Synthesis,
+// Controller, Broker), intent-model generation over domain-specific
+// classifiers, a generic middleware-model runtime, four domain platforms
+// (CVM, MGridVM, 2SVM, CSVM) with simulated resource substrates, the
+// handcrafted baselines, and the evaluation harness regenerating the
+// paper's §VII results. See README.md, DESIGN.md and EXPERIMENTS.md.
+package mddsm

@@ -1,0 +1,82 @@
+// Crowdsensing example: run CSVM (paper §IV-D) — a device platform where a
+// user authors a crowdsensing query as a CSML model, a provider platform
+// executing it over a simulated fleet, and the on-the-fly model change
+// that retargets the live query without restarting it.
+//
+//	go run ./examples/crowdsensing
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/mddsm/mddsm/internal/domains/csense"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	vm, err := csense.New(2026)
+	if err != nil {
+		return err
+	}
+
+	fmt.Println("== register the participating fleet ==")
+	sensors := map[string][2]float64{"temp": {12, 34}, "noise": {35, 95}}
+	for _, dev := range []struct{ id, region string }{
+		{"phone-a", "downtown"}, {"phone-b", "downtown"},
+		{"phone-c", "harbor"}, {"phone-d", "harbor"}, {"phone-e", "harbor"},
+	} {
+		if err := vm.Fleet.Register(dev.id, dev.region, sensors); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("  devices: %v, regions: %v\n\n", vm.Fleet.DeviceIDs(), vm.Fleet.Regions())
+
+	fmt.Println("== the user authors a query on the device ==")
+	d := vm.Device.UI.NewDraft()
+	d.MustAdd("heat", "Query").
+		SetAttr("sensor", "temp").
+		SetAttr("region", "downtown").
+		SetAttr("aggregate", "avg")
+	if _, err := d.Submit(); err != nil {
+		return err
+	}
+	fmt.Printf("  active queries at the provider: %v\n\n", vm.Engine.ActiveQueries())
+
+	fmt.Println("== three acquisition rounds ==")
+	for i := 0; i < 3; i++ {
+		for _, r := range vm.Engine.Tick() {
+			fmt.Printf("  round %d: %s = %.2f over %d samples\n", r.Round, r.Query, r.Value, r.Samples)
+		}
+	}
+
+	fmt.Println("\n== on-the-fly change: widen the live query to the whole fleet, switch to max ==")
+	edit := vm.Device.UI.EditDraft()
+	edit.Object("heat").SetAttr("region", "")
+	edit.Object("heat").SetAttr("aggregate", "max")
+	if _, err := edit.Submit(); err != nil {
+		return err
+	}
+	for i := 0; i < 2; i++ {
+		for _, r := range vm.Engine.Tick() {
+			fmt.Printf("  round %d: %s = %.2f over %d samples\n", r.Round, r.Query, r.Value, r.Samples)
+		}
+	}
+
+	fmt.Println("\n== cancel the query ==")
+	edit = vm.Device.UI.EditDraft()
+	if err := edit.Remove("heat"); err != nil {
+		return err
+	}
+	if _, err := edit.Submit(); err != nil {
+		return err
+	}
+	fmt.Printf("  active queries: %v\n", vm.Engine.ActiveQueries())
+	fmt.Printf("  results delivered back to the device: %d\n", len(vm.Results()))
+	return nil
+}

@@ -1,0 +1,3 @@
+module github.com/mddsm/mddsm
+
+go 1.22

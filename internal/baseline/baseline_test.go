@@ -1,0 +1,131 @@
+package baseline
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/mddsm/mddsm/internal/resources/comm"
+	"github.com/mddsm/mddsm/internal/script"
+)
+
+func TestHandcraftedNCBBasicFlow(t *testing.T) {
+	n := NewHandcraftedNCB()
+	calls := []script.Command{
+		script.NewCommand("createSession", "session:s1"),
+		script.NewCommand("addParticipant", "session:s1").WithArg("who", "alice"),
+		script.NewCommand("openStream", "stream:a1").
+			WithArg("session", "s1").WithArg("media", "audio").WithArg("bandwidth", 64),
+		script.NewCommand("sendData", "stream:a1").
+			WithArg("session", "s1").WithArg("bytes", 100),
+		script.NewCommand("reconfigureStream", "stream:a1").
+			WithArg("session", "s1").WithArg("media", "video").WithArg("bandwidth", 256),
+		script.NewCommand("closeStream", "stream:a1").WithArg("session", "s1"),
+		script.NewCommand("removeParticipant", "session:s1").WithArg("who", "alice"),
+		script.NewCommand("closeSession", "session:s1"),
+	}
+	for i, c := range calls {
+		if err := n.Call(c); err != nil {
+			t.Fatalf("call %d (%s): %v", i, c.Op, err)
+		}
+	}
+	if n.Service.Trace().Len() != 8 {
+		t.Errorf("trace:\n%s", n.Service.Trace())
+	}
+}
+
+func TestHandcraftedNCBRecovery(t *testing.T) {
+	n := NewHandcraftedNCB()
+	if err := n.Call(script.NewCommand("createSession", "session:s1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Call(script.NewCommand("openStream", "stream:v1").
+		WithArg("session", "s1").WithArg("media", "video").WithArg("bandwidth", 512)); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Service.InjectStreamFailure("s1", "v1"); err != nil {
+		t.Fatal(err)
+	}
+	st := n.Service.Session("s1").Stream("v1")
+	if !st.Up || st.Media != comm.Audio || st.Bandwidth != 32 {
+		t.Errorf("recovery: %+v", st)
+	}
+}
+
+func TestHandcraftedNCBPartialReconfigure(t *testing.T) {
+	n := NewHandcraftedNCB()
+	if err := n.Call(script.NewCommand("createSession", "session:s1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Call(script.NewCommand("openStream", "stream:a1").
+		WithArg("session", "s1").WithArg("media", "audio").WithArg("bandwidth", 64)); err != nil {
+		t.Fatal(err)
+	}
+	// Only the media changes; bandwidth is filled from current state.
+	if err := n.Call(script.NewCommand("reconfigureStream", "stream:a1").
+		WithArg("session", "s1").WithArg("media", "video")); err != nil {
+		t.Fatal(err)
+	}
+	st := n.Service.Session("s1").Stream("a1")
+	if st.Media != comm.Video || st.Bandwidth != 64 {
+		t.Errorf("partial reconfigure: %+v", st)
+	}
+}
+
+func TestHandcraftedNCBErrors(t *testing.T) {
+	n := NewHandcraftedNCB()
+	if err := n.Call(script.NewCommand("mystery", "x")); err == nil {
+		t.Error("unknown op must fail")
+	}
+	if err := n.Call(script.NewCommand("reconfigureStream", "stream:x").WithArg("session", "ghost")); err == nil {
+		t.Error("unknown session must fail")
+	}
+	if err := n.Call(script.NewCommand("createSession", "session:s")); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Call(script.NewCommand("reconfigureStream", "stream:x").WithArg("session", "s")); err == nil {
+		t.Error("unknown stream must fail")
+	}
+}
+
+// traceBroker records what the fixed routes emit.
+type traceBroker struct {
+	trace script.Trace
+}
+
+func (b *traceBroker) Call(cmd script.Command) error {
+	b.trace.Record(cmd)
+	return nil
+}
+
+func TestNonAdaptiveControllerRoutes(t *testing.T) {
+	b := &traceBroker{}
+	c := NewNonAdaptiveController(b, []FixedRoute{
+		{Op: "deliver", Calls: []script.Command{
+			script.NewCommand("relayPrimary", "{target}"),
+		}},
+		{Op: "setup", Calls: []script.Command{
+			script.NewCommand("alloc", "{target}"),
+			script.NewCommand("bind", "fixed-endpoint"),
+		}},
+	})
+	if err := c.Process(script.NewCommand("deliver", "pkt:1").WithArg("size", 10)); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.trace.Lines()[0]; got != "relayPrimary pkt:1 size=10" {
+		t.Errorf("route with target substitution and arg forwarding: %q", got)
+	}
+	s := script.New("s").Append(script.NewCommand("setup", "ch:2"))
+	if err := c.Execute(s); err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(b.trace.Lines(), ";")
+	if !strings.Contains(joined, "alloc ch:2;bind fixed-endpoint") {
+		t.Errorf("multi-call route: %s", joined)
+	}
+	if err := c.Process(script.NewCommand("unknown", "x")); err == nil {
+		t.Error("unrouted op must fail")
+	}
+	if err := c.Execute(script.New("s").Append(script.NewCommand("unknown", "x"))); err == nil {
+		t.Error("unrouted op in script must fail")
+	}
+}

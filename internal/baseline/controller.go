@@ -1,0 +1,73 @@
+package baseline
+
+import (
+	"fmt"
+
+	"github.com/mddsm/mddsm/internal/script"
+)
+
+// FixedRoute is one hard-wired command binding of the non-adaptive
+// Controller: the op maps to a fixed sequence of broker calls, decided at
+// development time.
+type FixedRoute struct {
+	Op    string
+	Calls []script.Command
+}
+
+// BrokerAPI matches the Broker layer's call surface.
+type BrokerAPI interface {
+	Call(cmd script.Command) error
+}
+
+// NonAdaptiveController is the §VII-B comparator: a Controller with its
+// procedures compiled in. There is no command classification, no policy
+// evaluation, no repository and no intent-model generation — and therefore
+// no way to react when the environment changes.
+type NonAdaptiveController struct {
+	broker BrokerAPI
+	routes map[string][]script.Command
+}
+
+// NewNonAdaptiveController wires the fixed routes to a broker.
+func NewNonAdaptiveController(b BrokerAPI, routes []FixedRoute) *NonAdaptiveController {
+	m := make(map[string][]script.Command, len(routes))
+	for _, r := range routes {
+		m[r.Op] = r.Calls
+	}
+	return &NonAdaptiveController{broker: b, routes: m}
+}
+
+// Process executes one command through its fixed route. The {target} of a
+// routed call is replaced by the incoming command's target and the incoming
+// arguments are forwarded.
+func (c *NonAdaptiveController) Process(cmd script.Command) error {
+	calls, ok := c.routes[cmd.Op]
+	if !ok {
+		return fmt.Errorf("non-adaptive controller: no route for op %q", cmd.Op)
+	}
+	for _, call := range calls {
+		out := call
+		if out.Target == "{target}" {
+			out.Target = cmd.Target
+		}
+		for k, v := range cmd.Args {
+			if _, exists := out.Arg(k); !exists {
+				out = out.WithArg(k, v)
+			}
+		}
+		if err := c.broker.Call(out); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Execute runs a script through the fixed routes.
+func (c *NonAdaptiveController) Execute(s *script.Script) error {
+	for i, cmd := range s.Commands {
+		if err := c.Process(cmd); err != nil {
+			return fmt.Errorf("non-adaptive controller: command %d (%s): %w", i, cmd.Op, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,397 @@
+// Package broker implements the Broker layer of the MD-DSM reference
+// architecture (paper §III, §V-A, Fig. 6). The layer interacts with the
+// underlying resources and services for the actual execution of commands.
+// Its configuration mirrors the Broker metamodel: a main manager exposing
+// the layer interface and dispatching calls and events to actions selected
+// by handlers, plus specialised managers for state, policies, autonomic
+// behaviour and resource access.
+package broker
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/mddsm/mddsm/internal/expr"
+	"github.com/mddsm/mddsm/internal/policy"
+	"github.com/mddsm/mddsm/internal/script"
+)
+
+// Event is a notification flowing through the layer: resource events enter
+// from below, and the layer forwards events upward to the Controller.
+type Event struct {
+	Name  string
+	Attrs map[string]any
+}
+
+// Adapter executes resource commands; the Resource Manager routes broker
+// steps to adapters.
+type Adapter interface {
+	Execute(cmd script.Command) error
+}
+
+// AdapterFunc adapts a function to the Adapter interface.
+type AdapterFunc func(cmd script.Command) error
+
+var _ Adapter = AdapterFunc(nil)
+
+// Execute implements Adapter.
+func (f AdapterFunc) Execute(cmd script.Command) error { return f(cmd) }
+
+// ResourceManager routes resource commands to registered adapters by
+// operation name, with "*" as the fallback route.
+type ResourceManager struct {
+	mu     sync.RWMutex
+	routes map[string]Adapter
+}
+
+// NewResourceManager returns an empty resource manager.
+func NewResourceManager() *ResourceManager {
+	return &ResourceManager{routes: make(map[string]Adapter)}
+}
+
+// Register binds an operation name (or "*" for the default) to an adapter.
+func (rm *ResourceManager) Register(op string, a Adapter) {
+	rm.mu.Lock()
+	defer rm.mu.Unlock()
+	rm.routes[op] = a
+}
+
+// Execute routes a command to its adapter.
+func (rm *ResourceManager) Execute(cmd script.Command) error {
+	rm.mu.RLock()
+	a, ok := rm.routes[cmd.Op]
+	if !ok {
+		a, ok = rm.routes["*"]
+	}
+	rm.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("broker: no resource adapter for op %q", cmd.Op)
+	}
+	return a.Execute(cmd)
+}
+
+// Ops returns the registered operation names sorted (for diagnostics).
+func (rm *ResourceManager) Ops() []string {
+	rm.mu.RLock()
+	defer rm.mu.RUnlock()
+	out := make([]string, 0, len(rm.routes))
+	for op := range rm.routes {
+		out = append(out, op)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// State is the layer's runtime-model store managed by the State Manager.
+type State struct {
+	mu   sync.RWMutex
+	vals map[string]any
+}
+
+// NewState returns an empty state store.
+func NewState() *State {
+	return &State{vals: make(map[string]any)}
+}
+
+// Set binds a state entry.
+func (s *State) Set(key string, v any) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.vals[key] = v
+}
+
+// Get returns a state entry and whether it exists.
+func (s *State) Get(key string) (any, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	v, ok := s.vals[key]
+	return v, ok
+}
+
+// Delete removes a state entry.
+func (s *State) Delete(key string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.vals, key)
+}
+
+// Keys returns the bound keys sorted.
+func (s *State) Keys() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.vals))
+	for k := range s.vals {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Snapshot returns the state as an expression scope.
+func (s *State) Snapshot() expr.MapScope {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make(expr.MapScope, len(s.vals))
+	for k, v := range s.vals {
+		out[k] = v
+	}
+	return out
+}
+
+// Step is one resource-command template inside an action. Op, Target and
+// Args values may contain {placeholder} holes bound from the triggering
+// call's arguments and the layer context.
+type Step = script.Template
+
+// Action realises one or more call operations by a sequence of resource
+// steps, optionally guarded. Fn is the escape hatch for behaviour that
+// cannot be expressed as templates; the model-based configurations built by
+// the runtime factory use Steps exclusively.
+type Action struct {
+	Name  string
+	Ops   []string  // call operations this action can realise
+	Guard expr.Node // optional enabling condition
+	Steps []Step
+	// ForwardArgs copies the triggering call's arguments onto every
+	// expanded step command (explicit step args win). It makes exact
+	// pass-through configurations expressible in the middleware model.
+	ForwardArgs bool
+	Fn          func(b *Broker, cmd script.Command) error
+}
+
+// handles reports whether the action is declared for op.
+func (a *Action) handles(op string) bool {
+	for _, o := range a.Ops {
+		if o == op || o == "*" {
+			return true
+		}
+	}
+	return false
+}
+
+// EventAction reacts to an event received from the resources: it may
+// execute steps and/or forward the event upward.
+type EventAction struct {
+	Name    string
+	Event   string // event name or "*"
+	Guard   expr.Node
+	Steps   []Step
+	Forward bool // propagate to the upper layer after handling
+}
+
+// Config assembles a Broker layer. The runtime factory produces a Config
+// from a middleware model; handcrafted setups can fill it directly.
+type Config struct {
+	Name         string
+	Actions      []*Action
+	EventActions []*EventAction
+	Policies     []policy.Policy
+	Symptoms     []Symptom
+	ChangePlans  []ChangePlan
+}
+
+// Broker is the live Broker layer. Its call path takes no layer-wide lock:
+// the action table is immutable after construction, and the state, context,
+// resource and autonomic managers synchronise themselves. Resource adapters
+// may therefore synchronously emit events (OnEvent) from within a step
+// without deadlocking; such re-entrant events are queued and drained in
+// order.
+type Broker struct {
+	name      string
+	state     *State
+	context   *policy.Context
+	engine    *policy.Engine
+	resources *ResourceManager
+	actions   []*Action
+	events    []*EventAction
+	autonomic *Autonomic
+	notify    func(Event) // upward event propagation (to Controller)
+	funcs     map[string]expr.Func
+
+	evMu       sync.Mutex
+	evQueue    []Event
+	evDraining bool
+}
+
+// New builds a Broker from a configuration. resources must carry the
+// adapter bindings; notify may be nil for topmost/standalone use.
+func New(cfg Config, resources *ResourceManager, notify func(Event)) *Broker {
+	b := &Broker{
+		name:      cfg.Name,
+		state:     NewState(),
+		context:   policy.NewContext(),
+		engine:    policy.NewEngine(cfg.Policies...),
+		resources: resources,
+		actions:   cfg.Actions,
+		events:    cfg.EventActions,
+		notify:    notify,
+		funcs:     expr.StdFuncs(),
+	}
+	b.autonomic = newAutonomic(b, cfg.Symptoms, cfg.ChangePlans)
+	return b
+}
+
+// Name returns the layer instance name.
+func (b *Broker) Name() string { return b.name }
+
+// State returns the state manager.
+func (b *Broker) State() *State { return b.state }
+
+// Context returns the layer's context-variable store.
+func (b *Broker) Context() *policy.Context { return b.context }
+
+// Resources returns the resource manager.
+func (b *Broker) Resources() *ResourceManager { return b.resources }
+
+// Autonomic returns the autonomic manager.
+func (b *Broker) Autonomic() *Autonomic { return b.autonomic }
+
+// Policies returns the layer's policy engine.
+func (b *Broker) Policies() *policy.Engine { return b.engine }
+
+// callScope builds the evaluation scope for a call: context variables,
+// then op/target/args (args flattened by name, shadowing context).
+func (b *Broker) callScope(cmd script.Command) expr.MapScope {
+	scope := b.context.Snapshot()
+	scope["op"] = cmd.Op
+	scope["target"] = cmd.Target
+	for k, v := range cmd.Args {
+		scope[k] = v
+	}
+	return scope
+}
+
+// Call is the layer interface exposed to the Controller: it selects an
+// action for the command via the layer's handlers and executes it.
+func (b *Broker) Call(cmd script.Command) error {
+	scope := b.callScope(cmd)
+	action, err := b.selectAction(cmd.Op, scope)
+	if err != nil {
+		return err
+	}
+	if action.Fn != nil {
+		return action.Fn(b, cmd)
+	}
+	var forward map[string]any
+	if action.ForwardArgs {
+		forward = cmd.Args
+	}
+	return b.runStepsForward(action.Name, action.Steps, scope, forward)
+}
+
+// selectAction picks the first declared action handling op whose guard is
+// enabled.
+func (b *Broker) selectAction(op string, scope expr.MapScope) (*Action, error) {
+	for _, a := range b.actions {
+		if !a.handles(op) {
+			continue
+		}
+		if a.Guard != nil {
+			ok, err := expr.EvalBool(a.Guard, expr.Env{Scope: scope, Funcs: b.funcs})
+			if err != nil {
+				return nil, fmt.Errorf("broker %s: action %s: guard: %w", b.name, a.Name, err)
+			}
+			if !ok {
+				continue
+			}
+		}
+		return a, nil
+	}
+	return nil, fmt.Errorf("broker %s: no action for op %q", b.name, op)
+}
+
+// runSteps expands and executes an action's resource steps.
+func (b *Broker) runSteps(actionName string, steps []Step, scope expr.MapScope) error {
+	return b.runStepsForward(actionName, steps, scope, nil)
+}
+
+// runStepsForward is runSteps with optional call-argument forwarding.
+func (b *Broker) runStepsForward(actionName string, steps []Step, scope expr.MapScope, forward map[string]any) error {
+	for i, st := range steps {
+		cmd, err := st.Expand(scope)
+		if err != nil {
+			return fmt.Errorf("broker %s: action %s: step %d: %w", b.name, actionName, i, err)
+		}
+		for k, v := range forward {
+			if _, exists := cmd.Arg(k); !exists {
+				cmd = cmd.WithArg(k, v)
+			}
+		}
+		if err := b.resources.Execute(cmd); err != nil {
+			return fmt.Errorf("broker %s: action %s: step %d: %w", b.name, actionName, i, err)
+		}
+	}
+	return nil
+}
+
+// OnEvent is the layer's event entry point: resource adapters push events
+// here. Events are queued and drained in arrival order; re-entrant events
+// emitted while one is being processed join the queue rather than recurse.
+// The first processing error is reported to the caller that started the
+// drain.
+func (b *Broker) OnEvent(ev Event) error {
+	b.evMu.Lock()
+	b.evQueue = append(b.evQueue, ev)
+	if b.evDraining {
+		b.evMu.Unlock()
+		return nil
+	}
+	b.evDraining = true
+	b.evMu.Unlock()
+
+	var firstErr error
+	for {
+		b.evMu.Lock()
+		if len(b.evQueue) == 0 {
+			b.evDraining = false
+			b.evMu.Unlock()
+			return firstErr
+		}
+		next := b.evQueue[0]
+		b.evQueue = b.evQueue[1:]
+		b.evMu.Unlock()
+		if err := b.processEvent(next); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+}
+
+// processEvent runs matching event actions, forwards upward when asked (or
+// when unmatched), then lets the autonomic manager evaluate its symptoms.
+func (b *Broker) processEvent(ev Event) error {
+	scope := b.context.Snapshot()
+	scope["event"] = ev.Name
+	for k, v := range ev.Attrs {
+		scope[k] = v
+	}
+	matched := false
+	forward := false
+	var firstErr error
+	for _, ea := range b.events {
+		if ea.Event != "*" && ea.Event != ev.Name {
+			continue
+		}
+		if ea.Guard != nil {
+			ok, err := expr.EvalBool(ea.Guard, expr.Env{Scope: scope, Funcs: b.funcs})
+			if err != nil {
+				return fmt.Errorf("broker %s: event action %s: guard: %w", b.name, ea.Name, err)
+			}
+			if !ok {
+				continue
+			}
+		}
+		matched = true
+		forward = forward || ea.Forward
+		if err := b.runSteps(ea.Name, ea.Steps, scope); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if firstErr != nil {
+		return firstErr
+	}
+	if (!matched || forward) && b.notify != nil {
+		b.notify(ev)
+	}
+	return b.autonomic.Evaluate()
+}

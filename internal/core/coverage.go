@@ -1,0 +1,135 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/mddsm/mddsm/internal/mwmeta"
+)
+
+// Coverage is the result of analysing how completely a definition's
+// middleware supports its application DSML — the systematic assurance the
+// paper lists as a key research challenge (§IX: "an approach is also
+// needed to systematically ensure that the generated MD-DSM adequately
+// supports the application-level DSML").
+type Coverage struct {
+	// UnhandledClasses lists DSML classes whose creation (add-object) has
+	// no synthesis semantics in any of the definition's LTSes. These are
+	// warnings: passive vocabulary (e.g. Person in CML) is legitimate.
+	UnhandledClasses []string
+	// UnroutableOps lists operations the synthesis semantics can emit
+	// that no Controller layer in the middleware model can execute —
+	// neither a predefined action nor a command class routes them. These
+	// are defects: a model change would fail at runtime.
+	UnroutableOps []string
+	// RoutedOps maps each emitted operation to how it is routed:
+	// "action", "intent" or "action+intent".
+	RoutedOps map[string]string
+}
+
+// Complete reports whether the analysis found no routing defects.
+func (c Coverage) Complete() bool { return len(c.UnroutableOps) == 0 }
+
+// String renders the coverage report.
+func (c Coverage) String() string {
+	var sb strings.Builder
+	if c.Complete() {
+		sb.WriteString("coverage: complete — every synthesised operation is routable\n")
+	} else {
+		fmt.Fprintf(&sb, "coverage: %d unroutable operation(s): %s\n",
+			len(c.UnroutableOps), strings.Join(c.UnroutableOps, ", "))
+	}
+	ops := make([]string, 0, len(c.RoutedOps))
+	for op := range c.RoutedOps {
+		ops = append(ops, op)
+	}
+	sort.Strings(ops)
+	for _, op := range ops {
+		fmt.Fprintf(&sb, "  %-24s -> %s\n", op, c.RoutedOps[op])
+	}
+	if len(c.UnhandledClasses) > 0 {
+		fmt.Fprintf(&sb, "note: classes without creation semantics (passive vocabulary?): %s\n",
+			strings.Join(c.UnhandledClasses, ", "))
+	}
+	return sb.String()
+}
+
+// AnalyzeCoverage cross-checks the definition's synthesis semantics against
+// its middleware model: every operation an LTS can emit must be routable by
+// a Controller layer, and DSML classes without creation semantics are
+// surfaced as warnings. The definition should already Validate.
+func AnalyzeCoverage(def Definition) (Coverage, error) {
+	cov := Coverage{RoutedOps: make(map[string]string)}
+	if def.Middleware == nil {
+		return cov, fmt.Errorf("definition %s: nil middleware model", def.Name)
+	}
+	work := def.Middleware.Clone()
+	if err := work.Validate(mwmeta.MM()); err != nil {
+		return cov, fmt.Errorf("definition %s: middleware model: %w", def.Name, err)
+	}
+
+	// Gather the Controller layers' routing surface.
+	actionOps := make(map[string]bool)
+	catchAll := false
+	classOps := make(map[string]bool)
+	for _, layer := range work.ObjectsOf(mwmeta.ClassControllerLayer) {
+		for _, actObj := range work.Resolve(layer, "actions") {
+			for _, op := range strings.Split(actObj.StringAttr("ops"), ",") {
+				if op == "" {
+					continue
+				}
+				if op == "*" {
+					catchAll = true
+					continue
+				}
+				actionOps[op] = true
+			}
+		}
+		for _, clObj := range work.Resolve(layer, "classes") {
+			classOps[clObj.StringAttr("op")] = true
+		}
+	}
+
+	// Every op the synthesis semantics can emit must be routable.
+	emitted := make(map[string]bool)
+	handledClasses := make(map[string]bool)
+	for _, l := range def.DSK.LTSes {
+		for _, op := range l.EmittedOps() {
+			emitted[op] = true
+		}
+		for _, pattern := range l.EventPatterns() {
+			if kind, rest, ok := strings.Cut(pattern, ":"); ok && kind == "add-object" {
+				handledClasses[rest] = true
+			}
+		}
+	}
+	for op := range emitted {
+		byAction := catchAll || actionOps[op]
+		byIntent := classOps[op]
+		switch {
+		case byAction && byIntent:
+			cov.RoutedOps[op] = "action+intent"
+		case byAction:
+			cov.RoutedOps[op] = "action"
+		case byIntent:
+			cov.RoutedOps[op] = "intent"
+		default:
+			cov.UnroutableOps = append(cov.UnroutableOps, op)
+		}
+	}
+	sort.Strings(cov.UnroutableOps)
+
+	if def.DSML != nil {
+		for _, class := range def.DSML.ClassNames() {
+			if c := def.DSML.Class(class); c != nil && c.Abstract {
+				continue
+			}
+			if !handledClasses[class] && !handledClasses["*"] {
+				cov.UnhandledClasses = append(cov.UnhandledClasses, class)
+			}
+		}
+		sort.Strings(cov.UnhandledClasses)
+	}
+	return cov, nil
+}

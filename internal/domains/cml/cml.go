@@ -1,0 +1,121 @@
+// Package cml implements the Communication Modeling Language and the
+// Communication Virtual Machine (CVM) on top of the MD-DSM core (paper
+// §IV-A). CML models describe user-to-user communication scenarios —
+// sessions, participants, media streams and attachments — and the CVM
+// enacts them through the orchestrated use of the simulated communication
+// services in internal/resources/comm.
+//
+// The package supplies every DSK artifact for the communication domain:
+// the CML metamodel, the synthesis LTS, the classifier taxonomy and
+// procedure repository, the resource adapter, and the CVM middleware model
+// (layers UCI, SE, UCM, NCB as in Fig. 3).
+package cml
+
+import (
+	"fmt"
+
+	"github.com/mddsm/mddsm/internal/lts"
+	"github.com/mddsm/mddsm/internal/metamodel"
+)
+
+// MetamodelName identifies the CML metamodel.
+const MetamodelName = "cml"
+
+// Metamodel builds the CML metamodel. CML distinguishes control aspects
+// (Session, participants) from data aspects (Stream, Attachment), echoing
+// the control/data schema split of the original language.
+func Metamodel() *metamodel.Metamodel {
+	m := metamodel.New(MetamodelName)
+	m.MustAddEnum(&metamodel.Enum{Name: "Media", Literals: []string{"audio", "video", "chat"}})
+	m.MustAddClass(&metamodel.Class{Name: "Person",
+		Attributes: []metamodel.Attribute{
+			{Name: "name", Kind: metamodel.KindString, Required: true},
+			{Name: "role", Kind: metamodel.KindString, Default: "participant"},
+		},
+	})
+	m.MustAddClass(&metamodel.Class{Name: "Session",
+		Attributes: []metamodel.Attribute{
+			{Name: "topic", Kind: metamodel.KindString, Default: ""},
+		},
+		References: []metamodel.Reference{
+			{Name: "participants", Target: "Person", Many: true},
+			{Name: "streams", Target: "Stream", Containment: true, Many: true},
+		},
+	})
+	m.MustAddClass(&metamodel.Class{Name: "Stream",
+		Attributes: []metamodel.Attribute{
+			{Name: "media", Kind: metamodel.KindEnum, EnumType: "Media", Required: true},
+			{Name: "bandwidth", Kind: metamodel.KindFloat, Default: 64.0},
+			{Name: "session", Kind: metamodel.KindString, Required: true},
+		},
+		References: []metamodel.Reference{
+			{Name: "attachments", Target: "Attachment", Containment: true, Many: true},
+		},
+	})
+	m.MustAddClass(&metamodel.Class{Name: "Attachment",
+		Attributes: []metamodel.Attribute{
+			{Name: "name", Kind: metamodel.KindString, Required: true},
+			{Name: "sizeKB", Kind: metamodel.KindFloat, Default: 1.0},
+			{Name: "stream", Kind: metamodel.KindString, Required: true},
+			{Name: "session", Kind: metamodel.KindString, Required: true},
+		},
+	})
+	if err := m.Validate(); err != nil {
+		panic(fmt.Sprintf("cml metamodel: %v", err))
+	}
+	return m
+}
+
+// LTSName is the synthesis-semantics name referenced by the CVM middleware
+// model.
+const LTSName = "cml-synthesis"
+
+// SynthesisLTS encodes the CML synthesis semantics: how differences between
+// the running and the submitted communication model translate to control
+// commands for the UCM (Controller) layer.
+//
+// Note the Stream/Attachment objects carry their owning session/stream IDs
+// as attributes — CML instance models are flat in that respect, which keeps
+// the LTS templates self-contained.
+func SynthesisLTS() *lts.LTS {
+	l := lts.New(LTSName, "run")
+	l.On("run", "add-object:Session", "", "run",
+		lts.CommandTemplate{Op: "createSession", Target: "session:{id}"})
+	l.On("run", "remove-object:Session", "", "run",
+		lts.CommandTemplate{Op: "closeSession", Target: "session:{id}"})
+	l.On("run", "add-ref:Session.participants", "", "run",
+		lts.CommandTemplate{Op: "addParticipant", Target: "session:{id}",
+			Args: map[string]string{"who": "{target}"}})
+	l.On("run", "remove-ref:Session.participants", "", "run",
+		lts.CommandTemplate{Op: "removeParticipant", Target: "session:{id}",
+			Args: map[string]string{"who": "{target}"}})
+	l.On("run", "add-object:Stream", "", "run",
+		lts.CommandTemplate{Op: "openStream", Target: "stream:{id}",
+			Args: map[string]string{
+				"media":     "{media}",
+				"bandwidth": "{bandwidth}",
+				"session":   "{session}",
+			}})
+	l.On("run", "remove-object:Stream", "", "run",
+		lts.CommandTemplate{Op: "closeStream", Target: "stream:{id}",
+			Args: map[string]string{"session": "{session}"}})
+	l.On("run", "set-attr:Stream.media", "", "run",
+		lts.CommandTemplate{Op: "reconfigureStream", Target: "stream:{id}",
+			Args: map[string]string{"media": "{new}", "session": "{session}"}})
+	l.On("run", "set-attr:Stream.bandwidth", "", "run",
+		lts.CommandTemplate{Op: "reconfigureStream", Target: "stream:{id}",
+			Args: map[string]string{"bandwidth": "{new}", "session": "{session}"}})
+	l.On("run", "add-object:Attachment", "", "run",
+		lts.CommandTemplate{Op: "sendAttachment", Target: "stream:{stream}",
+			Args: map[string]string{
+				"name":    "{name}",
+				"sizeKB":  "{sizeKB}",
+				"session": "{session}",
+			}})
+	// Asynchronous recovery: a failed stream is reconfigured to a safe
+	// audio profile, mirroring the CVM's fault-tolerance behaviour.
+	l.On("run", "event:streamFailed", "", "run",
+		lts.CommandTemplate{Op: "recoverStream", Target: "stream:{stream}",
+			Args: map[string]string{"session": "{session}"}})
+	return l
+}

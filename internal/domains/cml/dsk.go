@@ -1,0 +1,187 @@
+package cml
+
+import (
+	"fmt"
+
+	"github.com/mddsm/mddsm/internal/broker"
+	"github.com/mddsm/mddsm/internal/dsc"
+	"github.com/mddsm/mddsm/internal/eu"
+	"github.com/mddsm/mddsm/internal/registry"
+	"github.com/mddsm/mddsm/internal/resources/comm"
+	"github.com/mddsm/mddsm/internal/script"
+)
+
+// Domain is the classifier-domain name for communication.
+const Domain = "comm"
+
+// Taxonomy builds the communication classifier hierarchy (DSCs, §V-B):
+// operations for session control, media connection establishment with
+// transport specialisations, codec negotiation and authentication, plus
+// data classifiers naming the session profile data.
+func Taxonomy() *dsc.Taxonomy {
+	tx := dsc.NewTaxonomy()
+	add := func(id, parent string, cat dsc.Category, desc string) {
+		tx.MustAdd(&dsc.DSC{ID: id, Name: id, Domain: Domain, Category: cat,
+			Parent: parent, Description: desc})
+	}
+	add("comm.connect", "", dsc.Operation, "establish a media connection")
+	add("comm.connect.secure", "comm.connect", dsc.Operation, "establish an encrypted media connection")
+	add("comm.transport", "", dsc.Operation, "move media over a transport")
+	add("comm.transport.datagram", "comm.transport", dsc.Operation, "best-effort datagram transport")
+	add("comm.transport.reliable", "comm.transport", dsc.Operation, "reliable stream transport")
+	add("comm.codec", "", dsc.Operation, "negotiate and apply a codec")
+	add("comm.auth", "", dsc.Operation, "authenticate the parties")
+	add("comm.data.profile", "", dsc.Data, "session profile data")
+	add("comm.data.profile.contact", "comm.data.profile", dsc.Data, "contact entries")
+	if err := tx.Validate(); err != nil {
+		panic(fmt.Sprintf("cml taxonomy: %v", err))
+	}
+	return tx
+}
+
+// Procedures builds the communication procedure repository entries. The
+// goal classifier comm.connect has competing realisations whose
+// dependencies (transport, codec, auth) also have alternatives, giving the
+// intent-model generator a real configuration space.
+func Procedures() []*registry.Procedure {
+	return []*registry.Procedure{
+		{
+			ID: "connectBasic", Name: "basic media connect", Domain: Domain,
+			ClassifiedBy: "comm.connect",
+			Dependencies: []string{"comm.transport", "comm.codec"},
+			Cost:         8, Reliability: 0.97,
+			Unit: eu.NewUnit("connectBasic",
+				eu.Call("comm.transport"),
+				eu.Call("comm.codec"),
+				eu.Invoke("openStream", "{target}",
+					"media", "media", "bandwidth", "bandwidth", "session", "session"),
+			),
+		},
+		{
+			ID: "connectSecure", Name: "authenticated media connect", Domain: Domain,
+			ClassifiedBy: "comm.connect.secure",
+			Dependencies: []string{"comm.auth", "comm.transport.reliable", "comm.codec"},
+			Cost:         20, Reliability: 0.995,
+			Tags: map[string]string{"security": "high"},
+			Unit: eu.NewUnit("connectSecure",
+				eu.Call("comm.auth"),
+				eu.Call("comm.transport.reliable"),
+				eu.Call("comm.codec"),
+				eu.Invoke("openStream", "{target}",
+					"media", "media", "bandwidth", "bandwidth", "session", "session"),
+			),
+		},
+		{
+			ID: "udpTransport", Name: "datagram transport", Domain: Domain,
+			ClassifiedBy: "comm.transport.datagram",
+			Cost:         2, Reliability: 0.90,
+			Tags: map[string]string{"transport": "udp"},
+			Unit: eu.NewUnit("udpTransport",
+				eu.Set("transportReady", "true")),
+		},
+		{
+			ID: "tcpTransport", Name: "reliable transport", Domain: Domain,
+			ClassifiedBy: "comm.transport.reliable",
+			Cost:         6, Reliability: 0.995,
+			Tags: map[string]string{"transport": "tcp"},
+			Unit: eu.NewUnit("tcpTransport",
+				eu.Set("transportReady", "true")),
+		},
+		{
+			ID: "fastCodec", Name: "low-latency codec", Domain: Domain,
+			ClassifiedBy: "comm.codec",
+			Cost:         3, Reliability: 0.95,
+			Tags: map[string]string{"quality": "speed"},
+			Unit: eu.NewUnit("fastCodec",
+				eu.Set("codec", "'opus-fast'")),
+		},
+		{
+			ID: "hqCodec", Name: "high-quality codec", Domain: Domain,
+			ClassifiedBy: "comm.codec",
+			Cost:         9, Reliability: 0.99,
+			Tags: map[string]string{"quality": "fidelity"},
+			Unit: eu.NewUnit("hqCodec",
+				eu.Set("codec", "'opus-hq'")),
+		},
+		{
+			ID: "pskAuth", Name: "pre-shared-key auth", Domain: Domain,
+			ClassifiedBy: "comm.auth",
+			Cost:         4, Reliability: 0.999,
+			Unit: eu.NewUnit("pskAuth",
+				eu.Set("authenticated", "true")),
+		},
+	}
+}
+
+// Adapter bridges broker resource commands to the simulated communication
+// service. It is the NCB's view of the heterogeneous service substrate.
+type Adapter struct {
+	svc *comm.Service
+}
+
+var _ broker.Adapter = (*Adapter)(nil)
+
+// NewAdapter wraps a communication service.
+func NewAdapter(svc *comm.Service) *Adapter { return &Adapter{svc: svc} }
+
+// stripPrefix removes "session:"/"stream:" style prefixes from targets.
+func stripPrefix(target string) string {
+	for i := 0; i < len(target); i++ {
+		if target[i] == ':' {
+			return target[i+1:]
+		}
+	}
+	return target
+}
+
+// Execute implements broker.Adapter, routing by operation name.
+func (a *Adapter) Execute(cmd script.Command) error {
+	id := stripPrefix(cmd.Target)
+	switch cmd.Op {
+	case "createSession":
+		return a.svc.CreateSession(id)
+	case "closeSession":
+		return a.svc.CloseSession(id)
+	case "addParticipant":
+		return a.svc.AddParticipant(id, cmd.StringArg("who"))
+	case "removeParticipant":
+		return a.svc.RemoveParticipant(id, cmd.StringArg("who"))
+	case "openStream":
+		return a.svc.OpenStream(cmd.StringArg("session"), id,
+			comm.MediaType(cmd.StringArg("media")), cmd.NumArg("bandwidth"))
+	case "closeStream":
+		return a.svc.CloseStream(cmd.StringArg("session"), id)
+	case "reconfigureStream":
+		return a.reconfigure(cmd, id)
+	case "sendData":
+		return a.svc.SendData(cmd.StringArg("session"), id, cmd.NumArg("bytes"))
+	default:
+		return fmt.Errorf("cml adapter: unknown op %q", cmd.Op)
+	}
+}
+
+// reconfigure fills in the half of (media, bandwidth) the caller omitted
+// from the stream's current configuration — the NCB hides that service
+// detail from the upper layers.
+func (a *Adapter) reconfigure(cmd script.Command, streamID string) error {
+	sessionID := cmd.StringArg("session")
+	media := comm.MediaType(cmd.StringArg("media"))
+	bandwidth := cmd.NumArg("bandwidth")
+	if media == "" || bandwidth == 0 {
+		sess := a.svc.Session(sessionID)
+		if sess == nil {
+			return fmt.Errorf("cml adapter: reconfigure: unknown session %q", sessionID)
+		}
+		st := sess.Stream(streamID)
+		if st == nil {
+			return fmt.Errorf("cml adapter: reconfigure: unknown stream %q", streamID)
+		}
+		if media == "" {
+			media = st.Media
+		}
+		if bandwidth == 0 {
+			bandwidth = st.Bandwidth
+		}
+	}
+	return a.svc.ReconfigureStream(sessionID, streamID, media, bandwidth)
+}

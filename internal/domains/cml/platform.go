@@ -1,0 +1,170 @@
+package cml
+
+import (
+	"fmt"
+
+	"github.com/mddsm/mddsm/internal/broker"
+	"github.com/mddsm/mddsm/internal/core"
+	"github.com/mddsm/mddsm/internal/lts"
+	"github.com/mddsm/mddsm/internal/metamodel"
+	"github.com/mddsm/mddsm/internal/mwmeta"
+	"github.com/mddsm/mddsm/internal/resources/comm"
+	"github.com/mddsm/mddsm/internal/runtime"
+	"github.com/mddsm/mddsm/internal/simtime"
+)
+
+// MiddlewareModel authors the CVM middleware model: the four layers of
+// Fig. 3 (UCI, SE, UCM, NCB) as an instance of the common middleware
+// metamodel.
+func MiddlewareModel() *metamodel.Model {
+	b := mwmeta.NewBuilder("CVM", Domain)
+	b.UILayer("UCI")
+	b.SynthesisLayer("SE", LTSName)
+	b.ControllerLayer("UCM").
+		// Case 1: session control commands map directly to broker calls.
+		PassthroughAction("sessionControl",
+			"createSession,closeSession,addParticipant,removeParticipant,closeStream,reconfigureStream",
+			"",
+			mwmeta.StepSpec{Op: "{op}", Target: "{target}"}).
+		Action("attachment", "sendAttachment", "",
+			mwmeta.StepSpec{Op: "sendData", Target: "{target}", Args: map[string]string{
+				"session": "{session}", "bytes": "{sizeKB}",
+			}}).
+		// Asynchronous recovery: reconfigure a failed stream to the safe
+		// audio profile.
+		Action("recover", "recoverStream", "",
+			mwmeta.StepSpec{Op: "reconfigureStream", Target: "{target}", Args: map[string]string{
+				"session": "{session}", "media": "audio", "bandwidth": "32",
+			}}).
+		// Case 2: media connection establishment goes through dynamic
+		// intent-model generation over the comm procedures.
+		Class("openStream", "comm.connect").
+		// Classification: under low memory, prefer dynamic generation for
+		// everything that has a command class (paper §VI).
+		Policy(mwmeta.PolicySpec{
+			Name: "lowMemory", Priority: 10, Condition: "memoryLow",
+			Effects: map[string]string{"case": "intent"},
+		}).
+		// Selection: secure contexts optimise for reliability.
+		Policy(mwmeta.PolicySpec{
+			Name: "secureCalls", Priority: 5, Condition: "securityLevel >= 2",
+			Effects: map[string]string{"optimize": "reliability"},
+		}).
+		// Events the UCM forwards up to the SE for model-level recovery.
+		EventAction("fwdStreamFailed", "streamFailed", "", true, "").
+		Done().
+		BrokerLayer("NCB").
+		// The NCB realises every call by the equivalent service operation
+		// — an exact copy of the original handcrafted broker (§VII-A).
+		PassthroughAction("service", "*", "",
+			mwmeta.StepSpec{Op: "{op}", Target: "{target}"}).
+		Bind("*", "commService")
+	return b.Model()
+}
+
+// CVM is the communication virtual machine: an MD-DSM platform wired to a
+// simulated communication service.
+type CVM struct {
+	Platform *runtime.Platform
+	Service  *comm.Service
+	Clock    simtime.Clock
+}
+
+// New builds a CVM on a virtual clock. Events from the communication
+// service are delivered synchronously into the NCB so tests and scenarios
+// are deterministic.
+func New() (*CVM, error) {
+	clock := simtime.NewVirtual()
+	return NewWithClock(clock)
+}
+
+// NewWithClock builds a CVM on the supplied clock.
+func NewWithClock(clock simtime.Clock) (*CVM, error) {
+	vm := &CVM{Clock: clock}
+	vm.Service = comm.NewService(clock, func(e comm.Event) {
+		if vm.Platform != nil {
+			_ = vm.Platform.DeliverEvent(commEvent(e))
+		}
+	})
+	def := core.Definition{
+		Name:       "cvm",
+		DSML:       Metamodel(),
+		Middleware: MiddlewareModel(),
+		DSK: core.DSK{
+			Taxonomy:   Taxonomy(),
+			Procedures: Procedures(),
+			LTSes:      map[string]*lts.LTS{LTSName: SynthesisLTS()},
+			Adapters:   map[string]broker.Adapter{"commService": NewAdapter(vm.Service)},
+		},
+		Clock: clock,
+	}
+	p, err := core.Build(def)
+	if err != nil {
+		return nil, fmt.Errorf("cvm: %w", err)
+	}
+	vm.Platform = p
+	return vm, nil
+}
+
+// NCBModel authors a broker-only middleware model: the NCB layer alone,
+// configured as an exact copy of the handcrafted broker. The §VII-A
+// experiments drive this platform and the handcrafted baseline with the
+// same call sequences and compare the resource traces.
+func NCBModel() *metamodel.Model {
+	b := mwmeta.NewBuilder("NCB-standalone", Domain)
+	b.BrokerLayer("NCB").
+		PassthroughAction("service", "*", "",
+			mwmeta.StepSpec{Op: "{op}", Target: "{target}"}).
+		// In standalone mode the broker recovers failed streams itself by
+		// reconfiguring to the safe audio profile.
+		EventAction("recoverOnFail", "streamFailed", "", false,
+			mwmeta.StepSpec{Op: "reconfigureStream", Target: "stream:{stream}",
+				Args: map[string]string{
+					"session": "{session}", "media": "audio", "bandwidth": "32",
+				}}).
+		Bind("*", "commService")
+	return b.Model()
+}
+
+// StandaloneNCB is the model-based Broker layer wired to its own service.
+type StandaloneNCB struct {
+	Platform *runtime.Platform
+	Service  *comm.Service
+	Clock    *simtime.VirtualClock
+}
+
+// NewStandaloneNCB builds the model-based NCB over a fresh simulated
+// service. Service events feed back into the broker synchronously.
+func NewStandaloneNCB() (*StandaloneNCB, error) {
+	clock := simtime.NewVirtual()
+	n := &StandaloneNCB{Clock: clock}
+	n.Service = comm.NewService(clock, func(e comm.Event) {
+		if n.Platform != nil {
+			_ = n.Platform.DeliverEvent(commEvent(e))
+		}
+	})
+	p, err := runtime.Build(NCBModel(), runtime.Deps{
+		Adapters: map[string]broker.Adapter{"commService": NewAdapter(n.Service)},
+		Clock:    clock,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("standalone ncb: %w", err)
+	}
+	n.Platform = p
+	return n, nil
+}
+
+// commEvent converts a service event to a platform event.
+func commEvent(e comm.Event) broker.Event {
+	attrs := map[string]any{}
+	if e.Session != "" {
+		attrs["session"] = e.Session
+	}
+	if e.Stream != "" {
+		attrs["stream"] = e.Stream
+	}
+	if e.Participant != "" {
+		attrs["participant"] = e.Participant
+	}
+	return broker.Event{Name: e.Kind, Attrs: attrs}
+}

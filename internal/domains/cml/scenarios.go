@@ -1,0 +1,168 @@
+package cml
+
+import (
+	"github.com/mddsm/mddsm/internal/script"
+)
+
+// Step is one action of a communication scenario: either a broker-level
+// call (Call non-nil) or an injected stream failure (FailStream non-"").
+type Step struct {
+	Call        *script.Command
+	FailSession string
+	FailStream  string
+}
+
+// call makes a call step.
+func call(op, target string, kv ...any) Step {
+	c := script.NewCommand(op, target)
+	for i := 0; i+1 < len(kv); i += 2 {
+		c = c.WithArg(kv[i].(string), kv[i+1])
+	}
+	return Step{Call: &c}
+}
+
+// fail makes a failure-injection step.
+func fail(session, stream string) Step {
+	return Step{FailSession: session, FailStream: stream}
+}
+
+// Scenario is a named multimedia communication scenario (paper §VII-A: a
+// set of eight scenarios covering session establishment, reconfiguration
+// and recovery from failures).
+type Scenario struct {
+	Name  string
+	Steps []Step
+}
+
+// Scenarios returns the eight-scenario suite. Both the model-based and the
+// handcrafted Broker implementations are driven with exactly these steps;
+// behavioural equivalence requires their service traces to match.
+func Scenarios() []Scenario {
+	return []Scenario{
+		{
+			Name: "two-party-audio-establishment",
+			Steps: []Step{
+				call("createSession", "session:s1"),
+				call("addParticipant", "session:s1", "who", "alice"),
+				call("addParticipant", "session:s1", "who", "bob"),
+				call("openStream", "stream:a1", "session", "s1", "media", "audio", "bandwidth", 64),
+				call("sendData", "stream:a1", "session", "s1", "bytes", 2048),
+				call("closeSession", "session:s1"),
+			},
+		},
+		{
+			Name: "three-party-conference-setup",
+			Steps: []Step{
+				call("createSession", "session:conf"),
+				call("addParticipant", "session:conf", "who", "alice"),
+				call("addParticipant", "session:conf", "who", "bob"),
+				call("addParticipant", "session:conf", "who", "carol"),
+				call("openStream", "stream:mix", "session", "conf", "media", "audio", "bandwidth", 128),
+				call("sendData", "stream:mix", "session", "conf", "bytes", 4096),
+				call("closeSession", "session:conf"),
+			},
+		},
+		{
+			Name: "media-upgrade-audio-to-video",
+			Steps: []Step{
+				call("createSession", "session:s2"),
+				call("addParticipant", "session:s2", "who", "alice"),
+				call("addParticipant", "session:s2", "who", "bob"),
+				call("openStream", "stream:m1", "session", "s2", "media", "audio", "bandwidth", 64),
+				call("reconfigureStream", "stream:m1", "session", "s2", "media", "video", "bandwidth", 512),
+				call("sendData", "stream:m1", "session", "s2", "bytes", 65536),
+				call("closeSession", "session:s2"),
+			},
+		},
+		{
+			Name: "bandwidth-renegotiation",
+			Steps: []Step{
+				call("createSession", "session:s3"),
+				call("addParticipant", "session:s3", "who", "alice"),
+				call("openStream", "stream:v1", "session", "s3", "media", "video", "bandwidth", 512),
+				call("reconfigureStream", "stream:v1", "session", "s3", "media", "video", "bandwidth", 256),
+				call("reconfigureStream", "stream:v1", "session", "s3", "media", "video", "bandwidth", 128),
+				call("closeSession", "session:s3"),
+			},
+		},
+		{
+			Name: "participant-churn",
+			Steps: []Step{
+				call("createSession", "session:s4"),
+				call("addParticipant", "session:s4", "who", "alice"),
+				call("addParticipant", "session:s4", "who", "bob"),
+				call("removeParticipant", "session:s4", "who", "alice"),
+				call("addParticipant", "session:s4", "who", "dave"),
+				call("removeParticipant", "session:s4", "who", "bob"),
+				call("closeSession", "session:s4"),
+			},
+		},
+		{
+			Name: "stream-failure-recovery",
+			Steps: []Step{
+				call("createSession", "session:s5"),
+				call("addParticipant", "session:s5", "who", "alice"),
+				call("openStream", "stream:f1", "session", "s5", "media", "video", "bandwidth", 512),
+				fail("s5", "f1"),
+				call("sendData", "stream:f1", "session", "s5", "bytes", 1024),
+				call("closeSession", "session:s5"),
+			},
+		},
+		{
+			Name: "multi-stream-session",
+			Steps: []Step{
+				call("createSession", "session:s6"),
+				call("addParticipant", "session:s6", "who", "alice"),
+				call("addParticipant", "session:s6", "who", "bob"),
+				call("openStream", "stream:aa", "session", "s6", "media", "audio", "bandwidth", 64),
+				call("openStream", "stream:vv", "session", "s6", "media", "video", "bandwidth", 512),
+				call("openStream", "stream:cc", "session", "s6", "media", "chat", "bandwidth", 8),
+				call("sendData", "stream:cc", "session", "s6", "bytes", 256),
+				call("closeStream", "stream:vv", "session", "s6"),
+				call("closeSession", "session:s6"),
+			},
+		},
+		{
+			Name: "full-lifecycle",
+			Steps: []Step{
+				call("createSession", "session:s7"),
+				call("addParticipant", "session:s7", "who", "alice"),
+				call("addParticipant", "session:s7", "who", "bob"),
+				call("openStream", "stream:x1", "session", "s7", "media", "audio", "bandwidth", 64),
+				call("reconfigureStream", "stream:x1", "session", "s7", "media", "video", "bandwidth", 384),
+				fail("s7", "x1"),
+				call("sendData", "stream:x1", "session", "s7", "bytes", 512),
+				call("removeParticipant", "session:s7", "who", "bob"),
+				call("closeSession", "session:s7"),
+			},
+		},
+	}
+}
+
+// Caller is anything that accepts broker-level calls: the model-based NCB
+// (broker.Broker) and the handcrafted baseline both satisfy it.
+type Caller interface {
+	Call(cmd script.Command) error
+}
+
+// FailureInjector injects a stream failure into the underlying service.
+type FailureInjector interface {
+	InjectStreamFailure(sessionID, streamID string) error
+}
+
+// RunScenario drives one scenario against a broker implementation and its
+// service.
+func RunScenario(s Scenario, b Caller, svc FailureInjector) error {
+	for _, st := range s.Steps {
+		if st.Call != nil {
+			if err := b.Call(*st.Call); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := svc.InjectStreamFailure(st.FailSession, st.FailStream); err != nil {
+			return err
+		}
+	}
+	return nil
+}

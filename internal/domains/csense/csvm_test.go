@@ -1,0 +1,290 @@
+package csense
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/mddsm/mddsm/internal/core"
+	"github.com/mddsm/mddsm/internal/lts"
+	"github.com/mddsm/mddsm/internal/script"
+)
+
+func TestDefinitionsValidate(t *testing.T) {
+	for _, def := range []core.Definition{
+		{
+			Name: "provider", DSML: Metamodel(), Middleware: ProviderModel(),
+			DSK: core.DSK{LTSes: map[string]*lts.LTS{ProviderLTSName: ProviderLTS()}},
+		},
+		{
+			Name: "device", DSML: Metamodel(), Middleware: DeviceModel(),
+			DSK: core.DSK{LTSes: map[string]*lts.LTS{DeviceLTSName: DeviceLTS()}},
+		},
+	} {
+		if err := def.Validate(); err != nil {
+			t.Fatalf("%s definition must validate: %v", def.Name, err)
+		}
+	}
+}
+
+func newVM(t *testing.T) *CSVM {
+	t.Helper()
+	vm, err := New(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sensors := map[string][2]float64{"temp": {10, 30}, "noise": {30, 90}}
+	for _, d := range []struct{ id, region string }{
+		{"d1", "north"}, {"d2", "north"}, {"d3", "south"}, {"d4", "south"},
+	} {
+		if err := vm.Fleet.Register(d.id, d.region, sensors); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return vm
+}
+
+func TestQueryLifecycle(t *testing.T) {
+	vm := newVM(t)
+
+	// The user authors a query on the device.
+	d := vm.Device.UI.NewDraft()
+	d.MustAdd("q1", "Query").
+		SetAttr("sensor", "temp").
+		SetAttr("region", "north").
+		SetAttr("aggregate", "avg")
+	if _, err := d.Submit(); err != nil {
+		t.Fatal(err)
+	}
+	if got := vm.Engine.ActiveQueries(); len(got) != 1 || got[0] != "query:device0/q1" {
+		t.Fatalf("active queries: %v", got)
+	}
+
+	// Rounds run over the fleet and results reach the device.
+	results := vm.Engine.Tick()
+	if len(results) != 1 {
+		t.Fatalf("results: %v", results)
+	}
+	r := results[0]
+	if r.Samples != 2 { // two devices in the north region
+		t.Errorf("samples: %d", r.Samples)
+	}
+	if r.Value < 10 || r.Value > 30 {
+		t.Errorf("avg out of range: %v", r.Value)
+	}
+	if len(vm.Results()) != 1 {
+		t.Errorf("delivered results: %v", vm.Results())
+	}
+
+	// Cancel: removing the query stops execution.
+	edit := vm.Device.UI.EditDraft()
+	if err := edit.Remove("q1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := edit.Submit(); err != nil {
+		t.Fatal(err)
+	}
+	if got := vm.Engine.ActiveQueries(); len(got) != 0 {
+		t.Fatalf("query should be stopped: %v", got)
+	}
+	if got := vm.Engine.Tick(); len(got) != 0 {
+		t.Fatalf("no rounds after stop: %v", got)
+	}
+}
+
+func TestOnTheFlyQueryChange(t *testing.T) {
+	vm := newVM(t)
+	d := vm.Device.UI.NewDraft()
+	d.MustAdd("q1", "Query").
+		SetAttr("sensor", "temp").
+		SetAttr("region", "north").
+		SetAttr("aggregate", "avg")
+	if _, err := d.Submit(); err != nil {
+		t.Fatal(err)
+	}
+	if r := vm.Engine.Tick(); r[0].Samples != 2 {
+		t.Fatalf("north samples: %v", r)
+	}
+
+	// The CSVM headline feature: change the live query's model on the fly.
+	edit := vm.Device.UI.EditDraft()
+	edit.Object("q1").SetAttr("region", "")       // widen to the whole fleet
+	edit.Object("q1").SetAttr("aggregate", "max") // switch the aggregate
+	if _, err := edit.Submit(); err != nil {
+		t.Fatal(err)
+	}
+	results := vm.Engine.Tick()
+	if results[0].Samples != 4 {
+		t.Fatalf("widened query must sample all devices: %v", results)
+	}
+	if results[0].Round != 2 {
+		t.Errorf("round continuity across updates: %v", results[0].Round)
+	}
+}
+
+func TestAggregates(t *testing.T) {
+	vm := newVM(t)
+	d := vm.Device.UI.NewDraft()
+	d.MustAdd("qMin", "Query").SetAttr("sensor", "noise").SetAttr("aggregate", "min")
+	d.MustAdd("qMax", "Query").SetAttr("sensor", "noise").SetAttr("aggregate", "max")
+	d.MustAdd("qCount", "Query").SetAttr("sensor", "noise").SetAttr("aggregate", "count")
+	if _, err := d.Submit(); err != nil {
+		t.Fatal(err)
+	}
+	results := vm.Engine.Tick()
+	if len(results) != 3 {
+		t.Fatalf("results: %v", results)
+	}
+	byQuery := map[string]Result{}
+	for _, r := range results {
+		byQuery[r.Query] = r
+	}
+	if byQuery["query:device0/qCount"].Value != 4 {
+		t.Errorf("count: %v", byQuery["query:device0/qCount"])
+	}
+	if byQuery["query:device0/qMin"].Value > byQuery["query:device0/qMax"].Value {
+		t.Errorf("min > max: %v vs %v", byQuery["query:device0/qMin"], byQuery["query:device0/qMax"])
+	}
+}
+
+func TestOfflineDevicesShrinkSamples(t *testing.T) {
+	vm := newVM(t)
+	d := vm.Device.UI.NewDraft()
+	d.MustAdd("q1", "Query").SetAttr("sensor", "temp")
+	if _, err := d.Submit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := vm.Fleet.SetOnline("d1", false); err != nil {
+		t.Fatal(err)
+	}
+	if err := vm.Fleet.SetOnline("d2", false); err != nil {
+		t.Fatal(err)
+	}
+	results := vm.Engine.Tick()
+	if results[0].Samples != 2 {
+		t.Fatalf("offline devices must not be sampled: %v", results)
+	}
+}
+
+func TestEngineErrors(t *testing.T) {
+	vm := newVM(t)
+	if err := vm.Engine.Execute(script.NewCommand("mystery", "q")); err == nil {
+		t.Error("unknown op must fail")
+	}
+	if err := vm.Engine.Execute(script.NewCommand("updateQuery", "ghost")); err == nil {
+		t.Error("update of unknown query must fail")
+	}
+	if err := vm.Engine.Execute(script.NewCommand("stopQuery", "ghost")); err == nil {
+		t.Error("stop of unknown query must fail")
+	}
+	if err := vm.Engine.Execute(script.NewCommand("startQuery", "q").WithArg("sensor", "temp")); err != nil {
+		t.Fatal(err)
+	}
+	if err := vm.Engine.Execute(script.NewCommand("startQuery", "q").WithArg("sensor", "temp")); err == nil {
+		t.Error("double start must fail")
+	}
+}
+
+func TestLinkErrors(t *testing.T) {
+	vm := newVM(t)
+	l := newLink(newGateway(vm.Provider), "devX")
+	if err := l.Execute(script.NewCommand("mystery", "q")); err == nil {
+		t.Error("unknown op must fail")
+	}
+	if err := l.Execute(script.NewCommand("retractQuery", "ghost")); err == nil {
+		t.Error("retract of unknown query must fail")
+	}
+}
+
+func TestMultiDeviceQueriesCoexist(t *testing.T) {
+	vm := newVM(t)
+	second, err := vm.AddDevice("device1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vm.Devices()) != 2 {
+		t.Fatalf("devices: %d", len(vm.Devices()))
+	}
+
+	d0 := vm.Device.UI.NewDraft()
+	d0.MustAdd("q1", "Query").SetAttr("sensor", "temp").SetAttr("region", "north")
+	if _, err := d0.Submit(); err != nil {
+		t.Fatal(err)
+	}
+	d1 := second.UI.NewDraft()
+	d1.MustAdd("q1", "Query").SetAttr("sensor", "noise") // same local ID on purpose
+	if _, err := d1.Submit(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Both queries are active at the provider, namespaced by device.
+	active := vm.Engine.ActiveQueries()
+	if len(active) != 2 {
+		t.Fatalf("active: %v", active)
+	}
+	results := vm.Engine.Tick()
+	if len(results) != 2 {
+		t.Fatalf("results: %v", results)
+	}
+
+	// Device 0 cancelling its query must not disturb device 1's.
+	edit := vm.Device.UI.EditDraft()
+	if err := edit.Remove("q1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := edit.Submit(); err != nil {
+		t.Fatal(err)
+	}
+	active = vm.Engine.ActiveQueries()
+	if len(active) != 1 || !strings.Contains(active[0], "device1") {
+		t.Fatalf("after cancel: %v", active)
+	}
+	// Results are broadcast to every device without error.
+	if got := vm.Engine.Tick(); len(got) != 1 {
+		t.Fatalf("rounds after cancel: %v", got)
+	}
+}
+
+func TestDeterministicResults(t *testing.T) {
+	run := func() []Result {
+		vm := newVM(t)
+		d := vm.Device.UI.NewDraft()
+		d.MustAdd("q1", "Query").SetAttr("sensor", "temp")
+		if _, err := d.Submit(); err != nil {
+			t.Fatal(err)
+		}
+		var out []Result
+		for i := 0; i < 5; i++ {
+			out = append(out, vm.Engine.Tick()...)
+		}
+		return out
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatal("length mismatch")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("round %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestCoverageComplete(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		def  core.Definition
+	}{
+		{"provider", core.Definition{Name: "p", DSML: Metamodel(), Middleware: ProviderModel(),
+			DSK: core.DSK{LTSes: map[string]*lts.LTS{ProviderLTSName: ProviderLTS()}}}},
+		{"device", core.Definition{Name: "d", DSML: Metamodel(), Middleware: DeviceModel(),
+			DSK: core.DSK{LTSes: map[string]*lts.LTS{DeviceLTSName: DeviceLTS()}}}},
+	} {
+		cov, err := core.AnalyzeCoverage(tc.def)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !cov.Complete() {
+			t.Fatalf("%s coverage incomplete: %v", tc.name, cov.UnroutableOps)
+		}
+	}
+}

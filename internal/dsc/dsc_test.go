@@ -1,0 +1,216 @@
+package dsc
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func commTaxonomy(t *testing.T) *Taxonomy {
+	t.Helper()
+	tx := NewTaxonomy()
+	add := func(id, parent string, cat Category) {
+		tx.MustAdd(&DSC{ID: id, Name: id, Domain: "comm", Category: cat, Parent: parent})
+	}
+	add("comm.session", "", Operation)
+	add("comm.session.establish", "comm.session", Operation)
+	add("comm.session.establish.secure", "comm.session.establish", Operation)
+	add("comm.session.teardown", "comm.session", Operation)
+	add("comm.media", "", Operation)
+	add("comm.media.stream", "comm.media", Operation)
+	add("comm.data.profile", "", Data)
+	add("comm.data.profile.contact", "comm.data.profile", Data)
+	if err := tx.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return tx
+}
+
+func TestAddErrors(t *testing.T) {
+	tx := NewTaxonomy()
+	if err := tx.Add(&DSC{ID: ""}); err == nil {
+		t.Error("empty ID must fail")
+	}
+	if err := tx.Add(&DSC{ID: "a"}); err != nil {
+		t.Error(err)
+	}
+	if err := tx.Add(&DSC{ID: "a"}); err == nil {
+		t.Error("duplicate must fail")
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	t.Run("unknown parent", func(t *testing.T) {
+		tx := NewTaxonomy()
+		tx.MustAdd(&DSC{ID: "a", Parent: "ghost", Category: Operation})
+		if err := tx.Validate(); err == nil || !strings.Contains(err.Error(), "unknown parent") {
+			t.Errorf("got %v", err)
+		}
+	})
+	t.Run("category mismatch", func(t *testing.T) {
+		tx := NewTaxonomy()
+		tx.MustAdd(&DSC{ID: "p", Category: Operation})
+		tx.MustAdd(&DSC{ID: "c", Parent: "p", Category: Data})
+		if err := tx.Validate(); err == nil || !strings.Contains(err.Error(), "category") {
+			t.Errorf("got %v", err)
+		}
+	})
+	t.Run("domain mismatch", func(t *testing.T) {
+		tx := NewTaxonomy()
+		tx.MustAdd(&DSC{ID: "p", Category: Operation, Domain: "a"})
+		tx.MustAdd(&DSC{ID: "c", Parent: "p", Category: Operation, Domain: "b"})
+		if err := tx.Validate(); err == nil || !strings.Contains(err.Error(), "domain") {
+			t.Errorf("got %v", err)
+		}
+	})
+	t.Run("cycle", func(t *testing.T) {
+		tx := NewTaxonomy()
+		tx.MustAdd(&DSC{ID: "a", Parent: "b", Category: Operation})
+		tx.MustAdd(&DSC{ID: "b", Parent: "a", Category: Operation})
+		if err := tx.Validate(); err == nil || !strings.Contains(err.Error(), "cycle") {
+			t.Errorf("got %v", err)
+		}
+	})
+}
+
+func TestSubsumes(t *testing.T) {
+	tx := commTaxonomy(t)
+	tests := []struct {
+		anc, desc string
+		want      bool
+	}{
+		{"comm.session", "comm.session", true},
+		{"comm.session", "comm.session.establish", true},
+		{"comm.session", "comm.session.establish.secure", true},
+		{"comm.session.establish", "comm.session", false},
+		{"comm.media", "comm.session.establish", false},
+		{"ghost", "comm.session", false},
+		{"comm.session", "ghost", false},
+	}
+	for _, tt := range tests {
+		if got := tx.Subsumes(tt.anc, tt.desc); got != tt.want {
+			t.Errorf("Subsumes(%q, %q) = %v", tt.anc, tt.desc, got)
+		}
+	}
+}
+
+func TestSatisfies(t *testing.T) {
+	tx := commTaxonomy(t)
+	if !tx.Satisfies("comm.session.establish.secure", "comm.session.establish") {
+		t.Error("a specialised provider satisfies a broader requirement")
+	}
+	if tx.Satisfies("comm.session", "comm.session.establish") {
+		t.Error("a broader provider must not satisfy a narrower requirement")
+	}
+	if !tx.Satisfies("comm.media", "comm.media") {
+		t.Error("exact match satisfies")
+	}
+}
+
+func TestDepthChildrenCategories(t *testing.T) {
+	tx := commTaxonomy(t)
+	if d := tx.Depth("comm.session"); d != 0 {
+		t.Errorf("root depth: %d", d)
+	}
+	if d := tx.Depth("comm.session.establish.secure"); d != 2 {
+		t.Errorf("depth: %d", d)
+	}
+	if d := tx.Depth("ghost"); d != -1 {
+		t.Errorf("unknown depth: %d", d)
+	}
+	kids := tx.Children("comm.session")
+	if len(kids) != 2 || kids[0].ID != "comm.session.establish" {
+		t.Errorf("children: %v", kids)
+	}
+	ops := tx.ByCategory(Operation)
+	data := tx.ByCategory(Data)
+	if len(ops) != 6 || len(data) != 2 {
+		t.Errorf("categories: %d ops %d data", len(ops), len(data))
+	}
+	if got := len(tx.ByDomain("comm")); got != tx.Len() {
+		t.Errorf("ByDomain: %d of %d", got, tx.Len())
+	}
+	if got := len(tx.ByDomain("nope")); got != 0 {
+		t.Errorf("ByDomain(nope): %d", got)
+	}
+}
+
+func TestCategoryString(t *testing.T) {
+	if Operation.String() != "operation" || Data.String() != "data" {
+		t.Error("category names")
+	}
+	if !strings.Contains(Category(9).String(), "9") {
+		t.Error("unknown category")
+	}
+}
+
+// randomTaxonomy builds a random forest (guaranteed acyclic by construction:
+// parents always precede children).
+func randomTaxonomy(r *rand.Rand, n int) *Taxonomy {
+	tx := NewTaxonomy()
+	ids := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		id := fmt.Sprintf("d%d", i)
+		parent := ""
+		if len(ids) > 0 && r.Intn(3) > 0 {
+			parent = ids[r.Intn(len(ids))]
+		}
+		tx.MustAdd(&DSC{ID: id, Domain: "x", Category: Operation, Parent: parent})
+		ids = append(ids, id)
+	}
+	return tx
+}
+
+// Property: Subsumes is reflexive and transitive on random acyclic forests,
+// and antisymmetric except for equality.
+func TestSubsumesOrderProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		tx := randomTaxonomy(r, 3+r.Intn(20))
+		if tx.Validate() != nil {
+			return false
+		}
+		ids := tx.IDs()
+		pick := func() string { return ids[r.Intn(len(ids))] }
+		for i := 0; i < 30; i++ {
+			a, b, c := pick(), pick(), pick()
+			if !tx.Subsumes(a, a) {
+				return false // reflexive
+			}
+			if tx.Subsumes(a, b) && tx.Subsumes(b, c) && !tx.Subsumes(a, c) {
+				return false // transitive
+			}
+			if a != b && tx.Subsumes(a, b) && tx.Subsumes(b, a) {
+				return false // antisymmetric
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Depth is consistent with the parent relation.
+func TestDepthProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		tx := randomTaxonomy(r, 2+r.Intn(20))
+		for _, id := range tx.IDs() {
+			d := tx.Get(id)
+			if d.Parent == "" {
+				if tx.Depth(id) != 0 {
+					return false
+				}
+			} else if tx.Depth(id) != tx.Depth(d.Parent)+1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,348 @@
+package eu
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/mddsm/mddsm/internal/script"
+)
+
+// fakeBroker records invocations and can inject failures.
+type fakeBroker struct {
+	trace  script.Trace
+	failOn string
+}
+
+func (b *fakeBroker) Invoke(cmd script.Command) error {
+	if b.failOn != "" && cmd.Op == b.failOn {
+		return fmt.Errorf("injected failure on %s", cmd.Op)
+	}
+	b.trace.Record(cmd)
+	return nil
+}
+
+type fakeSink struct {
+	events []string
+}
+
+func (s *fakeSink) Emit(event string, args map[string]any) {
+	s.events = append(s.events, fmt.Sprintf("%s %v", event, args["n"]))
+}
+
+type fakeCharger struct {
+	total time.Duration
+}
+
+func (c *fakeCharger) Charge(d time.Duration) { c.total += d }
+
+func leafFrame(label string, body ...Statement) *Frame {
+	return &Frame{Label: label, Unit: NewUnit(label, body...)}
+}
+
+func TestInvokeAndSet(t *testing.T) {
+	b := &fakeBroker{}
+	m := NewMachine(b, nil, nil, Limits{})
+	f := leafFrame("p",
+		Set("rate", "32 * 2"),
+		Invoke("openStream", "session:{id}", "rate", "rate", "mode", "'audio'"),
+	)
+	if err := m.Run(f, map[string]any{"id": "s1"}); err != nil {
+		t.Fatal(err)
+	}
+	want := `openStream session:s1 mode="audio" rate=64`
+	if got := b.trace.Lines()[0]; got != want {
+		t.Errorf("got %q want %q", got, want)
+	}
+}
+
+func TestDSCCallPushesDependency(t *testing.T) {
+	b := &fakeBroker{}
+	m := NewMachine(b, nil, nil, Limits{})
+	child := leafFrame("child", Invoke("childOp", "t"))
+	root := &Frame{
+		Label: "root",
+		Unit: NewUnit("root",
+			Invoke("before", "t"),
+			Call("dom.dep"),
+			Invoke("after", "t"),
+		),
+		Resolve: func(dscID string) (*Frame, error) {
+			if dscID != "dom.dep" {
+				return nil, fmt.Errorf("unexpected dep %s", dscID)
+			}
+			return child, nil
+		},
+	}
+	if err := m.Run(root, nil); err != nil {
+		t.Fatal(err)
+	}
+	got := strings.Join(b.trace.Lines(), ";")
+	if got != "before t;childOp t;after t" {
+		t.Errorf("call order: %q", got)
+	}
+	if m.Depth() != 0 {
+		t.Error("stack must be empty after run")
+	}
+}
+
+func TestSharedScopeAcrossCalls(t *testing.T) {
+	b := &fakeBroker{}
+	m := NewMachine(b, nil, nil, Limits{})
+	child := leafFrame("child", Set("x", "x + 1"))
+	root := &Frame{
+		Label: "root",
+		Unit: NewUnit("root",
+			Set("x", "1"),
+			Call("d"),
+			Invoke("report", "t", "x", "x"),
+		),
+		Resolve: func(string) (*Frame, error) { return child, nil },
+	}
+	if err := m.Run(root, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.trace.Lines()[0]; got != "report t x=2" {
+		t.Errorf("scope sharing: %q", got)
+	}
+}
+
+func TestIfBranches(t *testing.T) {
+	b := &fakeBroker{}
+	m := NewMachine(b, nil, nil, Limits{})
+	f := leafFrame("p",
+		If("mode == 'video'",
+			[]Statement{Invoke("videoPath", "t")},
+			Invoke("audioPath", "t"),
+		),
+	)
+	if err := m.Run(f, map[string]any{"mode": "video"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(f, map[string]any{"mode": "audio"}); err != nil {
+		t.Fatal(err)
+	}
+	got := strings.Join(b.trace.Lines(), ";")
+	if got != "videoPath t;audioPath t" {
+		t.Errorf("branches: %q", got)
+	}
+}
+
+func TestDoneStopsUnit(t *testing.T) {
+	b := &fakeBroker{}
+	m := NewMachine(b, nil, nil, Limits{})
+	f := leafFrame("p",
+		Invoke("first", "t"),
+		Done(),
+		Invoke("never", "t"),
+	)
+	if err := m.Run(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	if b.trace.Len() != 1 {
+		t.Errorf("Done must stop execution: %v", b.trace.Lines())
+	}
+}
+
+func TestDoneInsideIfStopsProcedureOnly(t *testing.T) {
+	b := &fakeBroker{}
+	m := NewMachine(b, nil, nil, Limits{})
+	child := leafFrame("child",
+		If("true", []Statement{Done()}),
+		Invoke("unreachable", "t"),
+	)
+	root := &Frame{
+		Label:   "root",
+		Unit:    NewUnit("root", Call("d"), Invoke("afterChild", "t")),
+		Resolve: func(string) (*Frame, error) { return child, nil },
+	}
+	if err := m.Run(root, nil); err != nil {
+		t.Fatal(err)
+	}
+	got := strings.Join(b.trace.Lines(), ";")
+	if got != "afterChild t" {
+		t.Errorf("Done must pop only the current procedure: %q", got)
+	}
+}
+
+func TestEmitAndDelay(t *testing.T) {
+	sink := &fakeSink{}
+	ch := &fakeCharger{}
+	m := NewMachine(&fakeBroker{}, sink, ch, Limits{})
+	f := &Frame{
+		Label:       "p",
+		Unit:        NewUnit("p", Emit("progress", "n", "1"), Delay("250")),
+		EnterCharge: 100 * time.Millisecond,
+	}
+	if err := m.Run(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	if len(sink.events) != 1 || sink.events[0] != "progress 1" {
+		t.Errorf("events: %v", sink.events)
+	}
+	if ch.total != 350*time.Millisecond {
+		t.Errorf("charged %v, want 350ms", ch.total)
+	}
+}
+
+func TestNilSinksAreTolerated(t *testing.T) {
+	m := NewMachine(&fakeBroker{}, nil, nil, Limits{})
+	f := leafFrame("p", Emit("e"), Delay("10"))
+	if err := m.Run(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		f    *Frame
+		vars map[string]any
+		want string
+	}{
+		{"nil frame", nil, nil, "nil frame"},
+		{
+			"broker failure",
+			leafFrame("p", Invoke("boom", "t")),
+			nil, "injected failure",
+		},
+		{
+			"unbound invoke arg",
+			leafFrame("p", Invoke("op", "t", "a", "ghost")),
+			nil, "unbound",
+		},
+		{
+			"unbound target placeholder",
+			leafFrame("p", Invoke("op", "x:{ghost}")),
+			nil, "unbound",
+		},
+		{
+			"no resolver",
+			leafFrame("p", Call("d")),
+			nil, "no dependency resolver",
+		},
+		{
+			"resolver error",
+			&Frame{Label: "p", Unit: NewUnit("p", Call("d")),
+				Resolve: func(string) (*Frame, error) { return nil, errors.New("unmatched") }},
+			nil, "unmatched",
+		},
+		{
+			"bad set",
+			leafFrame("p", Set("x", "ghost + 1")),
+			nil, "unbound",
+		},
+		{
+			"bad if",
+			leafFrame("p", If("ghost", nil)),
+			nil, "unbound",
+		},
+		{
+			"bad delay",
+			leafFrame("p", Delay("'text'")),
+			nil, "want number",
+		},
+		{
+			"bad emit arg",
+			leafFrame("p", Emit("e", "n", "ghost")),
+			nil, "unbound",
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			b := &fakeBroker{failOn: "boom"}
+			m := NewMachine(b, nil, nil, Limits{})
+			err := m.Run(tt.f, tt.vars)
+			if err == nil || !strings.Contains(err.Error(), tt.want) {
+				t.Errorf("want error containing %q, got %v", tt.want, err)
+			}
+		})
+	}
+}
+
+func TestNoBrokerAttached(t *testing.T) {
+	m := NewMachine(nil, nil, nil, Limits{})
+	err := m.Run(leafFrame("p", Invoke("op", "t")), nil)
+	if err == nil || !strings.Contains(err.Error(), "no broker") {
+		t.Errorf("got %v", err)
+	}
+}
+
+func TestStackOverflowGuard(t *testing.T) {
+	var recursive *Frame
+	recursive = &Frame{
+		Label:   "r",
+		Unit:    NewUnit("r", Call("self")),
+		Resolve: func(string) (*Frame, error) { return recursive, nil },
+	}
+	m := NewMachine(&fakeBroker{}, nil, nil, Limits{MaxDepth: 8})
+	err := m.Run(recursive, nil)
+	if err == nil || !strings.Contains(err.Error(), "stack overflow") {
+		t.Errorf("got %v", err)
+	}
+}
+
+func TestStepBudget(t *testing.T) {
+	body := make([]Statement, 0, 100)
+	for i := 0; i < 100; i++ {
+		body = append(body, Set("x", "1"))
+	}
+	m := NewMachine(&fakeBroker{}, nil, nil, Limits{MaxSteps: 10})
+	err := m.Run(leafFrame("p", body...), nil)
+	if err == nil || !strings.Contains(err.Error(), "step budget") {
+		t.Errorf("got %v", err)
+	}
+}
+
+func TestParseKVPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("odd kv list must panic")
+		}
+	}()
+	Invoke("op", "t", "only-key")
+}
+
+func TestOpCodeString(t *testing.T) {
+	for _, op := range []OpCode{OpInvoke, OpCall, OpSet, OpEmit, OpIf, OpDelay, OpDone} {
+		if strings.Contains(op.String(), "op(") {
+			t.Errorf("missing mnemonic for %d", op)
+		}
+	}
+	if !strings.Contains(OpCode(99).String(), "99") {
+		t.Error("unknown opcode")
+	}
+}
+
+func TestUnknownOpcode(t *testing.T) {
+	m := NewMachine(&fakeBroker{}, nil, nil, Limits{})
+	err := m.Run(&Frame{Label: "p", Unit: &Unit{Name: "p", Body: []Statement{{Op: OpCode(99)}}}}, nil)
+	if err == nil || !strings.Contains(err.Error(), "unknown opcode") {
+		t.Errorf("got %v", err)
+	}
+}
+
+func BenchmarkMachineRun(b *testing.B) {
+	child := leafFrame("child", Invoke("childOp", "t"))
+	root := &Frame{
+		Label: "root",
+		Unit: NewUnit("root",
+			Set("rate", "64"),
+			Invoke("open", "s:{id}", "rate", "rate"),
+			Call("d"),
+			Invoke("close", "s:{id}"),
+		),
+		Resolve: func(string) (*Frame, error) { return child, nil },
+	}
+	sink := &fakeBroker{}
+	m := NewMachine(sink, nil, nil, Limits{})
+	vars := map[string]any{"id": "s1"}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := m.Run(root, vars); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,170 @@
+package experiments
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// ArtifactCount is the size of one named artifact (a function or a whole
+// file) in physical source lines.
+type ArtifactCount struct {
+	Name  string
+	Lines int
+}
+
+// E5Result compares the coupled (handcrafted, per-domain middleware code)
+// against the separated (declarative middleware model + DSK) communication
+// Broker artifacts, mirroring the paper's §VII-B LoC comparison
+// (Java: 1402 → 1176 after separating domain knowledge).
+type E5Result struct {
+	Coupled      []ArtifactCount
+	Separated    []ArtifactCount
+	CoupledLoC   int
+	SeparatedLoC int
+	ReductionPct float64
+}
+
+// countFuncLines parses a Go source file and returns the line span of the
+// named top-level functions/methods. Missing names are errors so the
+// experiment fails loudly when the code moves.
+func countFuncLines(fset *token.FileSet, path string, names []string) ([]ArtifactCount, error) {
+	f, err := parser.ParseFile(fset, path, nil, 0)
+	if err != nil {
+		return nil, fmt.Errorf("parse %s: %w", path, err)
+	}
+	want := make(map[string]bool, len(names))
+	for _, n := range names {
+		want[n] = true
+	}
+	var out []ArtifactCount
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || !want[fd.Name.Name] {
+			continue
+		}
+		start := fset.Position(fd.Pos()).Line
+		end := fset.Position(fd.End()).Line
+		out = append(out, ArtifactCount{
+			Name:  filepath.Base(path) + ":" + fd.Name.Name,
+			Lines: end - start + 1,
+		})
+		delete(want, fd.Name.Name)
+	}
+	if len(want) > 0 {
+		missing := make([]string, 0, len(want))
+		for n := range want {
+			missing = append(missing, n)
+		}
+		return nil, fmt.Errorf("%s: functions not found: %s", path, strings.Join(missing, ", "))
+	}
+	return out, nil
+}
+
+// FindRepoRoot walks upward from dir looking for go.mod.
+func FindRepoRoot(dir string) (string, error) {
+	cur, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(cur, "go.mod")); err == nil {
+			return cur, nil
+		}
+		parent := filepath.Dir(cur)
+		if parent == cur {
+			return "", fmt.Errorf("go.mod not found above %s", dir)
+		}
+		cur = parent
+	}
+}
+
+// MeasureE5 computes the artifact sizes. root is the repository root
+// (FindRepoRoot helps tests and the harness locate it).
+//
+// Coupled: everything the developer hand-writes in the non-model-based
+// world to realise the communication middleware — the handcrafted Broker
+// (service dispatch, partial reconfiguration, failure recovery:
+// baseline/ncb.go) plus the fixed command-routing layer the non-adaptive
+// Controller needs (baseline/controller.go).
+//
+// Separated: what the developer writes when the engine is the shared,
+// domain-independent MD-DSM runtime — the declarative middleware model
+// (cml.NCBModel: actions, recovery and routing as model elements) plus the
+// service adapter, the one piece of domain code both worlds require
+// (cml.NewAdapter/Execute/reconfigure, mirroring the coupled Call switch).
+func MeasureE5(root string) (E5Result, error) {
+	fset := token.NewFileSet()
+	var res E5Result
+
+	coupledNCB, err := countFuncLines(fset,
+		filepath.Join(root, "internal/baseline/ncb.go"),
+		[]string{"NewHandcraftedNCB", "Call", "onEvent", "stripPrefix"})
+	if err != nil {
+		return res, err
+	}
+	coupledRouting, err := countFuncLines(fset,
+		filepath.Join(root, "internal/baseline/controller.go"),
+		[]string{"NewNonAdaptiveController", "Process", "Execute"})
+	if err != nil {
+		return res, err
+	}
+	res.Coupled = append(coupledNCB, coupledRouting...)
+
+	sepModel, err := countFuncLines(fset,
+		filepath.Join(root, "internal/domains/cml/platform.go"),
+		[]string{"NCBModel"})
+	if err != nil {
+		return res, err
+	}
+	sepAdapter, err := countFuncLines(fset,
+		filepath.Join(root, "internal/domains/cml/dsk.go"),
+		[]string{"NewAdapter", "Execute", "reconfigure", "stripPrefix"})
+	if err != nil {
+		return res, err
+	}
+	res.Separated = append(sepModel, sepAdapter...)
+
+	for _, a := range res.Coupled {
+		res.CoupledLoC += a.Lines
+	}
+	for _, a := range res.Separated {
+		res.SeparatedLoC += a.Lines
+	}
+	if res.CoupledLoC > 0 {
+		res.ReductionPct = (1 - float64(res.SeparatedLoC)/float64(res.CoupledLoC)) * 100
+	}
+	return res, nil
+}
+
+// ReportE5 prints the E5 table.
+func ReportE5(w io.Writer, root string) error {
+	res, err := MeasureE5(root)
+	if err != nil {
+		return err
+	}
+	t := Table{
+		Title:   "E5 — domain-artifact footprint: coupled vs separated (paper §VII-B)",
+		Columns: []string{"variant", "artifact", "lines"},
+		Notes: []string{
+			"paper claim (Java controller): separation of domain concerns reduced the artifact from 1402 to 1176 LoC (~16%)",
+			fmt.Sprintf("measured: coupled %d LoC vs separated %d LoC (%.1f%% change; positive = reduction)",
+				res.CoupledLoC, res.SeparatedLoC, res.ReductionPct),
+		},
+	}
+	for _, a := range res.Coupled {
+		t.AddRow("coupled", a.Name, fmt.Sprintf("%d", a.Lines))
+	}
+	for _, a := range res.Separated {
+		t.AddRow("separated", a.Name, fmt.Sprintf("%d", a.Lines))
+	}
+	t.AddRow("coupled", "TOTAL", fmt.Sprintf("%d", res.CoupledLoC))
+	t.AddRow("separated", "TOTAL", fmt.Sprintf("%d", res.SeparatedLoC))
+	t.Print(w)
+	return nil
+}

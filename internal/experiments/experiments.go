@@ -1,0 +1,61 @@
+// Package experiments implements the evaluation harness that regenerates
+// every quantitative result of the paper's §VII (see DESIGN.md §3 for the
+// experiment index E1–E6 and the ablations). The cmd/mddsm-bench binary
+// prints the reports; the repository-root benchmarks reuse the same
+// measurement helpers under testing.B.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a simple text report: a title, column headers and rows.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Print renders the table with aligned columns.
+func (t *Table) Print(w io.Writer) {
+	fmt.Fprintf(w, "== %s ==\n", t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var sb strings.Builder
+	for i, c := range t.Columns {
+		fmt.Fprintf(&sb, "%-*s  ", widths[i], c)
+	}
+	fmt.Fprintln(w, strings.TrimRight(sb.String(), " "))
+	for _, row := range t.Rows {
+		sb.Reset()
+		for i, cell := range row {
+			w := 0
+			if i < len(widths) {
+				w = widths[i]
+			}
+			fmt.Fprintf(&sb, "%-*s  ", w, cell)
+		}
+		fmt.Fprintln(w, strings.TrimRight(sb.String(), " "))
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}

@@ -1,0 +1,380 @@
+// Package expr implements the small expression language used throughout the
+// MD-DSM platform: policy conditions, LTS transition guards, and execution
+// unit predicates are all written in it.
+//
+// The language has numbers (float64), strings, booleans, dotted identifiers
+// resolved against a Scope, arithmetic (+ - * / %), comparisons
+// (== != < <= > >=), boolean connectives (&& || !), unary minus, parentheses
+// and function calls. Evaluation is side-effect free.
+package expr
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// Node is an AST node.
+type Node interface {
+	// String renders the node back to (canonical) source.
+	String() string
+}
+
+// Lit is a literal value: float64, string or bool.
+type Lit struct {
+	Value any
+}
+
+// String implements Node.
+func (l *Lit) String() string {
+	switch v := l.Value.(type) {
+	case string:
+		return strconv.Quote(v)
+	case float64:
+		return strconv.FormatFloat(v, 'g', -1, 64)
+	case bool:
+		return strconv.FormatBool(v)
+	default:
+		return fmt.Sprintf("%v", v)
+	}
+}
+
+// Ident is a dotted identifier such as ctx.bandwidth.
+type Ident struct {
+	Name string
+}
+
+// String implements Node.
+func (i *Ident) String() string { return i.Name }
+
+// Unary is a prefix operation: ! or -.
+type Unary struct {
+	Op string
+	X  Node
+}
+
+// String implements Node.
+func (u *Unary) String() string { return u.Op + u.X.String() }
+
+// Binary is an infix operation.
+type Binary struct {
+	Op   string
+	L, R Node
+}
+
+// String implements Node.
+func (b *Binary) String() string {
+	return "(" + b.L.String() + " " + b.Op + " " + b.R.String() + ")"
+}
+
+// Call is a function application.
+type Call struct {
+	Fn   string
+	Args []Node
+}
+
+// String implements Node.
+func (c *Call) String() string {
+	parts := make([]string, len(c.Args))
+	for i, a := range c.Args {
+		parts[i] = a.String()
+	}
+	return c.Fn + "(" + strings.Join(parts, ", ") + ")"
+}
+
+// ParseError reports a syntax error with its position.
+type ParseError struct {
+	Pos int
+	Msg string
+}
+
+// Error implements error.
+func (e *ParseError) Error() string { return fmt.Sprintf("parse error at %d: %s", e.Pos, e.Msg) }
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota + 1
+	tokNum
+	tokStr
+	tokIdent
+	tokOp
+	tokLParen
+	tokRParen
+	tokComma
+)
+
+type token struct {
+	kind tokKind
+	pos  int
+	text string
+	num  float64
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.pos++
+		case c >= '0' && c <= '9':
+			if err := l.lexNumber(); err != nil {
+				return nil, err
+			}
+		case c == '"' || c == '\'':
+			if err := l.lexString(c); err != nil {
+				return nil, err
+			}
+		case isIdentStart(rune(c)):
+			l.lexIdent()
+		case c == '(':
+			l.emit(tokLParen, "(")
+		case c == ')':
+			l.emit(tokRParen, ")")
+		case c == ',':
+			l.emit(tokComma, ",")
+		default:
+			if ok := l.lexOp(); !ok {
+				return nil, &ParseError{Pos: l.pos, Msg: fmt.Sprintf("unexpected character %q", c)}
+			}
+		}
+	}
+	l.toks = append(l.toks, token{kind: tokEOF, pos: l.pos})
+	return l.toks, nil
+}
+
+func (l *lexer) emit(kind tokKind, text string) {
+	l.toks = append(l.toks, token{kind: kind, pos: l.pos, text: text})
+	l.pos += len(text)
+}
+
+func (l *lexer) lexNumber() error {
+	start := l.pos
+	seenDot := false
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '.' {
+			if seenDot {
+				break
+			}
+			seenDot = true
+			l.pos++
+			continue
+		}
+		if c < '0' || c > '9' {
+			break
+		}
+		l.pos++
+	}
+	text := l.src[start:l.pos]
+	n, err := strconv.ParseFloat(text, 64)
+	if err != nil {
+		return &ParseError{Pos: start, Msg: fmt.Sprintf("bad number %q", text)}
+	}
+	l.toks = append(l.toks, token{kind: tokNum, pos: start, text: text, num: n})
+	return nil
+}
+
+func (l *lexer) lexString(quote byte) error {
+	start := l.pos
+	l.pos++ // opening quote
+	var sb strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == quote {
+			l.pos++
+			l.toks = append(l.toks, token{kind: tokStr, pos: start, text: sb.String()})
+			return nil
+		}
+		if c == '\\' && l.pos+1 < len(l.src) {
+			l.pos++
+			c = l.src[l.pos]
+		}
+		sb.WriteByte(c)
+		l.pos++
+	}
+	return &ParseError{Pos: start, Msg: "unterminated string"}
+}
+
+func isIdentStart(r rune) bool { return r == '_' || unicode.IsLetter(r) }
+
+func isIdentPart(r rune) bool {
+	return r == '_' || r == '.' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+func (l *lexer) lexIdent() {
+	start := l.pos
+	for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
+		l.pos++
+	}
+	l.toks = append(l.toks, token{kind: tokIdent, pos: start, text: l.src[start:l.pos]})
+}
+
+var twoCharOps = []string{"==", "!=", "<=", ">=", "&&", "||"}
+
+func (l *lexer) lexOp() bool {
+	rest := l.src[l.pos:]
+	for _, op := range twoCharOps {
+		if strings.HasPrefix(rest, op) {
+			l.emit(tokOp, op)
+			return true
+		}
+	}
+	switch rest[0] {
+	case '+', '-', '*', '/', '%', '<', '>', '!':
+		l.emit(tokOp, rest[:1])
+		return true
+	}
+	return false
+}
+
+// binding powers for the Pratt parser; higher binds tighter.
+var infixPower = map[string]int{
+	"||": 10,
+	"&&": 20,
+	"==": 30, "!=": 30,
+	"<": 40, "<=": 40, ">": 40, ">=": 40,
+	"+": 50, "-": 50,
+	"*": 60, "/": 60, "%": 60,
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+// Parse parses src into an AST.
+func Parse(src string) (Node, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	node, err := p.parseExpr(0)
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().kind != tokEOF {
+		return nil, &ParseError{Pos: p.peek().pos, Msg: fmt.Sprintf("unexpected %q after expression", p.peek().text)}
+	}
+	return node, nil
+}
+
+// MustParse is Parse that panics on error, for static expressions in code.
+func MustParse(src string) Node {
+	n, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) parseExpr(minPower int) (Node, error) {
+	left, err := p.parsePrefix()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind != tokOp {
+			return left, nil
+		}
+		power, ok := infixPower[t.text]
+		if !ok || power < minPower {
+			return left, nil
+		}
+		p.next()
+		right, err := p.parseExpr(power + 1)
+		if err != nil {
+			return nil, err
+		}
+		left = &Binary{Op: t.text, L: left, R: right}
+	}
+}
+
+func (p *parser) parsePrefix() (Node, error) {
+	t := p.next()
+	switch t.kind {
+	case tokNum:
+		return &Lit{Value: t.num}, nil
+	case tokStr:
+		return &Lit{Value: t.text}, nil
+	case tokIdent:
+		switch t.text {
+		case "true":
+			return &Lit{Value: true}, nil
+		case "false":
+			return &Lit{Value: false}, nil
+		}
+		if p.peek().kind == tokLParen {
+			return p.parseCall(t.text)
+		}
+		return &Ident{Name: t.text}, nil
+	case tokLParen:
+		inner, err := p.parseExpr(0)
+		if err != nil {
+			return nil, err
+		}
+		if tt := p.next(); tt.kind != tokRParen {
+			return nil, &ParseError{Pos: tt.pos, Msg: "expected )"}
+		}
+		return inner, nil
+	case tokOp:
+		switch t.text {
+		case "!", "-":
+			x, err := p.parsePrefix()
+			if err != nil {
+				return nil, err
+			}
+			return &Unary{Op: t.text, X: x}, nil
+		}
+		return nil, &ParseError{Pos: t.pos, Msg: fmt.Sprintf("unexpected operator %q", t.text)}
+	case tokEOF:
+		return nil, &ParseError{Pos: t.pos, Msg: "unexpected end of expression"}
+	default:
+		return nil, &ParseError{Pos: t.pos, Msg: fmt.Sprintf("unexpected %q", t.text)}
+	}
+}
+
+func (p *parser) parseCall(fn string) (Node, error) {
+	p.next() // consume (
+	call := &Call{Fn: fn}
+	if p.peek().kind == tokRParen {
+		p.next()
+		return call, nil
+	}
+	for {
+		arg, err := p.parseExpr(0)
+		if err != nil {
+			return nil, err
+		}
+		call.Args = append(call.Args, arg)
+		t := p.next()
+		switch t.kind {
+		case tokComma:
+			continue
+		case tokRParen:
+			return call, nil
+		default:
+			return nil, &ParseError{Pos: t.pos, Msg: "expected , or ) in call"}
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package expr
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Interpolate fills {name} holes in a template from the scope. When the
+// whole template is a single placeholder the native value is returned
+// (preserving numbers and booleans); otherwise values are interpolated
+// textually. Unbound placeholders are errors.
+func Interpolate(tpl string, scope Scope) (any, error) {
+	if !strings.Contains(tpl, "{") {
+		return tpl, nil
+	}
+	if strings.HasPrefix(tpl, "{") && strings.HasSuffix(tpl, "}") && strings.Count(tpl, "{") == 1 {
+		name := tpl[1 : len(tpl)-1]
+		v, ok := scope.Lookup(name)
+		if !ok {
+			return nil, fmt.Errorf("placeholder %q unbound", name)
+		}
+		return v, nil
+	}
+	var sb strings.Builder
+	for {
+		open := strings.IndexByte(tpl, '{')
+		if open < 0 {
+			sb.WriteString(tpl)
+			return sb.String(), nil
+		}
+		closeIdx := strings.IndexByte(tpl[open:], '}')
+		if closeIdx < 0 {
+			return nil, fmt.Errorf("unterminated placeholder in %q", tpl)
+		}
+		closeIdx += open
+		sb.WriteString(tpl[:open])
+		name := tpl[open+1 : closeIdx]
+		v, ok := scope.Lookup(name)
+		if !ok {
+			return nil, fmt.Errorf("placeholder %q unbound", name)
+		}
+		fmt.Fprintf(&sb, "%v", v)
+		tpl = tpl[closeIdx+1:]
+	}
+}
+
+// InterpolateString is Interpolate forcing a textual result.
+func InterpolateString(tpl string, scope Scope) (string, error) {
+	v, err := Interpolate(tpl, scope)
+	if err != nil {
+		return "", err
+	}
+	if s, ok := v.(string); ok {
+		return s, nil
+	}
+	return fmt.Sprintf("%v", v), nil
+}

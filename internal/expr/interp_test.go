@@ -1,0 +1,85 @@
+package expr
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestInterpolate(t *testing.T) {
+	scope := MapScope{"id": "s1", "n": 42.0, "flag": true, "nest": MapScope{"v": "deep"}}
+	tests := []struct {
+		tpl  string
+		want any
+	}{
+		{"plain", "plain"},
+		{"{id}", "s1"},
+		{"{n}", 42.0},
+		{"{flag}", true},
+		{"a-{id}-b", "a-s1-b"},
+		{"{id}/{n}", "s1/42"},
+		{"{nest.v}", "deep"},
+	}
+	for _, tt := range tests {
+		got, err := Interpolate(tt.tpl, scope)
+		if err != nil || got != tt.want {
+			t.Errorf("Interpolate(%q) = %v, %v; want %v", tt.tpl, got, err, tt.want)
+		}
+	}
+	for _, bad := range []string{"{ghost}", "x{ghost}y", "{open"} {
+		if _, err := Interpolate(bad, scope); err == nil {
+			t.Errorf("Interpolate(%q) should fail", bad)
+		}
+	}
+}
+
+func TestInterpolateString(t *testing.T) {
+	scope := MapScope{"n": 7.0, "s": "txt"}
+	if got, err := InterpolateString("{n}", scope); err != nil || got != "7" {
+		t.Errorf("got %q, %v", got, err)
+	}
+	if got, err := InterpolateString("{s}", scope); err != nil || got != "txt" {
+		t.Errorf("got %q, %v", got, err)
+	}
+	if _, err := InterpolateString("{ghost}", scope); err == nil {
+		t.Error("unbound must fail")
+	}
+}
+
+func TestNodeStringForms(t *testing.T) {
+	tests := []struct {
+		src  string
+		want string
+	}{
+		{`"str"`, `"str"`},
+		{"2.5", "2.5"},
+		{"true", "true"},
+		{"false", "false"},
+		{"a && !b", "(a && !b)"},
+		{"min(1, x)", "min(1, x)"},
+		{"-x", "-x"},
+	}
+	for _, tt := range tests {
+		if got := MustParse(tt.src).String(); got != tt.want {
+			t.Errorf("String(%q) = %q want %q", tt.src, got, tt.want)
+		}
+	}
+	// The catch-all literal branch.
+	l := &Lit{Value: []int{1}}
+	if !strings.Contains(l.String(), "[1]") {
+		t.Errorf("odd literal: %q", l.String())
+	}
+}
+
+func TestParseErrorMessage(t *testing.T) {
+	_, err := Parse("1 +")
+	if err == nil || !strings.Contains(err.Error(), "parse error at") {
+		t.Errorf("got %v", err)
+	}
+}
+
+func TestEvalErrorMessage(t *testing.T) {
+	_, err := Eval(MustParse("!5"), Env{})
+	if err == nil || !strings.Contains(err.Error(), "eval") {
+		t.Errorf("got %v", err)
+	}
+}

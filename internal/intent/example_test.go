@@ -1,0 +1,47 @@
+package intent_test
+
+import (
+	"fmt"
+
+	"github.com/mddsm/mddsm/internal/dsc"
+	"github.com/mddsm/mddsm/internal/eu"
+	"github.com/mddsm/mddsm/internal/expr"
+	"github.com/mddsm/mddsm/internal/intent"
+	"github.com/mddsm/mddsm/internal/registry"
+)
+
+// ExampleGenerator_Generate builds an intent model for a goal classifier:
+// candidates are matched against their DSC-described dependencies and the
+// cost-optimal configuration is selected.
+func ExampleGenerator_Generate() {
+	tx := dsc.NewTaxonomy()
+	tx.MustAdd(&dsc.DSC{ID: "op.send", Domain: "d", Category: dsc.Operation})
+	tx.MustAdd(&dsc.DSC{ID: "op.encode", Domain: "d", Category: dsc.Operation})
+
+	repo := registry.NewRepository(tx)
+	repo.MustAdd(&registry.Procedure{
+		ID: "send", ClassifiedBy: "op.send", Cost: 5,
+		Dependencies: []string{"op.encode"},
+		Unit:         eu.NewUnit("send"),
+	})
+	repo.MustAdd(&registry.Procedure{
+		ID: "gzipEncode", ClassifiedBy: "op.encode", Cost: 3,
+		Unit: eu.NewUnit("gzipEncode"),
+	})
+	repo.MustAdd(&registry.Procedure{
+		ID: "rawEncode", ClassifiedBy: "op.encode", Cost: 1,
+		Unit: eu.NewUnit("rawEncode"),
+	})
+
+	gen := intent.NewGenerator(repo, nil, intent.Options{})
+	m, err := gen.Generate("op.send", expr.MapScope{})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Print(m)
+	// Output:
+	// intent op.send cost=6.0 rel=1.000
+	//   op.send <- send
+	//     op.encode <- rawEncode
+}

@@ -1,0 +1,464 @@
+package intent
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/mddsm/mddsm/internal/dsc"
+	"github.com/mddsm/mddsm/internal/eu"
+	"github.com/mddsm/mddsm/internal/expr"
+	"github.com/mddsm/mddsm/internal/policy"
+	"github.com/mddsm/mddsm/internal/registry"
+	"github.com/mddsm/mddsm/internal/script"
+)
+
+// fixture builds a small communication-flavoured taxonomy and repository:
+//
+//	goal op.connect depends on op.signal and op.stream;
+//	op.stream has a cheap/unreliable and a costly/reliable alternative;
+//	op.signal has one provider that itself depends on op.auth.
+func fixture(t testing.TB) *registry.Repository {
+	t.Helper()
+	tx := dsc.NewTaxonomy()
+	for _, id := range []string{"op.connect", "op.signal", "op.stream", "op.auth"} {
+		tx.MustAdd(&dsc.DSC{ID: id, Domain: "comm", Category: dsc.Operation})
+	}
+	if err := tx.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	r := registry.NewRepository(tx)
+	add := func(id, cls string, cost, rel float64, tags map[string]string, deps ...string) {
+		r.MustAdd(&registry.Procedure{
+			ID: id, Name: id, Domain: "comm", ClassifiedBy: cls,
+			Dependencies: deps, Cost: cost, Reliability: rel,
+			Unit: eu.NewUnit(id, eu.Invoke("exec_"+id, "t")), Tags: tags,
+		})
+	}
+	add("connect", "op.connect", 10, 0.99, nil, "op.signal", "op.stream")
+	add("signal", "op.signal", 5, 0.99, nil, "op.auth")
+	add("auth", "op.auth", 2, 0.999, nil)
+	add("streamCheap", "op.stream", 3, 0.80, map[string]string{"transport": "udp"})
+	add("streamSolid", "op.stream", 20, 0.999, map[string]string{"transport": "tcp"})
+	return r
+}
+
+func TestGenerateCostOptimal(t *testing.T) {
+	g := NewGenerator(fixture(t), nil, Options{})
+	m, err := g.Generate("op.connect", expr.MapScope{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Root.Procedure.ID != "connect" {
+		t.Errorf("root: %s", m.Root.Procedure.ID)
+	}
+	if got := m.Root.Children["op.stream"].Procedure.ID; got != "streamCheap" {
+		t.Errorf("cost-optimal must pick streamCheap, got %s", got)
+	}
+	if m.Size != 4 {
+		t.Errorf("size: %d", m.Size)
+	}
+	if m.Cost != 20 { // 10+5+2+3
+		t.Errorf("cost: %v", m.Cost)
+	}
+	if err := Validate(m, fixture(t), 16); err == nil {
+		// Validate against a *fresh* fixture fails on repository identity;
+		// validate against the generator's own repo instead below.
+		t.Log("fresh-repo validation unexpectedly passed (IDs matched)")
+	}
+}
+
+func TestGenerateReliabilityOptimal(t *testing.T) {
+	engine := policy.NewEngine(
+		policy.Rule("critical", 10, "critical", policy.Effect{Key: "optimize", Value: "reliability"}),
+	)
+	g := NewGenerator(fixture(t), engine, Options{})
+	m, err := g.Generate("op.connect", expr.MapScope{"critical": true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Root.Children["op.stream"].Procedure.ID; got != "streamSolid" {
+		t.Errorf("reliability-optimal must pick streamSolid, got %s", got)
+	}
+}
+
+func TestPreferTagPolicy(t *testing.T) {
+	engine := policy.NewEngine(
+		policy.Rule("lan", 5, "network == 'lan'", policy.Effect{Key: "preferTag", Value: "transport=tcp"}),
+	)
+	g := NewGenerator(fixture(t), engine, Options{})
+	m, err := g.Generate("op.connect", expr.MapScope{"network": "lan"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Root.Children["op.stream"].Procedure.ID; got != "streamSolid" {
+		t.Errorf("tag preference must pick streamSolid (tcp), got %s", got)
+	}
+}
+
+func TestMaxCostConstraint(t *testing.T) {
+	engine := policy.NewEngine(
+		policy.Rule("tight", 5, "true", policy.Effect{Key: "maxCost", Value: 5.0}),
+	)
+	g := NewGenerator(fixture(t), engine, Options{})
+	_, err := g.Generate("op.connect", expr.MapScope{})
+	if !errors.Is(err, ErrNoConfiguration) {
+		t.Fatalf("want ErrNoConfiguration, got %v", err)
+	}
+}
+
+func TestNoCandidates(t *testing.T) {
+	tx := dsc.NewTaxonomy()
+	tx.MustAdd(&dsc.DSC{ID: "op.x", Domain: "d", Category: dsc.Operation})
+	g := NewGenerator(registry.NewRepository(tx), nil, Options{})
+	_, err := g.Generate("op.x", expr.MapScope{})
+	if !errors.Is(err, ErrNoConfiguration) {
+		t.Fatalf("want ErrNoConfiguration, got %v", err)
+	}
+}
+
+func TestUnresolvableDependency(t *testing.T) {
+	tx := dsc.NewTaxonomy()
+	tx.MustAdd(&dsc.DSC{ID: "op.a", Domain: "d", Category: dsc.Operation})
+	tx.MustAdd(&dsc.DSC{ID: "op.missing", Domain: "d", Category: dsc.Operation})
+	r := registry.NewRepository(tx)
+	r.MustAdd(&registry.Procedure{ID: "a", ClassifiedBy: "op.a", Dependencies: []string{"op.missing"}, Unit: eu.NewUnit("a")})
+	g := NewGenerator(r, nil, Options{})
+	_, err := g.Generate("op.a", expr.MapScope{})
+	if !errors.Is(err, ErrNoConfiguration) {
+		t.Fatalf("want ErrNoConfiguration, got %v", err)
+	}
+}
+
+func TestCycleAvoidance(t *testing.T) {
+	tx := dsc.NewTaxonomy()
+	tx.MustAdd(&dsc.DSC{ID: "op.a", Domain: "d", Category: dsc.Operation})
+	tx.MustAdd(&dsc.DSC{ID: "op.b", Domain: "d", Category: dsc.Operation})
+	r := registry.NewRepository(tx)
+	// a -> b -> a would be a cycle; a leaf alternative for op.a exists.
+	r.MustAdd(&registry.Procedure{ID: "a1", ClassifiedBy: "op.a", Dependencies: []string{"op.b"}, Cost: 1, Unit: eu.NewUnit("a1")})
+	r.MustAdd(&registry.Procedure{ID: "b1", ClassifiedBy: "op.b", Dependencies: []string{"op.a"}, Cost: 1, Unit: eu.NewUnit("b1")})
+	r.MustAdd(&registry.Procedure{ID: "a2", ClassifiedBy: "op.a", Cost: 100, Unit: eu.NewUnit("a2")})
+	g := NewGenerator(r, nil, Options{})
+	m, err := g.Generate("op.a", expr.MapScope{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a1 -> b1 -> a2 is valid (classifiers op.a, op.b, op.a? no — op.a
+	// repeats). So the only valid trees are a1->b1->X (X must avoid op.a:
+	// impossible) — wait, a2 is classified op.a which is on the path.
+	// Therefore the result must be the leaf a2 alone.
+	if m.Root.Procedure.ID != "a2" || m.Size != 1 {
+		t.Fatalf("cycle avoidance picked %s (size %d):\n%s", m.Root.Procedure.ID, m.Size, m)
+	}
+	if err := Validate(m, r, 16); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPureCycleFails(t *testing.T) {
+	tx := dsc.NewTaxonomy()
+	tx.MustAdd(&dsc.DSC{ID: "op.a", Domain: "d", Category: dsc.Operation})
+	tx.MustAdd(&dsc.DSC{ID: "op.b", Domain: "d", Category: dsc.Operation})
+	r := registry.NewRepository(tx)
+	r.MustAdd(&registry.Procedure{ID: "a1", ClassifiedBy: "op.a", Dependencies: []string{"op.b"}, Unit: eu.NewUnit("a1")})
+	r.MustAdd(&registry.Procedure{ID: "b1", ClassifiedBy: "op.b", Dependencies: []string{"op.a"}, Unit: eu.NewUnit("b1")})
+	g := NewGenerator(r, nil, Options{})
+	if _, err := g.Generate("op.a", expr.MapScope{}); !errors.Is(err, ErrNoConfiguration) {
+		t.Fatalf("want ErrNoConfiguration, got %v", err)
+	}
+}
+
+func TestCacheHitsAndInvalidate(t *testing.T) {
+	r := fixture(t)
+	g := NewGenerator(r, nil, Options{})
+	m1, err := g.Generate("op.connect", expr.MapScope{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := g.Generate("op.connect", expr.MapScope{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1 != m2 {
+		t.Error("second generation must be served from cache")
+	}
+	s := g.Stats()
+	if s.Generations != 1 || s.CacheHits != 1 {
+		t.Errorf("stats: %+v", s)
+	}
+	g.Invalidate()
+	if _, err := g.Generate("op.connect", expr.MapScope{}); err != nil {
+		t.Fatal(err)
+	}
+	if g.Stats().Generations != 2 {
+		t.Errorf("invalidate must force regeneration: %+v", g.Stats())
+	}
+}
+
+func TestCacheKeyedByDecision(t *testing.T) {
+	engine := policy.NewEngine(
+		policy.Rule("critical", 10, "critical", policy.Effect{Key: "optimize", Value: "reliability"}),
+	)
+	g := NewGenerator(fixture(t), engine, Options{})
+	m1, err := g.Generate("op.connect", expr.MapScope{"critical": false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := g.Generate("op.connect", expr.MapScope{"critical": true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1 == m2 {
+		t.Error("different policy decisions must not share cache entries")
+	}
+	if g.Stats().Generations != 2 {
+		t.Errorf("stats: %+v", g.Stats())
+	}
+}
+
+func TestDisableCache(t *testing.T) {
+	g := NewGenerator(fixture(t), nil, Options{DisableCache: true})
+	for i := 0; i < 3; i++ {
+		if _, err := g.Generate("op.connect", expr.MapScope{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := g.Stats()
+	if s.Generations != 3 || s.CacheHits != 0 {
+		t.Errorf("stats with cache disabled: %+v", s)
+	}
+}
+
+func TestValidateCatchesTampering(t *testing.T) {
+	r := fixture(t)
+	g := NewGenerator(r, nil, Options{})
+	m, err := g.Generate("op.connect", expr.MapScope{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(m, r, 16); err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(nil, r, 16); err == nil {
+		t.Error("nil model must fail")
+	}
+	// Unmatched dependency.
+	tampered := *m
+	root := *m.Root
+	root.Children = map[string]*Node{}
+	tampered.Root = &root
+	if err := Validate(&tampered, r, 16); err == nil {
+		t.Error("dependency count mismatch must fail")
+	}
+	// Procedure removed from repository.
+	if err := r.Remove("auth"); err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(m, r, 16); err == nil || !strings.Contains(err.Error(), "no longer in repository") {
+		t.Errorf("stale procedure must fail: %v", err)
+	}
+}
+
+func TestValidateWrongClassifier(t *testing.T) {
+	r := fixture(t)
+	g := NewGenerator(r, nil, Options{})
+	m, err := g.Generate("op.connect", expr.MapScope{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Root.Required = "op.stream" // root procedure no longer satisfies
+	if err := Validate(m, r, 16); err == nil || !strings.Contains(err.Error(), "does not satisfy") {
+		t.Errorf("got %v", err)
+	}
+}
+
+func TestModelString(t *testing.T) {
+	g := NewGenerator(fixture(t), nil, Options{})
+	m, err := g.Generate("op.connect", expr.MapScope{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := m.String()
+	for _, want := range []string{"intent op.connect", "connect", "streamCheap", "auth"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String missing %q:\n%s", want, s)
+		}
+	}
+}
+
+// chargeRecorder counts virtual time.
+type chargeRecorder struct{ total time.Duration }
+
+func (c *chargeRecorder) Charge(d time.Duration) { c.total += d }
+
+// traceBroker records commands.
+type traceBroker struct{ trace script.Trace }
+
+func (b *traceBroker) Invoke(cmd script.Command) error {
+	b.trace.Record(cmd)
+	return nil
+}
+
+func TestFramesExecuteViaMachine(t *testing.T) {
+	r := fixture(t)
+	// Give the connect procedure a body that calls its dependencies.
+	r.Get("connect").Unit = eu.NewUnit("connect",
+		eu.Call("op.signal"),
+		eu.Call("op.stream"),
+		eu.Invoke("exec_connect", "t"),
+	)
+	r.Get("signal").Unit = eu.NewUnit("signal",
+		eu.Call("op.auth"),
+		eu.Invoke("exec_signal", "t"),
+	)
+	g := NewGenerator(r, nil, Options{})
+	m, err := g.Generate("op.connect", expr.MapScope{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	broker := &traceBroker{}
+	ch := &chargeRecorder{}
+	machine := eu.NewMachine(broker, nil, ch, eu.Limits{})
+	if err := machine.Run(m.Frames(), nil); err != nil {
+		t.Fatal(err)
+	}
+	got := strings.Join(broker.trace.Lines(), ";")
+	want := "exec_auth t;exec_signal t;exec_streamCheap t;exec_connect t"
+	if got != want {
+		t.Errorf("execution order:\ngot  %q\nwant %q", got, want)
+	}
+	// Charges: 10+5+2+3 = 20 virtual ms.
+	if ch.total != 20*time.Millisecond {
+		t.Errorf("charged %v, want 20ms", ch.total)
+	}
+}
+
+func TestFramesUnmatchedDependency(t *testing.T) {
+	r := fixture(t)
+	r.Get("connect").Unit = eu.NewUnit("connect", eu.Call("op.ghost"))
+	g := NewGenerator(r, nil, Options{})
+	m, err := g.Generate("op.connect", expr.MapScope{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	machine := eu.NewMachine(&traceBroker{}, nil, nil, eu.Limits{})
+	err = machine.Run(m.Frames(), nil)
+	if err == nil || !strings.Contains(err.Error(), "not matched") {
+		t.Errorf("got %v", err)
+	}
+}
+
+func TestPolicyErrorPropagates(t *testing.T) {
+	engine := policy.NewEngine(policy.Rule("bad", 1, "mode > 1"))
+	g := NewGenerator(fixture(t), engine, Options{})
+	_, err := g.Generate("op.connect", expr.MapScope{"mode": "str"})
+	if err == nil || !strings.Contains(err.Error(), "selection policies") {
+		t.Errorf("got %v", err)
+	}
+}
+
+// randomRepo builds a layered random repository where procedures at layer i
+// may depend on DSCs of layer i+1; the structure is acyclic by construction
+// but exercises alternative-rich matching.
+func randomRepo(r *rand.Rand, layers, perLayer int) (*registry.Repository, string) {
+	tx := dsc.NewTaxonomy()
+	for l := 0; l < layers; l++ {
+		tx.MustAdd(&dsc.DSC{ID: fmt.Sprintf("op.l%d", l), Domain: "d", Category: dsc.Operation})
+	}
+	repo := registry.NewRepository(tx)
+	for l := 0; l < layers; l++ {
+		for i := 0; i < perLayer; i++ {
+			var deps []string
+			if l < layers-1 && r.Intn(3) > 0 {
+				deps = append(deps, fmt.Sprintf("op.l%d", l+1))
+			}
+			repo.MustAdd(&registry.Procedure{
+				ID:           fmt.Sprintf("p.l%d.%d", l, i),
+				ClassifiedBy: fmt.Sprintf("op.l%d", l),
+				Dependencies: deps,
+				Cost:         float64(1 + r.Intn(50)),
+				Reliability:  0.5 + r.Float64()/2,
+				Unit:         eu.NewUnit("u"),
+			})
+		}
+	}
+	return repo, "op.l0"
+}
+
+// Property: every successfully generated model passes Validate, and its
+// summary figures are internally consistent.
+func TestGeneratedModelsAlwaysValidProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		repo, goal := randomRepo(r, 2+r.Intn(4), 1+r.Intn(4))
+		g := NewGenerator(repo, nil, Options{})
+		m, err := g.Generate(goal, expr.MapScope{})
+		if err != nil {
+			return errors.Is(err, ErrNoConfiguration)
+		}
+		if Validate(m, repo, 16) != nil {
+			return false
+		}
+		cost, rel, size := summarize(m.Root)
+		return cost == m.Cost && rel == m.Reliability && size == m.Size
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: generation is deterministic — two generators over the same
+// repository yield identical models.
+func TestGenerationDeterministicProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r1 := rand.New(rand.NewSource(seed))
+		repoA, goal := randomRepo(r1, 3, 3)
+		r2 := rand.New(rand.NewSource(seed))
+		repoB, _ := randomRepo(r2, 3, 3)
+		gA := NewGenerator(repoA, nil, Options{})
+		gB := NewGenerator(repoB, nil, Options{})
+		mA, errA := gA.Generate(goal, expr.MapScope{})
+		mB, errB := gB.Generate(goal, expr.MapScope{})
+		if (errA == nil) != (errB == nil) {
+			return false
+		}
+		if errA != nil {
+			return true
+		}
+		return mA.String() == mB.String()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkGenerateColdCache(b *testing.B) {
+	repo := fixture(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g := NewGenerator(repo, nil, Options{DisableCache: true})
+		if _, err := g.Generate("op.connect", expr.MapScope{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGenerateWarmCache(b *testing.B) {
+	repo := fixture(b)
+	g := NewGenerator(repo, nil, Options{})
+	if _, err := g.Generate("op.connect", expr.MapScope{}); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.Generate("op.connect", expr.MapScope{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

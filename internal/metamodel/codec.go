@@ -1,0 +1,170 @@
+package metamodel
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// The JSON wire formats below are the repo's replacement for EMF's XMI
+// serialisation: stable, human-editable documents for metamodels and models
+// that the CLI tools (cmd/mddsmc, cmd/mddsm-run) consume.
+
+type jsonMetamodel struct {
+	Name    string      `json:"name"`
+	Enums   []jsonEnum  `json:"enums,omitempty"`
+	Classes []jsonClass `json:"classes"`
+}
+
+type jsonEnum struct {
+	Name     string   `json:"name"`
+	Literals []string `json:"literals"`
+}
+
+type jsonClass struct {
+	Name       string          `json:"name"`
+	Abstract   bool            `json:"abstract,omitempty"`
+	Super      string          `json:"super,omitempty"`
+	Attributes []jsonAttribute `json:"attributes,omitempty"`
+	References []jsonReference `json:"references,omitempty"`
+}
+
+type jsonAttribute struct {
+	Name     string `json:"name"`
+	Kind     string `json:"kind"`
+	EnumType string `json:"enumType,omitempty"`
+	Required bool   `json:"required,omitempty"`
+	Default  any    `json:"default,omitempty"`
+}
+
+type jsonReference struct {
+	Name        string `json:"name"`
+	Target      string `json:"target"`
+	Containment bool   `json:"containment,omitempty"`
+	Many        bool   `json:"many,omitempty"`
+	Required    bool   `json:"required,omitempty"`
+}
+
+// MarshalMetamodel renders a metamodel as indented JSON.
+func MarshalMetamodel(m *Metamodel) ([]byte, error) {
+	doc := jsonMetamodel{Name: m.Name}
+	for _, name := range m.EnumNames() {
+		e := m.Enum(name)
+		doc.Enums = append(doc.Enums, jsonEnum{Name: e.Name, Literals: e.Literals})
+	}
+	for _, name := range m.ClassNames() {
+		c := m.Class(name)
+		jc := jsonClass{Name: c.Name, Abstract: c.Abstract, Super: c.Super}
+		for _, a := range c.Attributes {
+			jc.Attributes = append(jc.Attributes, jsonAttribute{
+				Name: a.Name, Kind: a.Kind.String(), EnumType: a.EnumType,
+				Required: a.Required, Default: a.Default,
+			})
+		}
+		for _, r := range c.References {
+			jc.References = append(jc.References, jsonReference{
+				Name: r.Name, Target: r.Target, Containment: r.Containment,
+				Many: r.Many, Required: r.Required,
+			})
+		}
+		doc.Classes = append(doc.Classes, jc)
+	}
+	return json.MarshalIndent(doc, "", "  ")
+}
+
+// UnmarshalMetamodel parses a metamodel JSON document and validates it.
+func UnmarshalMetamodel(data []byte) (*Metamodel, error) {
+	var doc jsonMetamodel
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("parse metamodel: %w", err)
+	}
+	m := New(doc.Name)
+	for _, e := range doc.Enums {
+		if err := m.AddEnum(&Enum{Name: e.Name, Literals: e.Literals}); err != nil {
+			return nil, err
+		}
+	}
+	for _, jc := range doc.Classes {
+		c := &Class{Name: jc.Name, Abstract: jc.Abstract, Super: jc.Super}
+		for _, a := range jc.Attributes {
+			kind, err := kindFromString(a.Kind)
+			if err != nil {
+				return nil, fmt.Errorf("class %s attribute %s: %w", jc.Name, a.Name, err)
+			}
+			c.Attributes = append(c.Attributes, Attribute{
+				Name: a.Name, Kind: kind, EnumType: a.EnumType,
+				Required: a.Required, Default: a.Default,
+			})
+		}
+		for _, r := range jc.References {
+			c.References = append(c.References, Reference{
+				Name: r.Name, Target: r.Target, Containment: r.Containment,
+				Many: r.Many, Required: r.Required,
+			})
+		}
+		if err := m.AddClass(c); err != nil {
+			return nil, err
+		}
+	}
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("metamodel %s: %w", doc.Name, err)
+	}
+	return m, nil
+}
+
+type jsonModel struct {
+	Metamodel string       `json:"metamodel"`
+	Objects   []jsonObject `json:"objects"`
+}
+
+type jsonObject struct {
+	ID    string              `json:"id"`
+	Class string              `json:"class"`
+	Attrs map[string]any      `json:"attrs,omitempty"`
+	Refs  map[string][]string `json:"refs,omitempty"`
+}
+
+// MarshalModel renders a model as indented JSON, objects in insertion order.
+func MarshalModel(m *Model) ([]byte, error) {
+	doc := jsonModel{Metamodel: m.MetamodelName}
+	for _, o := range m.Objects() {
+		jo := jsonObject{ID: o.ID, Class: o.Class}
+		if names := o.AttrNames(); len(names) > 0 {
+			jo.Attrs = make(map[string]any, len(names))
+			for _, n := range names {
+				v, _ := o.Attr(n)
+				jo.Attrs[n] = v
+			}
+		}
+		if names := o.RefNames(); len(names) > 0 {
+			jo.Refs = make(map[string][]string, len(names))
+			for _, n := range names {
+				jo.Refs[n] = o.Refs(n)
+			}
+		}
+		doc.Objects = append(doc.Objects, jo)
+	}
+	return json.MarshalIndent(doc, "", "  ")
+}
+
+// UnmarshalModel parses a model JSON document. Conformance is NOT checked
+// here because the metamodel may not be at hand; call Model.Validate.
+func UnmarshalModel(data []byte) (*Model, error) {
+	var doc jsonModel
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("parse model: %w", err)
+	}
+	m := NewModel(doc.Metamodel)
+	for _, jo := range doc.Objects {
+		o := NewObject(jo.ID, jo.Class)
+		for k, v := range jo.Attrs {
+			o.SetAttr(k, v)
+		}
+		for k, ts := range jo.Refs {
+			o.SetRef(k, ts...)
+		}
+		if err := m.Add(o); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}

@@ -1,0 +1,43 @@
+package metamodel_test
+
+import (
+	"fmt"
+
+	"github.com/mddsm/mddsm/internal/metamodel"
+)
+
+// ExampleDiff shows the Synthesis layer's model-comparator substrate: the
+// difference between two model versions as an ordered change list.
+func ExampleDiff() {
+	oldM := metamodel.NewModel("app")
+	oldM.NewObject("s1", "Session").SetAttr("topic", "standup")
+
+	newM := oldM.Clone()
+	newM.Get("s1").SetAttr("topic", "retro")
+	newM.NewObject("st1", "Stream").SetAttr("media", "audio")
+	newM.Get("s1").AddRef("streams", "st1")
+
+	fmt.Println(metamodel.Diff(oldM, newM))
+	// Output:
+	// add-object st1:Stream
+	// set-attr st1.media <nil>->audio
+	// set-attr s1.topic standup->retro
+	// add-ref s1.streams -> st1
+}
+
+// ExampleModel_Validate shows conformance checking against a metamodel.
+func ExampleModel_Validate() {
+	mm := metamodel.New("app")
+	mm.MustAddClass(&metamodel.Class{Name: "Session",
+		Attributes: []metamodel.Attribute{
+			{Name: "topic", Kind: metamodel.KindString, Required: true},
+		},
+	})
+
+	m := metamodel.NewModel("app")
+	m.NewObject("s1", "Session") // missing the required topic
+	err := m.Validate(mm)
+	fmt.Println(err)
+	// Output:
+	// object s1 (Session): required attribute "topic" unset
+}

@@ -1,0 +1,51 @@
+package metamodel
+
+import (
+	"fmt"
+)
+
+// Merge weaves several models that describe different concerns of one
+// application into a single model (the weaving step the MD-DSM paper lists
+// as required for executing multiple related models simultaneously, §IX).
+//
+// Weaving rules:
+//   - objects present in only one input are copied;
+//   - objects sharing an ID join: their classes must agree, attribute
+//     values must not conflict (same attribute, different value), and
+//     reference targets are unioned (order: first model's targets first);
+//   - the result declares the given metamodel name; conformance is the
+//     caller's responsibility (weaving may legitimately produce an
+//     intermediate that only validates after all concerns are in).
+func Merge(metamodelName string, models ...*Model) (*Model, error) {
+	out := NewModel(metamodelName)
+	for mi, m := range models {
+		if m == nil {
+			return nil, fmt.Errorf("merge: model %d is nil", mi)
+		}
+		for _, o := range m.Objects() {
+			existing := out.Get(o.ID)
+			if existing == nil {
+				out.MustAdd(o.Clone())
+				continue
+			}
+			if existing.Class != o.Class {
+				return nil, fmt.Errorf("merge: object %q woven as both %s and %s",
+					o.ID, existing.Class, o.Class)
+			}
+			for _, name := range o.AttrNames() {
+				v, _ := o.Attr(name)
+				if prev, set := existing.Attr(name); set && prev != v {
+					return nil, fmt.Errorf("merge: object %q attribute %q conflicts: %v vs %v",
+						o.ID, name, prev, v)
+				}
+				existing.SetAttr(name, v)
+			}
+			for _, ref := range o.RefNames() {
+				for _, target := range o.Refs(ref) {
+					existing.AddRef(ref, target)
+				}
+			}
+		}
+	}
+	return out, nil
+}

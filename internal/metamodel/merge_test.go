@@ -1,0 +1,159 @@
+package metamodel
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMergeDisjoint(t *testing.T) {
+	a := NewModel("mm")
+	a.NewObject("x", "C").SetAttr("n", 1)
+	b := NewModel("mm")
+	b.NewObject("y", "C").SetAttr("n", 2)
+	out, err := Merge("mm", a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 2 || out.Get("x") == nil || out.Get("y") == nil {
+		t.Fatalf("merged: %v", out.IDs())
+	}
+	// The merge is a deep copy: mutating inputs must not leak.
+	a.Get("x").SetAttr("n", 99)
+	if out.Get("x").IntAttr("n") != 1 {
+		t.Error("merge must deep-copy objects")
+	}
+}
+
+func TestMergeJoinsSharedObjects(t *testing.T) {
+	base := NewModel("mm")
+	base.NewObject("s", "Session").SetAttr("topic", "standup").SetRef("participants", "a")
+	media := NewModel("mm")
+	media.NewObject("s", "Session").SetRef("participants", "b").SetRef("streams", "st")
+	media.NewObject("st", "Stream").SetAttr("media", "audio")
+
+	out, err := Merge("mm", base, media)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.Get("s")
+	if s.StringAttr("topic") != "standup" {
+		t.Error("attribute from the first concern lost")
+	}
+	if got := strings.Join(s.Refs("participants"), ","); got != "a,b" {
+		t.Errorf("reference union: %s", got)
+	}
+	if len(s.Refs("streams")) != 1 || out.Get("st") == nil {
+		t.Error("second concern's additions lost")
+	}
+}
+
+func TestMergeConflicts(t *testing.T) {
+	t.Run("class conflict", func(t *testing.T) {
+		a := NewModel("mm")
+		a.NewObject("x", "A")
+		b := NewModel("mm")
+		b.NewObject("x", "B")
+		if _, err := Merge("mm", a, b); err == nil || !strings.Contains(err.Error(), "woven as both") {
+			t.Errorf("got %v", err)
+		}
+	})
+	t.Run("attribute conflict", func(t *testing.T) {
+		a := NewModel("mm")
+		a.NewObject("x", "A").SetAttr("v", 1)
+		b := NewModel("mm")
+		b.NewObject("x", "A").SetAttr("v", 2)
+		if _, err := Merge("mm", a, b); err == nil || !strings.Contains(err.Error(), "conflicts") {
+			t.Errorf("got %v", err)
+		}
+	})
+	t.Run("agreeing attribute is fine", func(t *testing.T) {
+		a := NewModel("mm")
+		a.NewObject("x", "A").SetAttr("v", 1)
+		b := NewModel("mm")
+		b.NewObject("x", "A").SetAttr("v", 1)
+		if _, err := Merge("mm", a, b); err != nil {
+			t.Errorf("got %v", err)
+		}
+	})
+	t.Run("nil model", func(t *testing.T) {
+		if _, err := Merge("mm", nil); err == nil {
+			t.Error("nil input must fail")
+		}
+	})
+}
+
+// Property: merging a model with an empty model is identity, and merge
+// with itself is idempotent.
+func TestMergeIdentityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := newRand(seed)
+		m := randomModel(r, 1+r.Intn(10))
+		empty := NewModel("prop")
+		left, err := Merge("prop", m, empty)
+		if err != nil || !Equal(left, m) {
+			return false
+		}
+		right, err := Merge("prop", empty, m)
+		if err != nil || !Equal(right, m) {
+			return false
+		}
+		self, err := Merge("prop", m, m)
+		return err == nil && Equal(self, m)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: merge is associative on conflict-free inputs (disjoint ID
+// spaces guarantee that).
+func TestMergeAssociativeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := newRand(seed)
+		a := prefixedModel(r, "a", 1+r.Intn(5))
+		b := prefixedModel(r, "b", 1+r.Intn(5))
+		c := prefixedModel(r, "c", 1+r.Intn(5))
+		ab, err := Merge("prop", a, b)
+		if err != nil {
+			return false
+		}
+		abc1, err := Merge("prop", ab, c)
+		if err != nil {
+			return false
+		}
+		bc, err := Merge("prop", b, c)
+		if err != nil {
+			return false
+		}
+		abc2, err := Merge("prop", a, bc)
+		if err != nil {
+			return false
+		}
+		return Equal(abc1, abc2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// newRand seeds a math/rand source for the merge property tests.
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// prefixedModel builds a random model whose object IDs carry a unique
+// prefix, guaranteeing disjoint ID spaces across concerns.
+func prefixedModel(r *rand.Rand, prefix string, n int) *Model {
+	m := NewModel("prop")
+	for i := 0; i < n; i++ {
+		o := m.NewObject(fmt.Sprintf("%s%d", prefix, i), "Node")
+		if r.Intn(2) == 0 {
+			o.SetAttr("w", r.Intn(5))
+		}
+		if i > 0 && r.Intn(2) == 0 {
+			o.AddRef("next", fmt.Sprintf("%s%d", prefix, r.Intn(i)))
+		}
+	}
+	return m
+}

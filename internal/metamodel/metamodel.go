@@ -1,0 +1,466 @@
+// Package metamodel is a self-contained modelling framework: metamodels
+// (classes, attributes, references, enums, single inheritance, containment),
+// model instances, conformance validation, JSON serialisation and model
+// diffing.
+//
+// It replaces the Eclipse Modeling Framework (EMF/Ecore) that the MD-DSM
+// paper's prototype relied on. Every capability the paper needs from EMF is
+// present: reflective metamodel definition, model instantiation, conformance
+// checking, and the model-comparison operation that underpins the Synthesis
+// layer's model comparator.
+package metamodel
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Kind enumerates attribute value kinds.
+type Kind int
+
+// Attribute kinds. They start at 1 so the zero value is invalid and a
+// forgotten Kind is caught by Metamodel.Validate.
+const (
+	KindString Kind = iota + 1
+	KindInt
+	KindFloat
+	KindBool
+	KindEnum
+)
+
+// String returns the lowercase name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindString:
+		return "string"
+	case KindInt:
+		return "int"
+	case KindFloat:
+		return "float"
+	case KindBool:
+		return "bool"
+	case KindEnum:
+		return "enum"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// kindFromString is the inverse of Kind.String, used by the JSON codec.
+func kindFromString(s string) (Kind, error) {
+	switch s {
+	case "string":
+		return KindString, nil
+	case "int":
+		return KindInt, nil
+	case "float":
+		return KindFloat, nil
+	case "bool":
+		return KindBool, nil
+	case "enum":
+		return KindEnum, nil
+	default:
+		return 0, fmt.Errorf("unknown attribute kind %q", s)
+	}
+}
+
+// Attribute describes a scalar feature of a class.
+type Attribute struct {
+	Name     string
+	Kind     Kind
+	EnumType string // name of the enum when Kind == KindEnum
+	Required bool
+	Default  any // applied during validation when the attribute is unset
+}
+
+// Reference describes a link feature of a class.
+type Reference struct {
+	Name        string
+	Target      string // target class name
+	Containment bool   // target objects are owned by the source
+	Many        bool   // upper bound > 1
+	Required    bool   // lower bound 1
+}
+
+// Class describes a metamodel class. Classes support single inheritance via
+// Super and may be abstract (not instantiable).
+type Class struct {
+	Name       string
+	Abstract   bool
+	Super      string
+	Attributes []Attribute
+	References []Reference
+}
+
+// Enum is a named set of string literals.
+type Enum struct {
+	Name     string
+	Literals []string
+}
+
+// Has reports whether lit is a literal of the enum.
+func (e *Enum) Has(lit string) bool {
+	for _, l := range e.Literals {
+		if l == lit {
+			return true
+		}
+	}
+	return false
+}
+
+// Metamodel is a named collection of classes and enums.
+type Metamodel struct {
+	Name    string
+	classes map[string]*Class
+	enums   map[string]*Enum
+}
+
+// New returns an empty metamodel.
+func New(name string) *Metamodel {
+	return &Metamodel{
+		Name:    name,
+		classes: make(map[string]*Class),
+		enums:   make(map[string]*Enum),
+	}
+}
+
+// AddClass registers a class. It returns an error on duplicate names.
+func (m *Metamodel) AddClass(c *Class) error {
+	if c.Name == "" {
+		return fmt.Errorf("metamodel %s: class with empty name", m.Name)
+	}
+	if _, ok := m.classes[c.Name]; ok {
+		return fmt.Errorf("metamodel %s: duplicate class %q", m.Name, c.Name)
+	}
+	m.classes[c.Name] = c
+	return nil
+}
+
+// MustAddClass is AddClass that panics on error. It is intended for
+// package-level metamodel construction where a failure is a programming bug.
+func (m *Metamodel) MustAddClass(c *Class) *Class {
+	if err := m.AddClass(c); err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// AddEnum registers an enum. It returns an error on duplicate names.
+func (m *Metamodel) AddEnum(e *Enum) error {
+	if e.Name == "" {
+		return fmt.Errorf("metamodel %s: enum with empty name", m.Name)
+	}
+	if _, ok := m.enums[e.Name]; ok {
+		return fmt.Errorf("metamodel %s: duplicate enum %q", m.Name, e.Name)
+	}
+	m.enums[e.Name] = e
+	return nil
+}
+
+// MustAddEnum is AddEnum that panics on error.
+func (m *Metamodel) MustAddEnum(e *Enum) *Enum {
+	if err := m.AddEnum(e); err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// Class returns the named class, or nil if absent.
+func (m *Metamodel) Class(name string) *Class { return m.classes[name] }
+
+// Enum returns the named enum, or nil if absent.
+func (m *Metamodel) Enum(name string) *Enum { return m.enums[name] }
+
+// ClassNames returns all class names in sorted order.
+func (m *Metamodel) ClassNames() []string {
+	names := make([]string, 0, len(m.classes))
+	for n := range m.classes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// EnumNames returns all enum names in sorted order.
+func (m *Metamodel) EnumNames() []string {
+	names := make([]string, 0, len(m.enums))
+	for n := range m.enums {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// IsSubclassOf reports whether class sub equals class super or inherits from
+// it (transitively). Unknown classes are never subclasses.
+func (m *Metamodel) IsSubclassOf(sub, super string) bool {
+	for c := m.classes[sub]; c != nil; c = m.classes[c.Super] {
+		if c.Name == super {
+			return true
+		}
+		if c.Super == "" {
+			return false
+		}
+	}
+	return false
+}
+
+// AllAttributes returns the attributes of the class including inherited ones,
+// base-most first. It returns nil for unknown classes.
+func (m *Metamodel) AllAttributes(class string) []Attribute {
+	chain := m.superChain(class)
+	if chain == nil {
+		return nil
+	}
+	var out []Attribute
+	for i := len(chain) - 1; i >= 0; i-- {
+		out = append(out, chain[i].Attributes...)
+	}
+	return out
+}
+
+// AllReferences returns the references of the class including inherited ones,
+// base-most first. It returns nil for unknown classes.
+func (m *Metamodel) AllReferences(class string) []Reference {
+	chain := m.superChain(class)
+	if chain == nil {
+		return nil
+	}
+	var out []Reference
+	for i := len(chain) - 1; i >= 0; i-- {
+		out = append(out, chain[i].References...)
+	}
+	return out
+}
+
+// FindAttribute resolves a named attribute on class, searching the
+// inheritance chain. The boolean result reports whether it was found.
+func (m *Metamodel) FindAttribute(class, name string) (Attribute, bool) {
+	for _, a := range m.AllAttributes(class) {
+		if a.Name == name {
+			return a, true
+		}
+	}
+	return Attribute{}, false
+}
+
+// FindReference resolves a named reference on class, searching the
+// inheritance chain. The boolean result reports whether it was found.
+func (m *Metamodel) FindReference(class, name string) (Reference, bool) {
+	for _, r := range m.AllReferences(class) {
+		if r.Name == name {
+			return r, true
+		}
+	}
+	return Reference{}, false
+}
+
+// superChain returns the class and its ancestors, derived-most first. It
+// returns nil for unknown classes or on an inheritance cycle (Validate
+// reports cycles properly; here we just refuse to loop).
+func (m *Metamodel) superChain(class string) []*Class {
+	var chain []*Class
+	seen := make(map[string]bool)
+	for c := m.classes[class]; c != nil; c = m.classes[c.Super] {
+		if seen[c.Name] {
+			return nil
+		}
+		seen[c.Name] = true
+		chain = append(chain, c)
+		if c.Super == "" {
+			break
+		}
+	}
+	if len(chain) == 0 {
+		return nil
+	}
+	return chain
+}
+
+// Validate checks the structural well-formedness of the metamodel itself:
+// resolvable supertypes, acyclic inheritance, resolvable reference targets
+// and enum types, sane attribute kinds, and feature-name uniqueness across
+// each inheritance chain.
+func (m *Metamodel) Validate() error {
+	var errs errorList
+	for _, name := range m.ClassNames() {
+		c := m.classes[name]
+		if c.Super != "" && m.classes[c.Super] == nil {
+			errs.addf("class %s: unknown supertype %q", name, c.Super)
+		}
+		if m.hasInheritanceCycle(name) {
+			errs.addf("class %s: inheritance cycle", name)
+			continue
+		}
+		featSeen := make(map[string]string)
+		for _, a := range m.AllAttributes(name) {
+			if a.Name == "" {
+				errs.addf("class %s: attribute with empty name", name)
+				continue
+			}
+			if prev, dup := featSeen[a.Name]; dup {
+				errs.addf("class %s: feature %q declared twice (%s)", name, a.Name, prev)
+			}
+			featSeen[a.Name] = "attribute"
+			switch a.Kind {
+			case KindString, KindInt, KindFloat, KindBool:
+			case KindEnum:
+				if m.enums[a.EnumType] == nil {
+					errs.addf("class %s: attribute %s: unknown enum %q", name, a.Name, a.EnumType)
+				}
+			default:
+				errs.addf("class %s: attribute %s: invalid kind %v", name, a.Name, a.Kind)
+			}
+			if a.Default != nil {
+				if err := m.checkValue(a, a.Default); err != nil {
+					errs.addf("class %s: attribute %s: bad default: %v", name, a.Name, err)
+				}
+			}
+		}
+		for _, r := range m.AllReferences(name) {
+			if r.Name == "" {
+				errs.addf("class %s: reference with empty name", name)
+				continue
+			}
+			if prev, dup := featSeen[r.Name]; dup {
+				errs.addf("class %s: feature %q declared twice (%s)", name, r.Name, prev)
+			}
+			featSeen[r.Name] = "reference"
+			if m.classes[r.Target] == nil {
+				errs.addf("class %s: reference %s: unknown target class %q", name, r.Name, r.Target)
+			}
+		}
+	}
+	return errs.err()
+}
+
+func (m *Metamodel) hasInheritanceCycle(class string) bool {
+	seen := make(map[string]bool)
+	for c := m.classes[class]; c != nil; c = m.classes[c.Super] {
+		if seen[c.Name] {
+			return true
+		}
+		seen[c.Name] = true
+		if c.Super == "" {
+			return false
+		}
+	}
+	return false
+}
+
+// checkValue verifies that v is assignable to attribute a.
+func (m *Metamodel) checkValue(a Attribute, v any) error {
+	switch a.Kind {
+	case KindString:
+		if _, ok := v.(string); !ok {
+			return fmt.Errorf("want string, got %T", v)
+		}
+	case KindInt:
+		// float64 is accepted when integral because JSON decodes all
+		// numbers as float64.
+		if _, err := NormalizeValue(KindInt, v); err != nil {
+			return err
+		}
+	case KindFloat:
+		switch v.(type) {
+		case float64, int, int64:
+		default:
+			return fmt.Errorf("want float, got %T", v)
+		}
+	case KindBool:
+		if _, ok := v.(bool); !ok {
+			return fmt.Errorf("want bool, got %T", v)
+		}
+	case KindEnum:
+		s, ok := v.(string)
+		if !ok {
+			return fmt.Errorf("want enum literal string, got %T", v)
+		}
+		e := m.enums[a.EnumType]
+		if e == nil {
+			return fmt.Errorf("unknown enum %q", a.EnumType)
+		}
+		if !e.Has(s) {
+			return fmt.Errorf("%q is not a literal of enum %s", s, a.EnumType)
+		}
+	default:
+		return fmt.Errorf("invalid kind %v", a.Kind)
+	}
+	return nil
+}
+
+// NormalizeValue coerces v to the canonical in-memory representation for
+// attribute kind k (int64 for ints, float64 for floats). It returns an error
+// when v cannot represent the kind.
+func NormalizeValue(k Kind, v any) (any, error) {
+	switch k {
+	case KindString, KindEnum:
+		s, ok := v.(string)
+		if !ok {
+			return nil, fmt.Errorf("want string, got %T", v)
+		}
+		return s, nil
+	case KindInt:
+		switch n := v.(type) {
+		case int:
+			return int64(n), nil
+		case int64:
+			return n, nil
+		case float64:
+			if n == float64(int64(n)) {
+				return int64(n), nil
+			}
+			return nil, fmt.Errorf("non-integral value %v for int attribute", n)
+		default:
+			return nil, fmt.Errorf("want int, got %T", v)
+		}
+	case KindFloat:
+		switch n := v.(type) {
+		case float64:
+			return n, nil
+		case int:
+			return float64(n), nil
+		case int64:
+			return float64(n), nil
+		default:
+			return nil, fmt.Errorf("want float, got %T", v)
+		}
+	case KindBool:
+		b, ok := v.(bool)
+		if !ok {
+			return nil, fmt.Errorf("want bool, got %T", v)
+		}
+		return b, nil
+	default:
+		return nil, fmt.Errorf("invalid kind %v", k)
+	}
+}
+
+// errorList accumulates validation problems and renders them as one error.
+type errorList struct {
+	msgs []string
+}
+
+func (e *errorList) addf(format string, args ...any) {
+	e.msgs = append(e.msgs, fmt.Sprintf(format, args...))
+}
+
+func (e *errorList) err() error {
+	if len(e.msgs) == 0 {
+		return nil
+	}
+	return &ValidationError{Problems: e.msgs}
+}
+
+// ValidationError reports one or more validation problems.
+type ValidationError struct {
+	Problems []string
+}
+
+// Error implements error.
+func (e *ValidationError) Error() string {
+	if len(e.Problems) == 1 {
+		return e.Problems[0]
+	}
+	return fmt.Sprintf("%d problems: %s (and %d more)", len(e.Problems), e.Problems[0], len(e.Problems)-1)
+}

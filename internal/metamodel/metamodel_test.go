@@ -1,0 +1,546 @@
+package metamodel
+
+import (
+	"strings"
+	"testing"
+)
+
+// libraryMM builds a small metamodel used across tests.
+func libraryMM(t *testing.T) *Metamodel {
+	t.Helper()
+	m := New("library")
+	m.MustAddEnum(&Enum{Name: "Genre", Literals: []string{"fiction", "science", "history"}})
+	m.MustAddClass(&Class{Name: "Named", Abstract: true, Attributes: []Attribute{
+		{Name: "name", Kind: KindString, Required: true},
+	}})
+	m.MustAddClass(&Class{Name: "Library", Super: "Named", References: []Reference{
+		{Name: "books", Target: "Book", Containment: true, Many: true},
+		{Name: "members", Target: "Member", Containment: true, Many: true},
+	}})
+	m.MustAddClass(&Class{Name: "Book", Super: "Named", Attributes: []Attribute{
+		{Name: "genre", Kind: KindEnum, EnumType: "Genre", Required: true},
+		{Name: "pages", Kind: KindInt, Default: 100},
+		{Name: "rating", Kind: KindFloat},
+		{Name: "lent", Kind: KindBool, Default: false},
+	}, References: []Reference{
+		{Name: "borrower", Target: "Member"},
+	}})
+	m.MustAddClass(&Class{Name: "Member", Super: "Named"})
+	if err := m.Validate(); err != nil {
+		t.Fatalf("libraryMM should validate: %v", err)
+	}
+	return m
+}
+
+func TestMetamodelValidateOK(t *testing.T) {
+	libraryMM(t)
+}
+
+func TestMetamodelDuplicateClass(t *testing.T) {
+	m := New("x")
+	if err := m.AddClass(&Class{Name: "A"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddClass(&Class{Name: "A"}); err == nil {
+		t.Fatal("want duplicate-class error")
+	}
+}
+
+func TestMetamodelDuplicateEnum(t *testing.T) {
+	m := New("x")
+	if err := m.AddEnum(&Enum{Name: "E", Literals: []string{"a"}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddEnum(&Enum{Name: "E"}); err == nil {
+		t.Fatal("want duplicate-enum error")
+	}
+}
+
+func TestMetamodelValidateErrors(t *testing.T) {
+	tests := []struct {
+		name  string
+		build func(m *Metamodel)
+		want  string
+	}{
+		{
+			name: "unknown supertype",
+			build: func(m *Metamodel) {
+				m.MustAddClass(&Class{Name: "A", Super: "Missing"})
+			},
+			want: "unknown supertype",
+		},
+		{
+			name: "inheritance cycle",
+			build: func(m *Metamodel) {
+				m.MustAddClass(&Class{Name: "A", Super: "B"})
+				m.MustAddClass(&Class{Name: "B", Super: "A"})
+			},
+			want: "inheritance cycle",
+		},
+		{
+			name: "unknown reference target",
+			build: func(m *Metamodel) {
+				m.MustAddClass(&Class{Name: "A", References: []Reference{{Name: "r", Target: "Nope"}}})
+			},
+			want: "unknown target class",
+		},
+		{
+			name: "unknown enum",
+			build: func(m *Metamodel) {
+				m.MustAddClass(&Class{Name: "A", Attributes: []Attribute{
+					{Name: "a", Kind: KindEnum, EnumType: "Nope"},
+				}})
+			},
+			want: "unknown enum",
+		},
+		{
+			name: "invalid kind",
+			build: func(m *Metamodel) {
+				m.MustAddClass(&Class{Name: "A", Attributes: []Attribute{{Name: "a"}}})
+			},
+			want: "invalid kind",
+		},
+		{
+			name: "duplicate feature across hierarchy",
+			build: func(m *Metamodel) {
+				m.MustAddClass(&Class{Name: "A", Attributes: []Attribute{{Name: "x", Kind: KindInt}}})
+				m.MustAddClass(&Class{Name: "B", Super: "A", Attributes: []Attribute{{Name: "x", Kind: KindInt}}})
+			},
+			want: "declared twice",
+		},
+		{
+			name: "bad default",
+			build: func(m *Metamodel) {
+				m.MustAddClass(&Class{Name: "A", Attributes: []Attribute{
+					{Name: "a", Kind: KindInt, Default: "nope"},
+				}})
+			},
+			want: "bad default",
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			m := New("x")
+			tt.build(m)
+			err := m.Validate()
+			if err == nil {
+				t.Fatalf("want error containing %q, got nil", tt.want)
+			}
+			var ve *ValidationError
+			if !asValidation(err, &ve) {
+				t.Fatalf("want *ValidationError, got %T", err)
+			}
+			if !containsProblem(ve, tt.want) {
+				t.Fatalf("want problem containing %q, got %v", tt.want, ve.Problems)
+			}
+		})
+	}
+}
+
+func asValidation(err error, out **ValidationError) bool {
+	ve, ok := err.(*ValidationError)
+	if ok {
+		*out = ve
+	}
+	return ok
+}
+
+func containsProblem(ve *ValidationError, substr string) bool {
+	for _, p := range ve.Problems {
+		if strings.Contains(p, substr) {
+			return true
+		}
+	}
+	return false
+}
+
+func TestSubclassAndFeatureResolution(t *testing.T) {
+	m := libraryMM(t)
+	if !m.IsSubclassOf("Book", "Named") {
+		t.Error("Book should be a subclass of Named")
+	}
+	if !m.IsSubclassOf("Book", "Book") {
+		t.Error("a class is a subclass of itself")
+	}
+	if m.IsSubclassOf("Named", "Book") {
+		t.Error("Named must not be a subclass of Book")
+	}
+	if m.IsSubclassOf("Nope", "Named") {
+		t.Error("unknown class is never a subclass")
+	}
+	attrs := m.AllAttributes("Book")
+	if len(attrs) != 5 {
+		t.Fatalf("Book should have 5 attributes (1 inherited), got %d", len(attrs))
+	}
+	if attrs[0].Name != "name" {
+		t.Errorf("inherited attribute should come first, got %q", attrs[0].Name)
+	}
+	if _, ok := m.FindAttribute("Book", "genre"); !ok {
+		t.Error("genre should resolve on Book")
+	}
+	if _, ok := m.FindAttribute("Book", "nope"); ok {
+		t.Error("nope should not resolve")
+	}
+	if r, ok := m.FindReference("Library", "books"); !ok || !r.Containment {
+		t.Error("books should resolve as a containment reference")
+	}
+}
+
+func sampleModel(t *testing.T) *Model {
+	t.Helper()
+	m := NewModel("library")
+	lib := m.NewObject("lib", "Library")
+	lib.SetAttr("name", "City Library")
+	lib.SetRef("books", "b1", "b2")
+	lib.SetRef("members", "m1")
+	m.NewObject("b1", "Book").
+		SetAttr("name", "Dune").
+		SetAttr("genre", "fiction").
+		SetAttr("pages", 412).
+		SetRef("borrower", "m1")
+	m.NewObject("b2", "Book").
+		SetAttr("name", "Cosmos").
+		SetAttr("genre", "science").
+		SetAttr("rating", 4.5)
+	m.NewObject("m1", "Member").SetAttr("name", "Ada")
+	return m
+}
+
+func TestModelValidateOK(t *testing.T) {
+	mm := libraryMM(t)
+	m := sampleModel(t)
+	if err := m.Validate(mm); err != nil {
+		t.Fatalf("model should validate: %v", err)
+	}
+	// Defaults applied.
+	if got := m.Get("b2").IntAttr("pages"); got != 100 {
+		t.Errorf("default pages: got %d, want 100", got)
+	}
+	if lent, ok := m.Get("b1").Attr("lent"); !ok || lent != false {
+		t.Errorf("default lent: got %v,%v", lent, ok)
+	}
+}
+
+func TestModelValidateErrors(t *testing.T) {
+	mm := libraryMM(t)
+	tests := []struct {
+		name  string
+		build func(m *Model)
+		want  string
+	}{
+		{
+			name:  "unknown class",
+			build: func(m *Model) { m.NewObject("x", "Nope") },
+			want:  "unknown class",
+		},
+		{
+			name:  "abstract class",
+			build: func(m *Model) { m.NewObject("x", "Named").SetAttr("name", "n") },
+			want:  "is abstract",
+		},
+		{
+			name:  "missing required attr",
+			build: func(m *Model) { m.NewObject("x", "Member") },
+			want:  "required attribute",
+		},
+		{
+			name: "unknown attr",
+			build: func(m *Model) {
+				m.NewObject("x", "Member").SetAttr("name", "n").SetAttr("zzz", 1)
+			},
+			want: "unknown attribute",
+		},
+		{
+			name: "wrong attr type",
+			build: func(m *Model) {
+				m.NewObject("x", "Member").SetAttr("name", 42)
+			},
+			want: "want string",
+		},
+		{
+			name: "bad enum literal",
+			build: func(m *Model) {
+				m.NewObject("x", "Book").SetAttr("name", "n").SetAttr("genre", "poetry")
+			},
+			want: "not a literal",
+		},
+		{
+			name: "dangling reference",
+			build: func(m *Model) {
+				m.NewObject("x", "Book").SetAttr("name", "n").SetAttr("genre", "fiction").
+					SetRef("borrower", "ghost")
+			},
+			want: "dangling target",
+		},
+		{
+			name: "wrong target class",
+			build: func(m *Model) {
+				m.NewObject("x", "Book").SetAttr("name", "n").SetAttr("genre", "fiction").
+					SetRef("borrower", "y")
+				m.NewObject("y", "Book").SetAttr("name", "n2").SetAttr("genre", "fiction")
+			},
+			want: "want Member",
+		},
+		{
+			name: "cardinality",
+			build: func(m *Model) {
+				m.NewObject("x", "Book").SetAttr("name", "n").SetAttr("genre", "fiction").
+					SetRef("borrower", "y", "z")
+				m.NewObject("y", "Member").SetAttr("name", "a")
+				m.NewObject("z", "Member").SetAttr("name", "b")
+			},
+			want: "single-valued",
+		},
+		{
+			name: "double containment",
+			build: func(m *Model) {
+				m.NewObject("l1", "Library").SetAttr("name", "a").SetRef("books", "b")
+				m.NewObject("l2", "Library").SetAttr("name", "b").SetRef("books", "b")
+				m.NewObject("b", "Book").SetAttr("name", "n").SetAttr("genre", "fiction")
+			},
+			want: "contained by both",
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			m := NewModel("library")
+			tt.build(m)
+			err := m.Validate(mm)
+			if err == nil {
+				t.Fatalf("want error containing %q", tt.want)
+			}
+			var ve *ValidationError
+			if !asValidation(err, &ve) {
+				t.Fatalf("want *ValidationError, got %T", err)
+			}
+			if !containsProblem(ve, tt.want) {
+				t.Fatalf("want problem containing %q, got %v", tt.want, ve.Problems)
+			}
+		})
+	}
+}
+
+func TestContainmentCycle(t *testing.T) {
+	mm := New("cyc")
+	mm.MustAddClass(&Class{Name: "Node", References: []Reference{
+		{Name: "child", Target: "Node", Containment: true, Many: true},
+	}})
+	if err := mm.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	m := NewModel("cyc")
+	m.NewObject("a", "Node").SetRef("child", "b")
+	m.NewObject("b", "Node").SetRef("child", "a")
+	err := m.Validate(mm)
+	if err == nil || !strings.Contains(err.Error(), "containment cycle") {
+		t.Fatalf("want containment cycle error, got %v", err)
+	}
+}
+
+func TestObjectAccessors(t *testing.T) {
+	o := NewObject("x", "C")
+	o.SetAttr("i", 7).SetAttr("f", 2.5).SetAttr("b", true).SetAttr("s", "hi")
+	if o.IntAttr("i") != 7 {
+		t.Error("IntAttr")
+	}
+	if o.FloatAttr("f") != 2.5 {
+		t.Error("FloatAttr")
+	}
+	if !o.BoolAttr("b") {
+		t.Error("BoolAttr")
+	}
+	if o.StringAttr("s") != "hi" {
+		t.Error("StringAttr")
+	}
+	// Cross-kind coercion in accessors.
+	if o.FloatAttr("i") != 7.0 {
+		t.Error("FloatAttr on int")
+	}
+	if o.IntAttr("f") != 2 {
+		t.Error("IntAttr on float truncates")
+	}
+	// Unset values yield zero values.
+	if o.IntAttr("nope") != 0 || o.StringAttr("nope") != "" || o.BoolAttr("nope") {
+		t.Error("unset attribute accessors should return zero values")
+	}
+	o.AddRef("r", "a").AddRef("r", "b").AddRef("r", "a")
+	if got := o.Refs("r"); len(got) != 2 {
+		t.Errorf("AddRef must dedupe: %v", got)
+	}
+	o.RemoveRef("r", "a")
+	if got := o.Refs("r"); len(got) != 1 || got[0] != "b" {
+		t.Errorf("RemoveRef: %v", got)
+	}
+	if o.Ref("r") != "b" {
+		t.Error("Ref single")
+	}
+	if o.Ref("empty") != "" {
+		t.Error("Ref on empty")
+	}
+}
+
+func TestModelOperations(t *testing.T) {
+	m := sampleModel(t)
+	if m.Len() != 4 {
+		t.Fatalf("Len: %d", m.Len())
+	}
+	if err := m.Add(NewObject("lib", "Library")); err == nil {
+		t.Error("duplicate ID must error")
+	}
+	if err := m.Add(NewObject("", "Library")); err == nil {
+		t.Error("empty ID must error")
+	}
+	if err := m.Delete("ghost"); err == nil {
+		t.Error("deleting absent object must error")
+	}
+	if err := m.Delete("b2"); err != nil {
+		t.Error(err)
+	}
+	if m.Get("b2") != nil {
+		t.Error("b2 should be gone")
+	}
+	if got := len(m.ObjectsOf("Book")); got != 1 {
+		t.Errorf("ObjectsOf(Book): %d", got)
+	}
+	mm := libraryMM(t)
+	if got := len(m.ObjectsKindOf(mm, "Named")); got != 3 {
+		t.Errorf("ObjectsKindOf(Named): %d", got)
+	}
+	lib := m.Get("lib")
+	if got := m.Resolve(lib, "books"); len(got) != 1 || got[0].ID != "b1" {
+		t.Errorf("Resolve skips dangling: %v", got)
+	}
+	if m.ResolveOne(m.Get("b1"), "borrower").ID != "m1" {
+		t.Error("ResolveOne")
+	}
+	if m.ResolveOne(lib, "nothing") != nil {
+		t.Error("ResolveOne on unset ref")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	m := sampleModel(t)
+	c := m.Clone()
+	c.Get("b1").SetAttr("name", "Changed")
+	c.Get("lib").AddRef("books", "zzz")
+	if m.Get("b1").StringAttr("name") != "Dune" {
+		t.Error("clone mutated original attr")
+	}
+	if len(m.Get("lib").Refs("books")) != 2 {
+		t.Error("clone mutated original refs")
+	}
+	if !Equal(m, m.Clone()) {
+		t.Error("fresh clone must be Equal")
+	}
+}
+
+func TestMetamodelCodecRoundtrip(t *testing.T) {
+	mm := libraryMM(t)
+	data, err := MarshalMetamodel(mm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalMetamodel(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := back.ClassNames(), mm.ClassNames(); strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Errorf("classes: got %v want %v", got, want)
+	}
+	b := back.Class("Book")
+	if len(b.Attributes) != 4 || b.Super != "Named" {
+		t.Errorf("Book round trip: %+v", b)
+	}
+	if a, _ := back.FindAttribute("Book", "pages"); a.Default == nil {
+		t.Error("default lost in round trip")
+	}
+	if e := back.Enum("Genre"); e == nil || !e.Has("history") {
+		t.Error("enum lost in round trip")
+	}
+}
+
+func TestModelCodecRoundtrip(t *testing.T) {
+	mm := libraryMM(t)
+	m := sampleModel(t)
+	if err := m.Validate(mm); err != nil {
+		t.Fatal(err)
+	}
+	data, err := MarshalModel(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalModel(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := back.Validate(mm); err != nil {
+		t.Fatalf("round-tripped model should validate: %v", err)
+	}
+	if !Equal(m, back) {
+		t.Errorf("round trip not equal:\n%v\nvs\n%v", m.Objects(), back.Objects())
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	if _, err := UnmarshalMetamodel([]byte("{")); err == nil {
+		t.Error("bad JSON must error")
+	}
+	if _, err := UnmarshalMetamodel([]byte(`{"name":"x","classes":[{"name":"A","attributes":[{"name":"a","kind":"zzz"}]}]}`)); err == nil {
+		t.Error("bad kind must error")
+	}
+	if _, err := UnmarshalModel([]byte("[")); err == nil {
+		t.Error("bad model JSON must error")
+	}
+	if _, err := UnmarshalModel([]byte(`{"metamodel":"x","objects":[{"id":"a","class":"C"},{"id":"a","class":"C"}]}`)); err == nil {
+		t.Error("duplicate IDs must error")
+	}
+}
+
+func TestNormalizeValue(t *testing.T) {
+	tests := []struct {
+		kind Kind
+		in   any
+		out  any
+		ok   bool
+	}{
+		{KindInt, 5, int64(5), true},
+		{KindInt, int64(5), int64(5), true},
+		{KindInt, 5.0, int64(5), true},
+		{KindInt, 5.5, nil, false},
+		{KindInt, "5", nil, false},
+		{KindFloat, 5, 5.0, true},
+		{KindFloat, 2.5, 2.5, true},
+		{KindFloat, "x", nil, false},
+		{KindString, "a", "a", true},
+		{KindString, 1, nil, false},
+		{KindBool, true, true, true},
+		{KindBool, "true", nil, false},
+		{KindEnum, "lit", "lit", true},
+		{Kind(99), "x", nil, false},
+	}
+	for _, tt := range tests {
+		got, err := NormalizeValue(tt.kind, tt.in)
+		if tt.ok && (err != nil || got != tt.out) {
+			t.Errorf("NormalizeValue(%v, %v) = %v, %v; want %v", tt.kind, tt.in, got, err, tt.out)
+		}
+		if !tt.ok && err == nil {
+			t.Errorf("NormalizeValue(%v, %v) should fail", tt.kind, tt.in)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	kinds := []Kind{KindString, KindInt, KindFloat, KindBool, KindEnum}
+	for _, k := range kinds {
+		back, err := kindFromString(k.String())
+		if err != nil || back != k {
+			t.Errorf("kind round trip %v: %v, %v", k, back, err)
+		}
+	}
+	if !strings.Contains(Kind(42).String(), "42") {
+		t.Error("unknown kind String")
+	}
+	if _, err := kindFromString("zzz"); err == nil {
+		t.Error("unknown kind name must error")
+	}
+}

@@ -1,0 +1,205 @@
+package policy
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/mddsm/mddsm/internal/expr"
+)
+
+func TestContextBasics(t *testing.T) {
+	c := NewContext()
+	c.Set("bandwidth", 80)
+	c.Set("mode", "audio")
+	if v, ok := c.Get("bandwidth"); !ok || v != 80 {
+		t.Error("Get")
+	}
+	if _, ok := c.Get("ghost"); ok {
+		t.Error("Get absent")
+	}
+	snap := c.Snapshot()
+	c.Set("bandwidth", 10)
+	if v, _ := snap.Lookup("bandwidth"); v != 80 {
+		t.Error("snapshot must be isolated from later writes")
+	}
+	c.Delete("mode")
+	if _, ok := c.Get("mode"); ok {
+		t.Error("Delete")
+	}
+}
+
+func TestContextConcurrency(t *testing.T) {
+	c := NewContext()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				c.Set("k", n)
+				c.Get("k")
+				c.Snapshot()
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+func TestDecidePriorityOrder(t *testing.T) {
+	e := NewEngine(
+		Rule("low", 1, "true", Effect{Key: "case", Value: "action"}),
+		Rule("high", 10, "bandwidth < 50", Effect{Key: "case", Value: "intent"}),
+	)
+	d, err := e.Decide(expr.MapScope{"bandwidth": 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.String("case", ""); got != "intent" {
+		t.Errorf("high-priority policy must win: %q", got)
+	}
+	if applied := d.Applied(); len(applied) != 2 || applied[0] != "high" {
+		t.Errorf("applied: %v", applied)
+	}
+
+	d, err = e.Decide(expr.MapScope{"bandwidth": 90})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.String("case", ""); got != "action" {
+		t.Errorf("fallback policy: %q", got)
+	}
+}
+
+func TestDecideTieBreakByName(t *testing.T) {
+	e := NewEngine(
+		Rule("b", 5, "true", Effect{Key: "k", Value: "from-b"}),
+		Rule("a", 5, "true", Effect{Key: "k", Value: "from-a"}),
+	)
+	if got := e.Names(); got[0] != "a" {
+		t.Errorf("names order: %v", got)
+	}
+	d, err := e.Decide(expr.MapScope{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.String("k", ""); got != "from-a" {
+		t.Errorf("tie break: %q", got)
+	}
+}
+
+func TestUnboundConditionSkipsPolicy(t *testing.T) {
+	e := NewEngine(
+		Rule("needs-var", 10, "ghost > 1", Effect{Key: "k", Value: "x"}),
+		Rule("default", 1, "true", Effect{Key: "k", Value: "fallback"}),
+	)
+	d, err := e.Decide(expr.MapScope{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.String("k", ""); got != "fallback" {
+		t.Errorf("unbound condition must be skipped: %q", got)
+	}
+}
+
+func TestTypeErrorAborts(t *testing.T) {
+	e := NewEngine(Rule("bad", 1, "mode > 3"))
+	_, err := e.Decide(expr.MapScope{"mode": "audio"})
+	if err == nil || !strings.Contains(err.Error(), "bad") {
+		t.Fatalf("type error must abort with policy name: %v", err)
+	}
+}
+
+func TestDecisionAccessors(t *testing.T) {
+	e := NewEngine(Rule("p", 1, "true",
+		Effect{Key: "s", Value: "str"},
+		Effect{Key: "b", Value: true},
+		Effect{Key: "n", Value: 2.5},
+		Effect{Key: "i", Value: 4},
+	))
+	d, err := e.Decide(expr.MapScope{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.String("s", "") != "str" {
+		t.Error("String")
+	}
+	if !d.Bool("b", false) {
+		t.Error("Bool")
+	}
+	if d.Number("n", 0) != 2.5 {
+		t.Error("Number float")
+	}
+	if d.Number("i", 0) != 4 {
+		t.Error("Number int")
+	}
+	if d.String("ghost", "dflt") != "dflt" || !d.Bool("ghost", true) || d.Number("ghost", 7) != 7 {
+		t.Error("defaults")
+	}
+	if v, ok := d.Get("s"); !ok || v != "str" {
+		t.Error("Get")
+	}
+	if _, ok := d.Get("ghost"); ok {
+		t.Error("Get absent")
+	}
+}
+
+func TestMultipleEffectsMergeAcrossPolicies(t *testing.T) {
+	e := NewEngine(
+		Rule("p1", 10, "true", Effect{Key: "a", Value: 1}),
+		Rule("p2", 5, "true", Effect{Key: "a", Value: 2}, Effect{Key: "b", Value: 3}),
+	)
+	d, err := e.Decide(expr.MapScope{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Number("a", 0) != 1 {
+		t.Error("higher priority keeps key a")
+	}
+	if d.Number("b", 0) != 3 {
+		t.Error("lower priority contributes new key b")
+	}
+}
+
+func TestEngineWithContextSnapshot(t *testing.T) {
+	ctx := NewContext()
+	ctx.Set("memoryLow", true)
+	e := NewEngine(
+		Rule("footprint", 5, "memoryLow", Effect{Key: "case", Value: "intent"}),
+		Rule("default", 0, "true", Effect{Key: "case", Value: "action"}),
+	)
+	d, err := e.Decide(ctx.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper §VI: when memory footprint must be reduced, dynamic IM
+	// generation is preferred over storing many predefined actions.
+	if d.String("case", "") != "intent" {
+		t.Error("memoryLow should select the intent case")
+	}
+}
+
+func TestEngineLen(t *testing.T) {
+	if NewEngine().Len() != 0 {
+		t.Error("empty engine")
+	}
+	if NewEngine(Rule("a", 1, "true")).Len() != 1 {
+		t.Error("len 1")
+	}
+}
+
+func BenchmarkDecide(b *testing.B) {
+	e := NewEngine(
+		Rule("p1", 10, "bandwidth < 50 && mode == 'video'", Effect{Key: "case", Value: "intent"}),
+		Rule("p2", 8, "memoryLow", Effect{Key: "case", Value: "intent"}),
+		Rule("p3", 5, "latency > 100", Effect{Key: "prefer", Value: "lowCost"}),
+		Rule("default", 0, "true", Effect{Key: "case", Value: "action"}),
+	)
+	scope := expr.MapScope{"bandwidth": 80, "mode": "audio", "memoryLow": false, "latency": 20}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Decide(scope); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

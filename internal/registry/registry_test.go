@@ -1,0 +1,146 @@
+package registry
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/mddsm/mddsm/internal/dsc"
+	"github.com/mddsm/mddsm/internal/eu"
+)
+
+func taxonomy(t *testing.T) *dsc.Taxonomy {
+	t.Helper()
+	tx := dsc.NewTaxonomy()
+	for _, id := range []string{"op.a", "op.b", "op.c"} {
+		tx.MustAdd(&dsc.DSC{ID: id, Domain: "d", Category: dsc.Operation})
+	}
+	tx.MustAdd(&dsc.DSC{ID: "op.a.fast", Domain: "d", Category: dsc.Operation, Parent: "op.a"})
+	tx.MustAdd(&dsc.DSC{ID: "data.x", Domain: "d", Category: dsc.Data})
+	if err := tx.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return tx
+}
+
+func proc(id, classifier string, deps ...string) *Procedure {
+	return &Procedure{
+		ID:           id,
+		Name:         id,
+		Domain:       "d",
+		ClassifiedBy: classifier,
+		Dependencies: deps,
+		Reliability:  0.99,
+		Unit:         eu.NewUnit(id),
+	}
+}
+
+func TestAddAndLookup(t *testing.T) {
+	r := NewRepository(taxonomy(t))
+	r.MustAdd(proc("p1", "op.a"))
+	r.MustAdd(proc("p2", "op.b", "op.a"))
+	if r.Len() != 2 {
+		t.Fatal("Len")
+	}
+	if r.Get("p1") == nil || r.Get("ghost") != nil {
+		t.Fatal("Get")
+	}
+	if got := r.IDs(); len(got) != 2 || got[0] != "p1" {
+		t.Fatalf("IDs: %v", got)
+	}
+	if r.Taxonomy() == nil {
+		t.Fatal("Taxonomy accessor")
+	}
+}
+
+func TestAddErrors(t *testing.T) {
+	r := NewRepository(taxonomy(t))
+	tests := []struct {
+		name string
+		p    *Procedure
+		want string
+	}{
+		{"empty id", &Procedure{}, "empty ID"},
+		{"unknown classifier", proc("p", "ghost"), "unknown classifier"},
+		{"data classifier", proc("p", "data.x"), "want operation"},
+		{"unknown dependency", proc("p", "op.a", "ghost"), "unknown dependency"},
+		{"data dependency", proc("p", "op.a", "data.x"), "want operation"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := r.Add(tt.p)
+			if err == nil || !strings.Contains(err.Error(), tt.want) {
+				t.Errorf("want %q, got %v", tt.want, err)
+			}
+		})
+	}
+	r.MustAdd(proc("dup", "op.a"))
+	if err := r.Add(proc("dup", "op.a")); err == nil {
+		t.Error("duplicate must fail")
+	}
+	bad := proc("badrel", "op.a")
+	bad.Reliability = 1.5
+	if err := r.Add(bad); err == nil || !strings.Contains(err.Error(), "reliability") {
+		t.Errorf("reliability bound: %v", err)
+	}
+}
+
+func TestRemove(t *testing.T) {
+	r := NewRepository(taxonomy(t))
+	r.MustAdd(proc("p1", "op.a"))
+	if err := r.Remove("p1"); err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 0 || len(r.IDs()) != 0 {
+		t.Fatal("remove must drop from index")
+	}
+	if err := r.Remove("p1"); err == nil {
+		t.Fatal("double remove must fail")
+	}
+}
+
+func TestCandidatesForUsesSubsumption(t *testing.T) {
+	r := NewRepository(taxonomy(t))
+	r.MustAdd(proc("exact", "op.a"))
+	r.MustAdd(proc("special", "op.a.fast"))
+	r.MustAdd(proc("other", "op.b"))
+	got := r.CandidatesFor("op.a")
+	if len(got) != 2 {
+		t.Fatalf("candidates: %v", got)
+	}
+	if got[0].ID != "exact" || got[1].ID != "special" {
+		t.Errorf("sorted order: %v, %v", got[0].ID, got[1].ID)
+	}
+	// The narrower requirement excludes the broader provider.
+	got = r.CandidatesFor("op.a.fast")
+	if len(got) != 1 || got[0].ID != "special" {
+		t.Fatalf("narrow candidates: %v", got)
+	}
+	if len(r.CandidatesFor("op.c")) != 0 {
+		t.Fatal("no candidates expected")
+	}
+}
+
+func TestByDomainAndTags(t *testing.T) {
+	r := NewRepository(taxonomy(t))
+	p := proc("p1", "op.a")
+	p.Tags = map[string]string{"transport": "udp"}
+	r.MustAdd(p)
+	other := proc("p2", "op.b")
+	other.Domain = "elsewhere"
+	r.MustAdd(other)
+	if got := r.ByDomain("d"); len(got) != 1 || got[0].ID != "p1" {
+		t.Fatalf("ByDomain: %v", got)
+	}
+	if p.Tag("transport") != "udp" || p.Tag("ghost") != "" {
+		t.Fatal("Tag")
+	}
+}
+
+func TestMustAddPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustAdd should panic")
+		}
+	}()
+	NewRepository(taxonomy(t)).MustAdd(&Procedure{})
+}

@@ -1,0 +1,304 @@
+// Package remote distributes MD-DSM platforms across processes: a Server
+// exposes a platform's Controller over TCP, and a Client dispatches
+// commands to it and subscribes to the events that reach the remote
+// platform's top of stack. The 2SVM and CSVM deployments (paper §IV-C/D)
+// distribute their layers across devices exactly this way; this package
+// provides the wire so those splits can span real process boundaries.
+//
+// The protocol is newline-delimited JSON:
+//
+//	-> {"type":"command","op":"...","target":"...","args":{...}}
+//	<- {"type":"result","ok":true}            (or "error":"...")
+//	-> {"type":"event","name":"...","attrs":{...}}
+//	<- {"type":"result","ok":true}
+//	-> {"type":"subscribe"}
+//	<- {"type":"result","ok":true}
+//	<- {"type":"event","name":"...","attrs":{...}}   (pushed thereafter)
+package remote
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"github.com/mddsm/mddsm/internal/broker"
+	"github.com/mddsm/mddsm/internal/script"
+)
+
+// message is the wire envelope.
+type message struct {
+	Type   string         `json:"type"`
+	Op     string         `json:"op,omitempty"`
+	Target string         `json:"target,omitempty"`
+	Args   map[string]any `json:"args,omitempty"`
+	Name   string         `json:"name,omitempty"`
+	Attrs  map[string]any `json:"attrs,omitempty"`
+	OK     bool           `json:"ok,omitempty"`
+	Error  string         `json:"error,omitempty"`
+}
+
+// Endpoint is the platform surface the server exposes: command execution
+// and event intake. runtime.Platform satisfies it via a thin adapter; any
+// other command consumer works too.
+type Endpoint interface {
+	Execute(s *script.Script) error
+	DeliverEvent(ev broker.Event) error
+}
+
+// Server exposes an endpoint on a listener. Create with NewServer, stop
+// with Close (which also waits for connection goroutines).
+type Server struct {
+	endpoint Endpoint
+	listener net.Listener
+
+	mu    sync.Mutex
+	subs  map[net.Conn]*json.Encoder
+	conns map[net.Conn]bool
+	done  chan struct{}
+	wg    sync.WaitGroup
+}
+
+// NewServer starts serving the endpoint on addr (e.g. "127.0.0.1:0").
+func NewServer(endpoint Endpoint, addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("remote server: %w", err)
+	}
+	s := &Server{
+		endpoint: endpoint,
+		listener: ln,
+		subs:     make(map[net.Conn]*json.Encoder),
+		conns:    make(map[net.Conn]bool),
+		done:     make(chan struct{}),
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the listening address.
+func (s *Server) Addr() string { return s.listener.Addr().String() }
+
+// Close stops the listener, drops every connection and waits for the
+// serving goroutines to exit.
+func (s *Server) Close() {
+	select {
+	case <-s.done:
+		return
+	default:
+	}
+	close(s.done)
+	_ = s.listener.Close()
+	s.mu.Lock()
+	for c := range s.conns {
+		_ = c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// PublishEvent pushes an event to every subscribed client. Wire it to the
+// platform's external event observer to stream top-of-stack events out.
+func (s *Server) PublishEvent(ev broker.Event) {
+	msg := message{Type: "event", Name: ev.Name, Attrs: ev.Attrs}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for conn, enc := range s.subs {
+		if err := enc.Encode(msg); err != nil {
+			delete(s.subs, conn)
+			_ = conn.Close()
+		}
+	}
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.listener.Accept()
+		if err != nil {
+			select {
+			case <-s.done:
+				return
+			default:
+				continue
+			}
+		}
+		s.mu.Lock()
+		s.conns[conn] = true
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serve(conn)
+	}
+}
+
+func (s *Server) serve(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		delete(s.subs, conn)
+		s.mu.Unlock()
+		_ = conn.Close()
+	}()
+	dec := json.NewDecoder(bufio.NewReader(conn))
+	enc := json.NewEncoder(conn)
+	for {
+		var msg message
+		if err := dec.Decode(&msg); err != nil {
+			return // disconnect or garbage: drop the connection
+		}
+		reply := message{Type: "result", OK: true}
+		switch msg.Type {
+		case "command":
+			cmd := script.NewCommand(msg.Op, msg.Target)
+			for k, v := range msg.Args {
+				cmd = cmd.WithArg(k, v)
+			}
+			if err := s.endpoint.Execute(script.New("remote").Append(cmd)); err != nil {
+				reply.OK = false
+				reply.Error = err.Error()
+			}
+		case "event":
+			if err := s.endpoint.DeliverEvent(broker.Event{Name: msg.Name, Attrs: msg.Attrs}); err != nil {
+				reply.OK = false
+				reply.Error = err.Error()
+			}
+		case "subscribe":
+			s.mu.Lock()
+			s.subs[conn] = enc
+			s.mu.Unlock()
+		default:
+			reply.OK = false
+			reply.Error = fmt.Sprintf("unknown message type %q", msg.Type)
+		}
+		// The subscribe stream shares the encoder; guard against
+		// interleaving with PublishEvent.
+		s.mu.Lock()
+		err := enc.Encode(reply)
+		s.mu.Unlock()
+		if err != nil {
+			return
+		}
+	}
+}
+
+// Client talks to a remote platform. A single reader goroutine owns the
+// connection's receive side from the moment the client is created:
+// command/event results are matched to the one outstanding request (calls
+// are serialised), and pushed events flow to the subscription channel. It
+// is safe for concurrent use.
+type Client struct {
+	conn net.Conn
+	enc  *json.Encoder
+
+	sendMu  sync.Mutex // serialises request/response pairs
+	results chan message
+	events  chan broker.Event
+	closed  chan struct{}
+	readErr error
+	errOnce sync.Once
+}
+
+// Dial connects to a server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("remote client: %w", err)
+	}
+	c := &Client{
+		conn:    conn,
+		enc:     json.NewEncoder(conn),
+		results: make(chan message, 1),
+		events:  make(chan broker.Event, 16),
+		closed:  make(chan struct{}),
+	}
+	go c.receiveLoop(json.NewDecoder(bufio.NewReader(conn)))
+	return c, nil
+}
+
+// Close drops the connection; the reader goroutine then closes the event
+// channel. Close is idempotent.
+func (c *Client) Close() {
+	c.errOnce.Do(func() {
+		c.readErr = errors.New("remote client: closed")
+		close(c.closed)
+	})
+	_ = c.conn.Close()
+}
+
+// receiveLoop is the sole reader: results are handed to the waiting
+// request, events to the subscription channel.
+func (c *Client) receiveLoop(dec *json.Decoder) {
+	defer close(c.events)
+	for {
+		var msg message
+		if err := dec.Decode(&msg); err != nil {
+			c.errOnce.Do(func() {
+				c.readErr = fmt.Errorf("remote client: receive: %w", err)
+				close(c.closed)
+			})
+			return
+		}
+		switch msg.Type {
+		case "result":
+			select {
+			case c.results <- msg:
+			case <-c.closed:
+				return
+			}
+		case "event":
+			select {
+			case c.events <- broker.Event{Name: msg.Name, Attrs: msg.Attrs}:
+			default: // slow consumer: drop rather than stall the wire
+			}
+		}
+	}
+}
+
+// roundTrip sends a message and waits for its result.
+func (c *Client) roundTrip(msg message) error {
+	c.sendMu.Lock()
+	defer c.sendMu.Unlock()
+	select {
+	case <-c.closed:
+		return c.readErr
+	default:
+	}
+	if err := c.enc.Encode(msg); err != nil {
+		return fmt.Errorf("remote client: send: %w", err)
+	}
+	select {
+	case reply := <-c.results:
+		if !reply.OK {
+			return errors.New(reply.Error)
+		}
+		return nil
+	case <-c.closed:
+		return c.readErr
+	}
+}
+
+// Call dispatches one command to the remote platform's Controller. It
+// implements the bridge.Dispatch shape, so a remote platform can be a
+// bridge target.
+func (c *Client) Call(cmd script.Command) error {
+	return c.roundTrip(message{Type: "command", Op: cmd.Op, Target: cmd.Target, Args: cmd.Args})
+}
+
+// PostEvent injects an event into the remote platform's Broker layer.
+func (c *Client) PostEvent(ev broker.Event) error {
+	return c.roundTrip(message{Type: "event", Name: ev.Name, Attrs: ev.Attrs})
+}
+
+// Subscribe asks the server to stream top-of-stack events and returns the
+// channel they arrive on. The channel closes when the connection dies or
+// Close is called. Subscribing more than once returns the same channel.
+func (c *Client) Subscribe() (<-chan broker.Event, error) {
+	if err := c.roundTrip(message{Type: "subscribe"}); err != nil {
+		return nil, err
+	}
+	return c.events, nil
+}

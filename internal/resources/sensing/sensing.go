@@ -1,0 +1,217 @@
+// Package sensing simulates the participatory-sensing device fleet that
+// CSVM queries (paper §IV-D): smartphones carrying sensors whose readings
+// follow seeded, deterministic random walks. It replaces the real mobile
+// fleet of the original prototype while preserving the query surface the
+// crowdsensing middleware uses: sampling, filtering by region, and
+// asynchronous delivery of readings.
+package sensing
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/mddsm/mddsm/internal/script"
+	"github.com/mddsm/mddsm/internal/simtime"
+)
+
+// Reading is one sensor sample.
+type Reading struct {
+	Device string
+	Sensor string
+	Value  float64
+	Region string
+	At     time.Time
+}
+
+// sensorState is a seeded random walk.
+type sensorState struct {
+	value float64
+	step  float64
+	min   float64
+	max   float64
+}
+
+// Device is one fleet member.
+type Device struct {
+	ID      string
+	Region  string
+	Online  bool
+	sensors map[string]*sensorState
+}
+
+// Sensors returns the device's sensor names sorted.
+func (d *Device) Sensors() []string {
+	out := make([]string, 0, len(d.sensors))
+	for n := range d.sensors {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Fleet is the simulated device population. It is safe for concurrent use.
+type Fleet struct {
+	mu      sync.Mutex
+	clock   simtime.Clock
+	rng     *rand.Rand
+	devices map[string]*Device
+	trace   *script.Trace
+}
+
+// NewFleet creates a fleet with a deterministic seed.
+func NewFleet(clock simtime.Clock, seed int64) *Fleet {
+	if clock == nil {
+		clock = simtime.NewVirtual()
+	}
+	return &Fleet{
+		clock:   clock,
+		rng:     rand.New(rand.NewSource(seed)),
+		devices: make(map[string]*Device),
+		trace:   &script.Trace{},
+	}
+}
+
+// Trace returns the recorded operation trace.
+func (f *Fleet) Trace() *script.Trace { return f.trace }
+
+// Register adds a device with the given sensors. Sensor specs map a sensor
+// name to its [min, max] range; the walk starts midway.
+func (f *Fleet) Register(id, region string, sensors map[string][2]float64) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, ok := f.devices[id]; ok {
+		return fmt.Errorf("sensing: device %q already registered", id)
+	}
+	if len(sensors) == 0 {
+		return fmt.Errorf("sensing: device %q needs at least one sensor", id)
+	}
+	d := &Device{ID: id, Region: region, Online: true, sensors: make(map[string]*sensorState, len(sensors))}
+	for name, rng := range sensors {
+		if rng[1] <= rng[0] {
+			return fmt.Errorf("sensing: sensor %q of %q has empty range [%v,%v]", name, id, rng[0], rng[1])
+		}
+		d.sensors[name] = &sensorState{
+			value: (rng[0] + rng[1]) / 2,
+			step:  (rng[1] - rng[0]) / 20,
+			min:   rng[0],
+			max:   rng[1],
+		}
+	}
+	f.devices[id] = d
+	f.trace.RecordOp("register", "device:"+id, "region", region)
+	return nil
+}
+
+// SetOnline toggles device availability.
+func (f *Fleet) SetOnline(id string, online bool) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	d, ok := f.devices[id]
+	if !ok {
+		return fmt.Errorf("sensing: unknown device %q", id)
+	}
+	d.Online = online
+	f.trace.RecordOp("setOnline", "device:"+id, "online", online)
+	return nil
+}
+
+// Sample reads one sensor on one device, advancing its random walk.
+func (f *Fleet) Sample(deviceID, sensor string) (Reading, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	d, ok := f.devices[deviceID]
+	if !ok {
+		return Reading{}, fmt.Errorf("sensing: unknown device %q", deviceID)
+	}
+	if !d.Online {
+		return Reading{}, fmt.Errorf("sensing: device %q offline", deviceID)
+	}
+	st, ok := d.sensors[sensor]
+	if !ok {
+		return Reading{}, fmt.Errorf("sensing: device %q has no sensor %q", deviceID, sensor)
+	}
+	st.value += (f.rng.Float64()*2 - 1) * st.step
+	if st.value < st.min {
+		st.value = st.min
+	}
+	if st.value > st.max {
+		st.value = st.max
+	}
+	f.trace.RecordOp("sample", "device:"+deviceID, "sensor", sensor)
+	return Reading{
+		Device: deviceID,
+		Sensor: sensor,
+		Value:  st.value,
+		Region: d.Region,
+		At:     f.clock.Now(),
+	}, nil
+}
+
+// SampleAll samples a sensor across every online device (optionally
+// filtered by region; "" matches all), in sorted device order.
+func (f *Fleet) SampleAll(sensor, region string) []Reading {
+	ids := f.DeviceIDs()
+	out := make([]Reading, 0, len(ids))
+	for _, id := range ids {
+		f.mu.Lock()
+		d := f.devices[id]
+		skip := d == nil || !d.Online || (region != "" && d.Region != region) || d.sensors[sensor] == nil
+		f.mu.Unlock()
+		if skip {
+			continue
+		}
+		r, err := f.Sample(id, sensor)
+		if err == nil {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Device returns a copy of the device state, or false when unknown.
+func (f *Fleet) Device(id string) (Device, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	d, ok := f.devices[id]
+	if !ok {
+		return Device{}, false
+	}
+	cp := *d
+	cp.sensors = make(map[string]*sensorState, len(d.sensors))
+	for k, v := range d.sensors {
+		s := *v
+		cp.sensors[k] = &s
+	}
+	return cp, true
+}
+
+// DeviceIDs returns all device IDs sorted.
+func (f *Fleet) DeviceIDs() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]string, 0, len(f.devices))
+	for id := range f.devices {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Regions returns the distinct regions sorted.
+func (f *Fleet) Regions() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	set := make(map[string]bool)
+	for _, d := range f.devices {
+		set[d.Region] = true
+	}
+	out := make([]string, 0, len(set))
+	for r := range set {
+		out = append(out, r)
+	}
+	sort.Strings(out)
+	return out
+}

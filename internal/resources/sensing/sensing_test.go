@@ -1,0 +1,152 @@
+package sensing
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func fleet(t testing.TB, seed int64) *Fleet {
+	t.Helper()
+	f := NewFleet(nil, seed)
+	sensors := map[string][2]float64{"temp": {10, 30}, "noise": {30, 90}}
+	for _, d := range []struct{ id, region string }{
+		{"dev1", "north"}, {"dev2", "north"}, {"dev3", "south"},
+	} {
+		if err := f.Register(d.id, d.region, sensors); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return f
+}
+
+func TestRegisterErrors(t *testing.T) {
+	f := NewFleet(nil, 1)
+	if err := f.Register("d", "r", nil); err == nil {
+		t.Error("no sensors")
+	}
+	if err := f.Register("d", "r", map[string][2]float64{"t": {5, 5}}); err == nil {
+		t.Error("empty range")
+	}
+	if err := f.Register("d", "r", map[string][2]float64{"t": {0, 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Register("d", "r", map[string][2]float64{"t": {0, 1}}); err == nil {
+		t.Error("duplicate")
+	}
+}
+
+func TestSampleBoundsAndDeterminism(t *testing.T) {
+	f1 := fleet(t, 42)
+	f2 := fleet(t, 42)
+	for i := 0; i < 50; i++ {
+		r1, err := f1.Sample("dev1", "temp")
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2, err := f2.Sample("dev1", "temp")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r1.Value != r2.Value {
+			t.Fatalf("same seed must give identical walks: %v vs %v", r1.Value, r2.Value)
+		}
+		if r1.Value < 10 || r1.Value > 30 {
+			t.Fatalf("value out of range: %v", r1.Value)
+		}
+		if r1.Region != "north" || r1.Device != "dev1" || r1.Sensor != "temp" {
+			t.Fatalf("reading metadata: %+v", r1)
+		}
+	}
+}
+
+func TestSampleErrors(t *testing.T) {
+	f := fleet(t, 1)
+	if _, err := f.Sample("ghost", "temp"); err == nil {
+		t.Error("unknown device")
+	}
+	if _, err := f.Sample("dev1", "ghost"); err == nil {
+		t.Error("unknown sensor")
+	}
+	if err := f.SetOnline("dev1", false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Sample("dev1", "temp"); err == nil {
+		t.Error("offline device")
+	}
+	if err := f.SetOnline("ghost", true); err == nil {
+		t.Error("unknown device online")
+	}
+}
+
+func TestSampleAllFiltering(t *testing.T) {
+	f := fleet(t, 7)
+	all := f.SampleAll("temp", "")
+	if len(all) != 3 {
+		t.Fatalf("all: %d", len(all))
+	}
+	if all[0].Device != "dev1" || all[2].Device != "dev3" {
+		t.Error("sorted device order expected")
+	}
+	north := f.SampleAll("temp", "north")
+	if len(north) != 2 {
+		t.Fatalf("north: %d", len(north))
+	}
+	if err := f.SetOnline("dev2", false); err != nil {
+		t.Fatal(err)
+	}
+	north = f.SampleAll("temp", "north")
+	if len(north) != 1 || north[0].Device != "dev1" {
+		t.Fatalf("offline filter: %+v", north)
+	}
+	if got := f.SampleAll("ghost", ""); len(got) != 0 {
+		t.Fatalf("unknown sensor should match nothing: %v", got)
+	}
+}
+
+func TestQueriesAndTrace(t *testing.T) {
+	f := fleet(t, 1)
+	if got := strings.Join(f.DeviceIDs(), ","); got != "dev1,dev2,dev3" {
+		t.Errorf("DeviceIDs: %s", got)
+	}
+	if got := strings.Join(f.Regions(), ","); got != "north,south" {
+		t.Errorf("Regions: %s", got)
+	}
+	d, ok := f.Device("dev1")
+	if !ok || d.Region != "north" {
+		t.Errorf("Device: %+v", d)
+	}
+	if got := strings.Join(d.Sensors(), ","); got != "noise,temp" {
+		t.Errorf("Sensors: %s", got)
+	}
+	if _, ok := f.Device("ghost"); ok {
+		t.Error("ghost device")
+	}
+	if _, err := f.Sample("dev1", "temp"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(f.Trace().String(), `sample device:dev1 sensor="temp"`) {
+		t.Errorf("trace:\n%s", f.Trace())
+	}
+}
+
+// Property: readings always stay within the declared sensor range for any
+// seed and sample count.
+func TestWalkBoundedProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		fl := NewFleet(nil, seed)
+		if err := fl.Register("d", "r", map[string][2]float64{"s": {-5, 5}}); err != nil {
+			return false
+		}
+		for i := 0; i < int(n); i++ {
+			r, err := fl.Sample("d", "s")
+			if err != nil || r.Value < -5 || r.Value > 5 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

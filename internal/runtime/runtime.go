@@ -1,0 +1,612 @@
+// Package runtime is the generic, domain-independent runtime environment of
+// MD-DSM (paper §V-A): it loads middleware models and "generates and
+// executes the appropriate middleware components defined in the model". The
+// component factory instantiates each layer from its model metadata — the
+// Go equivalent of the paper's code templates parameterised with model
+// metadata — wires the layers together, and manages the platform's event
+// pump (the threads that run the middleware components).
+//
+// Layer suppression is supported as in the paper's §IV platforms: a
+// middleware model may declare any bottom-anchored subset of the four
+// layers (e.g. Controller+Broker for a 2SVM smart object, or the three
+// bottom layers for the CSVM provider), and the factory wires exactly what
+// is present.
+package runtime
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/mddsm/mddsm/internal/broker"
+	"github.com/mddsm/mddsm/internal/controller"
+	"github.com/mddsm/mddsm/internal/eu"
+	"github.com/mddsm/mddsm/internal/expr"
+	"github.com/mddsm/mddsm/internal/intent"
+	"github.com/mddsm/mddsm/internal/lts"
+	"github.com/mddsm/mddsm/internal/metamodel"
+	"github.com/mddsm/mddsm/internal/mwmeta"
+	"github.com/mddsm/mddsm/internal/policy"
+	"github.com/mddsm/mddsm/internal/registry"
+	"github.com/mddsm/mddsm/internal/script"
+	"github.com/mddsm/mddsm/internal/simtime"
+	"github.com/mddsm/mddsm/internal/synthesis"
+	"github.com/mddsm/mddsm/internal/ui"
+)
+
+// Deps is the domain-specific knowledge (DSK) bundle the factory binds to a
+// middleware model: the application DSML, the synthesis semantics, resource
+// adapters, the procedure repository and installed scripts.
+type Deps struct {
+	// DSML is the application modeling language (required when the model
+	// declares a Synthesis or UI layer).
+	DSML *metamodel.Metamodel
+	// LTSes holds synthesis semantics by name; a SynthesisLayer's ltsName
+	// selects one.
+	LTSes map[string]*lts.LTS
+	// Adapters holds resource adapters by name for BrokerLayer bindings.
+	Adapters map[string]broker.Adapter
+	// Repository backs Case-2 intent generation (optional).
+	Repository *registry.Repository
+	// Scripts holds installed scripts by name for EventAction.scriptName.
+	Scripts map[string]*script.Script
+	// Clock charges virtual time (optional).
+	Clock simtime.Clock
+}
+
+// Platform is a live middleware platform instantiated from a middleware
+// model. Layers that the model suppressed are nil.
+type Platform struct {
+	Name   string
+	Domain string
+
+	UI         *ui.UI
+	Synthesis  *synthesis.Synthesis
+	Controller *controller.Controller
+	Broker     *broker.Broker
+
+	// external observes events that reach the top of the layer stack:
+	// when no Synthesis layer exists it is the sole consumer, otherwise it
+	// observes alongside the Synthesis layer (interoperability bridges
+	// attach here).
+	extMu    sync.Mutex
+	external func(broker.Event)
+
+	pumpMu   sync.Mutex
+	pumpCh   chan broker.Event
+	pumpStop chan struct{}
+	pumpDone chan struct{}
+	monStop  chan struct{}
+	monDone  chan struct{}
+}
+
+// Option customises platform construction.
+type Option func(*Platform)
+
+// WithExternalEvents routes events escaping the topmost layer to fn.
+func WithExternalEvents(fn func(broker.Event)) Option {
+	return func(p *Platform) { p.external = fn }
+}
+
+// SetExternalEvents installs (or replaces) the external event observer
+// after construction; bridges use this to attach to running platforms.
+func (p *Platform) SetExternalEvents(fn func(broker.Event)) {
+	p.extMu.Lock()
+	defer p.extMu.Unlock()
+	p.external = fn
+}
+
+func (p *Platform) externalSink() func(broker.Event) {
+	p.extMu.Lock()
+	defer p.extMu.Unlock()
+	return p.external
+}
+
+// Build validates the middleware model against the middleware metamodel,
+// checks cross-layer consistency, and instantiates the platform.
+func Build(model *metamodel.Model, deps Deps, opts ...Option) (*Platform, error) {
+	mm := mwmeta.MM()
+	work := model.Clone() // Validate applies defaults; keep caller's model intact.
+	if err := work.Validate(mm); err != nil {
+		return nil, fmt.Errorf("runtime: middleware model does not conform: %w", err)
+	}
+	platforms := work.ObjectsOf(mwmeta.ClassPlatform)
+	if len(platforms) != 1 {
+		return nil, fmt.Errorf("runtime: middleware model must declare exactly one Platform, got %d", len(platforms))
+	}
+	root := platforms[0]
+
+	p := &Platform{
+		Name:   root.StringAttr("name"),
+		Domain: root.StringAttr("domain"),
+	}
+	for _, o := range opts {
+		o(p)
+	}
+
+	var (
+		uiObj, synthObj, ctlObj, brkObj *metamodel.Object
+	)
+	for _, layer := range work.Resolve(root, "layers") {
+		switch layer.Class {
+		case mwmeta.ClassUILayer:
+			uiObj = layer
+		case mwmeta.ClassSynthesisLayer:
+			synthObj = layer
+		case mwmeta.ClassControllerLayer:
+			ctlObj = layer
+		case mwmeta.ClassBrokerLayer:
+			brkObj = layer
+		default:
+			return nil, fmt.Errorf("runtime: unknown layer class %q", layer.Class)
+		}
+	}
+
+	// Consistency: layers must form a bottom-anchored stack.
+	if ctlObj != nil && brkObj == nil {
+		return nil, fmt.Errorf("runtime: a ControllerLayer requires a BrokerLayer")
+	}
+	if synthObj != nil && ctlObj == nil {
+		return nil, fmt.Errorf("runtime: a SynthesisLayer requires a ControllerLayer")
+	}
+	if uiObj != nil && synthObj == nil {
+		return nil, fmt.Errorf("runtime: a UILayer requires a SynthesisLayer")
+	}
+	if brkObj == nil {
+		return nil, fmt.Errorf("runtime: middleware model declares no BrokerLayer")
+	}
+
+	if err := p.buildBroker(work, brkObj, deps); err != nil {
+		return nil, err
+	}
+	if ctlObj != nil {
+		if err := p.buildController(work, ctlObj, deps); err != nil {
+			return nil, err
+		}
+	}
+	if synthObj != nil {
+		if err := p.buildSynthesis(synthObj, deps); err != nil {
+			return nil, err
+		}
+	}
+	if uiObj != nil {
+		if err := p.buildUI(uiObj, deps); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+// routeBrokerEvent forwards Broker events to the Controller or the external
+// sink.
+func (p *Platform) routeBrokerEvent(ev broker.Event) {
+	if p.Controller != nil {
+		// Event-processing failures surface on the operation that caused
+		// them; an asynchronous event has no caller to report to.
+		_ = p.Controller.OnEvent(ev)
+		return
+	}
+	if ext := p.externalSink(); ext != nil {
+		ext(ev)
+	}
+}
+
+// routeControllerEvent forwards Controller events to the Synthesis layer
+// and then to the external observer (which is the sole consumer when the
+// platform has no Synthesis layer).
+func (p *Platform) routeControllerEvent(ev broker.Event) {
+	if p.Synthesis != nil {
+		_ = p.Synthesis.OnEvent(ev)
+	}
+	if ext := p.externalSink(); ext != nil {
+		ext(ev)
+	}
+}
+
+func (p *Platform) buildBroker(model *metamodel.Model, obj *metamodel.Object, deps Deps) error {
+	cfg := broker.Config{Name: obj.StringAttr("name")}
+	rm := broker.NewResourceManager()
+
+	for _, bind := range model.Resolve(obj, "bindings") {
+		name := bind.StringAttr("adapter")
+		adapter, ok := deps.Adapters[name]
+		if !ok {
+			return fmt.Errorf("runtime: broker binding %s: unknown adapter %q", bind.ID, name)
+		}
+		rm.Register(bind.StringAttr("op"), adapter)
+	}
+
+	for _, actObj := range model.Resolve(obj, "actions") {
+		a, err := buildAction(model, actObj)
+		if err != nil {
+			return err
+		}
+		cfg.Actions = append(cfg.Actions, &broker.Action{
+			Name: a.name, Ops: a.ops, Guard: a.guard, Steps: a.steps,
+			ForwardArgs: a.forwardArgs,
+		})
+	}
+	for _, evObj := range model.Resolve(obj, "eventActions") {
+		ea, err := buildEventAction(model, evObj, deps, false)
+		if err != nil {
+			return err
+		}
+		cfg.EventActions = append(cfg.EventActions, &broker.EventAction{
+			Name: ea.name, Event: ea.event, Guard: ea.guard,
+			Steps: ea.steps, Forward: ea.forward,
+		})
+	}
+	pols, err := buildPolicies(model, obj)
+	if err != nil {
+		return err
+	}
+	cfg.Policies = pols
+
+	for _, symObj := range model.Resolve(obj, "symptoms") {
+		cond, err := expr.Parse(symObj.StringAttr("condition"))
+		if err != nil {
+			return fmt.Errorf("runtime: symptom %s: %w", symObj.ID, err)
+		}
+		cfg.Symptoms = append(cfg.Symptoms, broker.Symptom{
+			Name: symObj.StringAttr("name"), Condition: cond,
+		})
+	}
+	for _, planObj := range model.Resolve(obj, "changePlans") {
+		steps, err := buildSteps(model, planObj)
+		if err != nil {
+			return fmt.Errorf("runtime: change plan %s: %w", planObj.ID, err)
+		}
+		cfg.ChangePlans = append(cfg.ChangePlans, broker.ChangePlan{
+			Symptom: planObj.StringAttr("symptom"), Steps: steps,
+		})
+	}
+
+	p.Broker = broker.New(cfg, rm, p.routeBrokerEvent)
+	return nil
+}
+
+func (p *Platform) buildController(model *metamodel.Model, obj *metamodel.Object, deps Deps) error {
+	cfg := controller.Config{
+		Name:       obj.StringAttr("name"),
+		Repository: deps.Repository,
+		Generator: intent.Options{
+			MaxDepth:     int(obj.IntAttr("maxDepth")),
+			DisableCache: !obj.BoolAttr("cacheEnabled"),
+		},
+		Machine: eu.Limits{MaxDepth: int(obj.IntAttr("maxDepth"))},
+		Clock:   deps.Clock,
+	}
+	for _, actObj := range model.Resolve(obj, "actions") {
+		a, err := buildAction(model, actObj)
+		if err != nil {
+			return err
+		}
+		cfg.Actions = append(cfg.Actions, &controller.Action{
+			Name: a.name, Ops: a.ops, Guard: a.guard, Steps: a.steps,
+			ForwardArgs: a.forwardArgs,
+		})
+	}
+	for _, evObj := range model.Resolve(obj, "eventActions") {
+		ea, err := buildEventAction(model, evObj, deps, true)
+		if err != nil {
+			return err
+		}
+		cfg.EventActions = append(cfg.EventActions, &controller.EventAction{
+			Name: ea.name, Event: ea.event, Guard: ea.guard,
+			Steps: ea.steps, Script: ea.script, Forward: ea.forward,
+		})
+	}
+	for _, clObj := range model.Resolve(obj, "classes") {
+		goal := clObj.StringAttr("goalDsc")
+		if deps.Repository == nil {
+			return fmt.Errorf("runtime: command class %s: goal DSC %q declared but no procedure repository in DSK", clObj.ID, goal)
+		}
+		if deps.Repository.Taxonomy().Get(goal) == nil {
+			return fmt.Errorf("runtime: command class %s: goal DSC %q not in taxonomy", clObj.ID, goal)
+		}
+		cfg.Classes = append(cfg.Classes, controller.CommandClass{
+			Op: clObj.StringAttr("op"), GoalDSC: goal,
+		})
+	}
+	pols, err := buildPolicies(model, obj)
+	if err != nil {
+		return err
+	}
+	cfg.Policies = pols
+
+	p.Controller = controller.New(cfg, p.Broker, p.routeControllerEvent)
+	return nil
+}
+
+func (p *Platform) buildSynthesis(obj *metamodel.Object, deps Deps) error {
+	if deps.DSML == nil {
+		return fmt.Errorf("runtime: synthesis layer %s: no DSML in DSK", obj.ID)
+	}
+	ltsName := obj.StringAttr("ltsName")
+	def, ok := deps.LTSes[ltsName]
+	if !ok {
+		return fmt.Errorf("runtime: synthesis layer %s: unknown LTS %q", obj.ID, ltsName)
+	}
+	s, err := synthesis.New(
+		synthesis.Config{Name: obj.StringAttr("name"), DSML: deps.DSML, LTS: def},
+		p.Controller.Execute,
+		func(m *metamodel.Model) {
+			if p.UI != nil {
+				p.UI.OnRuntimeModel(m)
+			}
+		},
+	)
+	if err != nil {
+		return fmt.Errorf("runtime: %w", err)
+	}
+	p.Synthesis = s
+	return nil
+}
+
+func (p *Platform) buildUI(obj *metamodel.Object, deps Deps) error {
+	u, err := ui.New(obj.StringAttr("name"), deps.DSML, p.Synthesis.Submit)
+	if err != nil {
+		return fmt.Errorf("runtime: %w", err)
+	}
+	p.UI = u
+	return nil
+}
+
+// actionParts is the factory's intermediate action representation.
+type actionParts struct {
+	name        string
+	ops         []string
+	guard       expr.Node
+	steps       []script.Template
+	forwardArgs bool
+}
+
+type eventActionParts struct {
+	name    string
+	event   string
+	guard   expr.Node
+	steps   []script.Template
+	script  *script.Script
+	forward bool
+}
+
+func buildAction(model *metamodel.Model, obj *metamodel.Object) (actionParts, error) {
+	a := actionParts{name: obj.StringAttr("name"), forwardArgs: obj.BoolAttr("forwardArgs")}
+	a.ops = splitOps(obj.StringAttr("ops"))
+	if g := obj.StringAttr("guard"); g != "" {
+		node, err := expr.Parse(g)
+		if err != nil {
+			return a, fmt.Errorf("runtime: action %s: guard: %w", obj.ID, err)
+		}
+		a.guard = node
+	}
+	steps, err := buildSteps(model, obj)
+	if err != nil {
+		return a, fmt.Errorf("runtime: action %s: %w", obj.ID, err)
+	}
+	a.steps = steps
+	return a, nil
+}
+
+func buildEventAction(model *metamodel.Model, obj *metamodel.Object, deps Deps, allowScript bool) (eventActionParts, error) {
+	ea := eventActionParts{
+		name:    obj.StringAttr("name"),
+		event:   obj.StringAttr("event"),
+		forward: obj.BoolAttr("forward"),
+	}
+	if g := obj.StringAttr("guard"); g != "" {
+		node, err := expr.Parse(g)
+		if err != nil {
+			return ea, fmt.Errorf("runtime: event action %s: guard: %w", obj.ID, err)
+		}
+		ea.guard = node
+	}
+	steps, err := buildSteps(model, obj)
+	if err != nil {
+		return ea, fmt.Errorf("runtime: event action %s: %w", obj.ID, err)
+	}
+	ea.steps = steps
+	if name := obj.StringAttr("scriptName"); name != "" {
+		if !allowScript {
+			return ea, fmt.Errorf("runtime: event action %s: installed scripts are a Controller-layer feature", obj.ID)
+		}
+		s, ok := deps.Scripts[name]
+		if !ok {
+			return ea, fmt.Errorf("runtime: event action %s: unknown installed script %q", obj.ID, name)
+		}
+		ea.script = s
+	}
+	return ea, nil
+}
+
+// buildSteps resolves a steps reference into templates ordered by the
+// Step.order attribute.
+func buildSteps(model *metamodel.Model, owner *metamodel.Object) ([]script.Template, error) {
+	stepObjs := model.Resolve(owner, "steps")
+	sort.SliceStable(stepObjs, func(i, j int) bool {
+		return stepObjs[i].IntAttr("order") < stepObjs[j].IntAttr("order")
+	})
+	var out []script.Template
+	for _, st := range stepObjs {
+		tpl := script.Template{
+			Op:     st.StringAttr("op"),
+			Target: st.StringAttr("target"),
+		}
+		args := model.Resolve(st, "args")
+		if len(args) > 0 {
+			tpl.Args = make(map[string]string, len(args))
+			for _, arg := range args {
+				tpl.Args[arg.StringAttr("key")] = arg.StringAttr("value")
+			}
+		}
+		out = append(out, tpl)
+	}
+	return out, nil
+}
+
+func buildPolicies(model *metamodel.Model, owner *metamodel.Object) ([]policy.Policy, error) {
+	var out []policy.Policy
+	for _, polObj := range model.Resolve(owner, "policies") {
+		cond, err := expr.Parse(polObj.StringAttr("condition"))
+		if err != nil {
+			return nil, fmt.Errorf("runtime: policy %s: %w", polObj.ID, err)
+		}
+		p := policy.Policy{
+			Name:      polObj.StringAttr("name"),
+			Priority:  int(polObj.IntAttr("priority")),
+			Condition: cond,
+		}
+		for _, effObj := range model.Resolve(polObj, "effects") {
+			p.Effects = append(p.Effects, policy.Effect{
+				Key:   effObj.StringAttr("key"),
+				Value: script.ParseScalar(effObj.StringAttr("value")),
+			})
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+func splitOps(ops string) []string {
+	var out []string
+	start := 0
+	for i := 0; i <= len(ops); i++ {
+		if i == len(ops) || ops[i] == ',' {
+			if i > start {
+				out = append(out, ops[start:i])
+			}
+			start = i + 1
+		}
+	}
+	return out
+}
+
+// SubmitModel submits an application model through the Synthesis layer.
+func (p *Platform) SubmitModel(m *metamodel.Model) (*script.Script, error) {
+	if p.Synthesis == nil {
+		return nil, fmt.Errorf("runtime: platform %s has no Synthesis layer", p.Name)
+	}
+	return p.Synthesis.Submit(m)
+}
+
+// Execute runs a control script directly on the Controller layer (the
+// entry point for layer-suppressed deployments such as 2SVM smart objects).
+func (p *Platform) Execute(s *script.Script) error {
+	if p.Controller == nil {
+		return fmt.Errorf("runtime: platform %s has no Controller layer", p.Name)
+	}
+	return p.Controller.Execute(s)
+}
+
+// DeliverEvent injects a resource event synchronously into the Broker
+// layer (deterministic path used by tests and virtual-time experiments).
+func (p *Platform) DeliverEvent(ev broker.Event) error {
+	return p.Broker.OnEvent(ev)
+}
+
+// Start launches the platform's event pump: PostEvent enqueues resource
+// events which a dedicated goroutine delivers to the Broker layer in
+// order. Start is idempotent.
+func (p *Platform) Start() {
+	p.pumpMu.Lock()
+	defer p.pumpMu.Unlock()
+	if p.pumpCh != nil {
+		return
+	}
+	p.pumpCh = make(chan broker.Event, 1)
+	p.pumpStop = make(chan struct{})
+	p.pumpDone = make(chan struct{})
+	go func(ch chan broker.Event, stop, done chan struct{}) {
+		defer close(done)
+		for {
+			select {
+			case ev := <-ch:
+				_ = p.Broker.OnEvent(ev)
+			case <-stop:
+				return
+			}
+		}
+	}(p.pumpCh, p.pumpStop, p.pumpDone)
+}
+
+// PostEvent enqueues a resource event for asynchronous delivery. It
+// returns false when the pump is not running.
+func (p *Platform) PostEvent(ev broker.Event) bool {
+	p.pumpMu.Lock()
+	ch, stop := p.pumpCh, p.pumpStop
+	p.pumpMu.Unlock()
+	if ch == nil {
+		return false
+	}
+	select {
+	case ch <- ev:
+		return true
+	case <-stop:
+		return false
+	}
+}
+
+// Stop shuts the event pump and any autonomic monitor down and waits for
+// their goroutines to exit. Stop is idempotent.
+func (p *Platform) Stop() {
+	p.StopMonitor()
+	p.pumpMu.Lock()
+	stop, done := p.pumpStop, p.pumpDone
+	p.pumpCh = nil
+	p.pumpStop = nil
+	p.pumpDone = nil
+	p.pumpMu.Unlock()
+	if stop == nil {
+		return
+	}
+	close(stop)
+	<-done
+}
+
+// StartMonitor launches the platform's autonomic monitor: every interval it
+// runs probe (which typically publishes telemetry into the Broker context)
+// and then evaluates the Broker's autonomic symptoms. probe may be nil.
+// StartMonitor is idempotent; Stop or StopMonitor terminates the loop.
+func (p *Platform) StartMonitor(interval time.Duration, probe func()) {
+	p.pumpMu.Lock()
+	defer p.pumpMu.Unlock()
+	if p.monStop != nil {
+		return
+	}
+	p.monStop = make(chan struct{})
+	p.monDone = make(chan struct{})
+	go func(stop, done chan struct{}) {
+		defer close(done)
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ticker.C:
+				if probe != nil {
+					probe()
+				}
+				// Asynchronous evaluation failures have no caller; the
+				// next tick retries.
+				_ = p.Broker.Autonomic().Evaluate()
+			case <-stop:
+				return
+			}
+		}
+	}(p.monStop, p.monDone)
+}
+
+// StopMonitor terminates the autonomic monitor and waits for it to exit.
+// It is idempotent and safe when no monitor is running.
+func (p *Platform) StopMonitor() {
+	p.pumpMu.Lock()
+	stop, done := p.monStop, p.monDone
+	p.monStop = nil
+	p.monDone = nil
+	p.pumpMu.Unlock()
+	if stop == nil {
+		return
+	}
+	close(stop)
+	<-done
+}

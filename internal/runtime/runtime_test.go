@@ -1,0 +1,639 @@
+package runtime
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/mddsm/mddsm/internal/broker"
+	"github.com/mddsm/mddsm/internal/dsc"
+	"github.com/mddsm/mddsm/internal/eu"
+	"github.com/mddsm/mddsm/internal/lts"
+	"github.com/mddsm/mddsm/internal/metamodel"
+	"github.com/mddsm/mddsm/internal/mwmeta"
+	"github.com/mddsm/mddsm/internal/registry"
+	"github.com/mddsm/mddsm/internal/script"
+)
+
+// toyDSML: Session contains Streams.
+func toyDSML(t testing.TB) *metamodel.Metamodel {
+	t.Helper()
+	mm := metamodel.New("toy-dsml")
+	mm.MustAddClass(&metamodel.Class{Name: "Session", References: []metamodel.Reference{
+		{Name: "streams", Target: "Stream", Containment: true, Many: true},
+	}})
+	mm.MustAddClass(&metamodel.Class{Name: "Stream", Attributes: []metamodel.Attribute{
+		{Name: "media", Kind: metamodel.KindString, Required: true},
+	}})
+	if err := mm.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return mm
+}
+
+func toyLTS() *lts.LTS {
+	l := lts.New("sem", "run")
+	l.On("run", "add-object:Session", "", "run",
+		lts.CommandTemplate{Op: "createSession", Target: "session:{id}"})
+	l.On("run", "add-object:Stream", "", "run",
+		lts.CommandTemplate{Op: "openStream", Target: "stream:{id}",
+			Args: map[string]string{"media": "{media}"}})
+	l.On("run", "remove-object:Stream", "", "run",
+		lts.CommandTemplate{Op: "closeStream", Target: "stream:{id}"})
+	return l
+}
+
+func toyRepo(t testing.TB) *registry.Repository {
+	t.Helper()
+	tx := dsc.NewTaxonomy()
+	tx.MustAdd(&dsc.DSC{ID: "op.open", Domain: "toy", Category: dsc.Operation})
+	r := registry.NewRepository(tx)
+	r.MustAdd(&registry.Procedure{
+		ID: "opener", ClassifiedBy: "op.open", Cost: 1,
+		Unit: eu.NewUnit("opener", eu.Invoke("svcOpen", "{target}", "media", "media")),
+	})
+	return r
+}
+
+// fullModel authors the four-layer middleware model used in most tests.
+func fullModel(t testing.TB) *metamodel.Model {
+	t.Helper()
+	b := mwmeta.NewBuilder("toy-vm", "toy")
+	b.UILayer("uci")
+	b.SynthesisLayer("se", "sem")
+	b.ControllerLayer("ucm").
+		Action("createSession", "createSession", "",
+			mwmeta.StepSpec{Op: "svcCreate", Target: "{target}"}).
+		Action("closeStream", "closeStream", "",
+			mwmeta.StepSpec{Op: "svcClose", Target: "{target}"}).
+		Class("openStream", "op.open").
+		EventAction("onFail", "streamFailed", "", false, "",
+			mwmeta.StepSpec{Op: "svcRecover", Target: "stream:{stream}"}).
+		Done().
+		BrokerLayer("ncb").
+		// Action order matters: the media-forwarding action is declared
+		// first so svcOpen matches it; everything else passes through.
+		Action("withMedia", "svcOpen", "",
+			mwmeta.StepSpec{Op: "{op}", Target: "{target}",
+				Args: map[string]string{"media": "{media}"}}).
+		Action("passthrough", "*", "",
+			mwmeta.StepSpec{Op: "{op}", Target: "{target}"}).
+		Bind("*", "main")
+	if err := b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return b.Model()
+}
+
+// rec is a thread-safe recording adapter.
+type rec struct {
+	mu    sync.Mutex
+	trace script.Trace
+}
+
+func (r *rec) Execute(cmd script.Command) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.trace.Record(cmd)
+	return nil
+}
+
+func (r *rec) lines() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.trace.Lines()
+}
+
+func (r *rec) reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.trace = script.Trace{}
+}
+
+func buildFull(t testing.TB) (*Platform, *rec) {
+	t.Helper()
+	r := &rec{}
+	p, err := Build(fullModel(t), Deps{
+		DSML:       toyDSML(t),
+		LTSes:      map[string]*lts.LTS{"sem": toyLTS()},
+		Adapters:   map[string]broker.Adapter{"main": r},
+		Repository: toyRepo(t),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, r
+}
+
+func TestBuildFullStack(t *testing.T) {
+	p, _ := buildFull(t)
+	if p.Name != "toy-vm" || p.Domain != "toy" {
+		t.Errorf("identity: %s/%s", p.Name, p.Domain)
+	}
+	if p.UI == nil || p.Synthesis == nil || p.Controller == nil || p.Broker == nil {
+		t.Fatal("all four layers must be instantiated")
+	}
+}
+
+func TestEndToEndModelSubmission(t *testing.T) {
+	p, r := buildFull(t)
+
+	// Author an application model through the UI layer and submit.
+	draft := p.UI.NewDraft()
+	draft.MustAdd("s1", "Session").SetRef("streams", "st1")
+	draft.MustAdd("st1", "Stream").SetAttr("media", "audio")
+	out, err := draft.Submit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 2 {
+		t.Fatalf("script: %s", out)
+	}
+
+	text := strings.Join(r.lines(), "\n")
+	// createSession took the Case-1 path (predefined action), openStream
+	// took Case 2 (intent generation through the repository).
+	for _, want := range []string{"svcCreate session:s1", `svcOpen stream:st1 media="audio"`} {
+		if !strings.Contains(text, want) {
+			t.Errorf("missing %q in:\n%s", want, text)
+		}
+	}
+	// The runtime model reached the UI layer.
+	if p.UI.RuntimeModel().Len() != 2 {
+		t.Error("runtime model not published to UI")
+	}
+
+	// models@runtime: editing the draft and resubmitting produces only
+	// the delta.
+	r.reset()
+	edit := p.UI.EditDraft()
+	if err := edit.Remove("st1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := edit.Submit(); err != nil {
+		t.Fatal(err)
+	}
+	text = strings.Join(r.lines(), "\n")
+	if !strings.Contains(text, "svcClose stream:st1") || strings.Contains(text, "svcCreate") {
+		t.Errorf("delta script:\n%s", text)
+	}
+}
+
+func TestEventFlowsUpThroughLayers(t *testing.T) {
+	p, r := buildFull(t)
+	// A resource event enters the Broker (unmatched there), reaches the
+	// Controller's event handler, which recovers via a broker call.
+	err := p.DeliverEvent(broker.Event{Name: "streamFailed", Attrs: map[string]any{"stream": "st9"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(strings.Join(r.lines(), "\n"), "svcRecover stream:st9") {
+		t.Errorf("recovery trace:\n%s", strings.Join(r.lines(), "\n"))
+	}
+}
+
+func TestEventPump(t *testing.T) {
+	p, r := buildFull(t)
+	p.Start()
+	defer p.Stop()
+	if !p.PostEvent(broker.Event{Name: "streamFailed", Attrs: map[string]any{"stream": "stA"}}) {
+		t.Fatal("PostEvent while running")
+	}
+	deadline := time.After(2 * time.Second)
+	for {
+		if strings.Contains(strings.Join(r.lines(), "\n"), "svcRecover stream:stA") {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("pump did not deliver; trace:\n%s", strings.Join(r.lines(), "\n"))
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	p.Stop()
+	if p.PostEvent(broker.Event{Name: "x"}) {
+		t.Error("PostEvent after Stop must report false")
+	}
+	// Idempotency.
+	p.Start()
+	p.Start()
+	p.Stop()
+	p.Stop()
+}
+
+func TestLayerSuppressionControllerBroker(t *testing.T) {
+	// A 2SVM-smart-object-style platform: Controller + Broker only,
+	// driven by scripts, external events escape upward.
+	b := mwmeta.NewBuilder("object-vm", "smartspace")
+	b.ControllerLayer("mw").
+		Action("setProp", "setProp", "",
+			mwmeta.StepSpec{Op: "svcSet", Target: "{target}",
+				Args: map[string]string{"value": "{value}"}}).
+		Done().
+		BrokerLayer("broker").
+		Action("any", "*", "",
+			mwmeta.StepSpec{Op: "{op}", Target: "{target}",
+				Args: map[string]string{"value": "{value}"}}).
+		Bind("*", "main")
+	if err := b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	r := &rec{}
+	var escaped []broker.Event
+	p, err := Build(b.Model(), Deps{
+		Adapters: map[string]broker.Adapter{"main": r},
+	}, WithExternalEvents(func(e broker.Event) { escaped = append(escaped, e) }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.UI != nil || p.Synthesis != nil {
+		t.Fatal("suppressed layers must be nil")
+	}
+	if _, err := p.SubmitModel(metamodel.NewModel("x")); err == nil {
+		t.Error("SubmitModel without synthesis must fail")
+	}
+	s := script.New("cmds").Append(script.NewCommand("setProp", "object:lamp1").WithArg("value", true))
+	if err := p.Execute(s); err != nil {
+		t.Fatal(err)
+	}
+	if r.lines()[0] != "svcSet object:lamp1 value=true" {
+		t.Errorf("trace: %v", r.lines())
+	}
+	// Events with no handler anywhere escape to the external sink.
+	if err := p.DeliverEvent(broker.Event{Name: "objectLeft"}); err != nil {
+		t.Fatal(err)
+	}
+	if len(escaped) != 1 || escaped[0].Name != "objectLeft" {
+		t.Errorf("escaped events: %v", escaped)
+	}
+}
+
+func TestExecuteWithoutController(t *testing.T) {
+	b := mwmeta.NewBuilder("broker-only", "d")
+	b.BrokerLayer("broker").Action("any", "*", "").Bind("*", "main")
+	p, err := Build(b.Model(), Deps{Adapters: map[string]broker.Adapter{"main": &rec{}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Execute(script.New("s")); err == nil {
+		t.Error("Execute without controller must fail")
+	}
+}
+
+func TestBuildConsistencyErrors(t *testing.T) {
+	dsml := toyDSML(t)
+	adapters := map[string]broker.Adapter{"main": &rec{}}
+
+	t.Run("nonconforming model", func(t *testing.T) {
+		m := metamodel.NewModel(mwmeta.Name)
+		m.NewObject("x", "Bogus")
+		if _, err := Build(m, Deps{}); err == nil || !strings.Contains(err.Error(), "conform") {
+			t.Errorf("got %v", err)
+		}
+	})
+	t.Run("no platform", func(t *testing.T) {
+		m := metamodel.NewModel(mwmeta.Name)
+		if _, err := Build(m, Deps{}); err == nil || !strings.Contains(err.Error(), "exactly one Platform") {
+			t.Errorf("got %v", err)
+		}
+	})
+	t.Run("controller without broker", func(t *testing.T) {
+		b := mwmeta.NewBuilder("vm", "d")
+		b.ControllerLayer("c")
+		_, err := Build(b.Model(), Deps{})
+		if err == nil || !strings.Contains(err.Error(), "requires a BrokerLayer") {
+			t.Errorf("got %v", err)
+		}
+	})
+	t.Run("synthesis without controller", func(t *testing.T) {
+		b := mwmeta.NewBuilder("vm", "d")
+		b.SynthesisLayer("s", "sem")
+		b.BrokerLayer("br").Bind("*", "main")
+		_, err := Build(b.Model(), Deps{Adapters: adapters})
+		if err == nil || !strings.Contains(err.Error(), "requires a ControllerLayer") {
+			t.Errorf("got %v", err)
+		}
+	})
+	t.Run("ui without synthesis", func(t *testing.T) {
+		b := mwmeta.NewBuilder("vm", "d")
+		b.UILayer("u")
+		b.ControllerLayer("c")
+		b.BrokerLayer("br").Bind("*", "main")
+		_, err := Build(b.Model(), Deps{Adapters: adapters})
+		if err == nil || !strings.Contains(err.Error(), "requires a SynthesisLayer") {
+			t.Errorf("got %v", err)
+		}
+	})
+	t.Run("no broker at all", func(t *testing.T) {
+		b := mwmeta.NewBuilder("vm", "d")
+		b.Model().NewObject("lay", mwmeta.ClassUILayer).SetAttr("name", "u")
+		b.Model().Get("platform").AddRef("layers", "lay")
+		_, err := Build(b.Model(), Deps{DSML: dsml})
+		if err == nil {
+			t.Error("want error")
+		}
+	})
+	t.Run("unknown adapter", func(t *testing.T) {
+		b := mwmeta.NewBuilder("vm", "d")
+		b.BrokerLayer("br").Bind("*", "ghost")
+		_, err := Build(b.Model(), Deps{})
+		if err == nil || !strings.Contains(err.Error(), "unknown adapter") {
+			t.Errorf("got %v", err)
+		}
+	})
+	t.Run("unknown lts", func(t *testing.T) {
+		b := mwmeta.NewBuilder("vm", "d")
+		b.SynthesisLayer("s", "ghost")
+		b.ControllerLayer("c").Done()
+		b.BrokerLayer("br").Bind("*", "main")
+		_, err := Build(b.Model(), Deps{DSML: dsml, Adapters: adapters})
+		if err == nil || !strings.Contains(err.Error(), "unknown LTS") {
+			t.Errorf("got %v", err)
+		}
+	})
+	t.Run("synthesis without dsml", func(t *testing.T) {
+		b := mwmeta.NewBuilder("vm", "d")
+		b.SynthesisLayer("s", "sem")
+		b.ControllerLayer("c").Done()
+		b.BrokerLayer("br").Bind("*", "main")
+		_, err := Build(b.Model(), Deps{Adapters: adapters, LTSes: map[string]*lts.LTS{"sem": toyLTS()}})
+		if err == nil || !strings.Contains(err.Error(), "no DSML") {
+			t.Errorf("got %v", err)
+		}
+	})
+	t.Run("command class without repository", func(t *testing.T) {
+		b := mwmeta.NewBuilder("vm", "d")
+		b.ControllerLayer("c").Class("x", "op.ghost").Done()
+		b.BrokerLayer("br").Bind("*", "main")
+		_, err := Build(b.Model(), Deps{Adapters: adapters})
+		if err == nil || !strings.Contains(err.Error(), "no procedure repository") {
+			t.Errorf("got %v", err)
+		}
+	})
+	t.Run("command class unknown dsc", func(t *testing.T) {
+		b := mwmeta.NewBuilder("vm", "d")
+		b.ControllerLayer("c").Class("x", "op.ghost").Done()
+		b.BrokerLayer("br").Bind("*", "main")
+		_, err := Build(b.Model(), Deps{Adapters: adapters, Repository: toyRepo(t)})
+		if err == nil || !strings.Contains(err.Error(), "not in taxonomy") {
+			t.Errorf("got %v", err)
+		}
+	})
+	t.Run("bad guard expression", func(t *testing.T) {
+		b := mwmeta.NewBuilder("vm", "d")
+		b.BrokerLayer("br").Action("a", "x", "((").Bind("*", "main")
+		_, err := Build(b.Model(), Deps{Adapters: adapters})
+		if err == nil || !strings.Contains(err.Error(), "guard") {
+			t.Errorf("got %v", err)
+		}
+	})
+	t.Run("bad policy condition", func(t *testing.T) {
+		b := mwmeta.NewBuilder("vm", "d")
+		b.BrokerLayer("br").Policy(mwmeta.PolicySpec{Name: "p", Condition: "(("}).Bind("*", "main")
+		_, err := Build(b.Model(), Deps{Adapters: adapters})
+		if err == nil || !strings.Contains(err.Error(), "policy") {
+			t.Errorf("got %v", err)
+		}
+	})
+	t.Run("bad symptom condition", func(t *testing.T) {
+		b := mwmeta.NewBuilder("vm", "d")
+		b.BrokerLayer("br").Symptom("s", "((").Bind("*", "main")
+		_, err := Build(b.Model(), Deps{Adapters: adapters})
+		if err == nil || !strings.Contains(err.Error(), "symptom") {
+			t.Errorf("got %v", err)
+		}
+	})
+	t.Run("installed script on broker rejected", func(t *testing.T) {
+		b := mwmeta.NewBuilder("vm", "d")
+		bb := b.BrokerLayer("br")
+		bb.Bind("*", "main")
+		// Hand-author a broker event action with a scriptName.
+		ev := b.Model().NewObject("evx", mwmeta.ClassEventAction).
+			SetAttr("name", "bad").SetAttr("event", "e").SetAttr("scriptName", "s")
+		for _, o := range b.Model().ObjectsOf(mwmeta.ClassBrokerLayer) {
+			o.AddRef("eventActions", ev.ID)
+		}
+		_, err := Build(b.Model(), Deps{Adapters: adapters,
+			Scripts: map[string]*script.Script{"s": script.New("s")}})
+		if err == nil || !strings.Contains(err.Error(), "Controller-layer feature") {
+			t.Errorf("got %v", err)
+		}
+	})
+	t.Run("unknown installed script", func(t *testing.T) {
+		b := mwmeta.NewBuilder("vm", "d")
+		b.ControllerLayer("c").EventAction("e", "ev", "", false, "ghost").Done()
+		b.BrokerLayer("br").Bind("*", "main")
+		_, err := Build(b.Model(), Deps{Adapters: adapters})
+		if err == nil || !strings.Contains(err.Error(), "unknown installed script") {
+			t.Errorf("got %v", err)
+		}
+	})
+}
+
+func TestSplitOps(t *testing.T) {
+	tests := []struct {
+		in   string
+		want string
+	}{
+		{"a", "a"},
+		{"a,b,c", "a|b|c"},
+		{"", ""},
+		{"a,,b", "a|b"},
+	}
+	for _, tt := range tests {
+		got := strings.Join(splitOps(tt.in), "|")
+		if got != tt.want {
+			t.Errorf("splitOps(%q) = %q want %q", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestCallerModelNotMutatedByDefaults(t *testing.T) {
+	m := fullModel(t)
+	before, err := metamodel.MarshalModel(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Build(m, Deps{
+		DSML:       toyDSML(t),
+		LTSes:      map[string]*lts.LTS{"sem": toyLTS()},
+		Adapters:   map[string]broker.Adapter{"main": &rec{}},
+		Repository: toyRepo(t),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	after, err := metamodel.MarshalModel(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(before) != string(after) {
+		t.Error("Build must not mutate the caller's middleware model")
+	}
+}
+
+func TestConcurrentSubmissionsAndEvents(t *testing.T) {
+	// Full-stack stress: concurrent model submissions through the UI while
+	// resource events pour in through the pump. Exercises the layer
+	// serialisation (synthesis busy/pending queue, broker/controller event
+	// drains) under the race detector.
+	p, _ := buildFull(t)
+	p.Start()
+	defer p.Stop()
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 40; i++ {
+			draft := p.UI.NewDraft()
+			draft.MustAdd("s1", "Session").SetRef("streams", "st1")
+			draft.MustAdd("st1", "Stream").SetAttr("media", "audio")
+			if _, err := draft.Submit(); err != nil {
+				t.Errorf("submit %d: %v", i, err)
+				return
+			}
+			empty := p.UI.NewDraft()
+			if _, err := empty.Submit(); err != nil {
+				t.Errorf("teardown %d: %v", i, err)
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			p.PostEvent(broker.Event{Name: "streamFailed",
+				Attrs: map[string]any{"stream": fmt.Sprintf("st%d", i)}})
+		}
+	}()
+	wg.Wait()
+}
+
+func TestAutonomicMonitorLoop(t *testing.T) {
+	// A broker-only platform with a symptom; the monitor's probe publishes
+	// "pressure" into the broker context and the loop evaluates symptoms.
+	b := mwmeta.NewBuilder("mon-vm", "d")
+	b.BrokerLayer("brk").
+		Symptom("overPressure", "pressure > 10").
+		ChangePlan("overPressure",
+			mwmeta.StepSpec{Op: "ventValve", Target: "valve:1"}).
+		PassthroughAction("pass", "*", "",
+			mwmeta.StepSpec{Op: "{op}", Target: "{target}"}).
+		Bind("*", "main")
+	r := &rec{}
+	p, err := Build(b.Model(), Deps{Adapters: map[string]broker.Adapter{"main": r}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pressure := 0
+	p.StartMonitor(2*time.Millisecond, func() {
+		pressure += 6
+		p.Broker.Context().Set("pressure", pressure)
+	})
+	p.StartMonitor(time.Hour, nil) // idempotent
+	defer p.Stop()
+
+	deadline := time.After(2 * time.Second)
+	for len(p.Broker.Autonomic().Handled()) == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("monitor never triggered the change plan")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	if got := strings.Join(r.lines(), ";"); !strings.Contains(got, "ventValve valve:1") {
+		t.Errorf("plan steps: %s", got)
+	}
+	p.StopMonitor()
+	p.StopMonitor() // idempotent when already stopped
+}
+
+func TestSetExternalEventsObservesTopOfStack(t *testing.T) {
+	p, _ := buildFull(t)
+	var mu sync.Mutex
+	var seen []string
+	p.SetExternalEvents(func(e broker.Event) {
+		mu.Lock()
+		seen = append(seen, e.Name)
+		mu.Unlock()
+	})
+	// An event with no handlers anywhere bubbles through all four layers
+	// to the external observer.
+	if err := p.DeliverEvent(broker.Event{Name: "totallyUnknown"}); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seen) != 1 || seen[0] != "totallyUnknown" {
+		t.Errorf("observed: %v", seen)
+	}
+}
+
+func TestEventActionGuardAndForwardFromModel(t *testing.T) {
+	// Exercise the factory's guard-parsing path for event actions and the
+	// broker event-action with a bad guard expression.
+	b := mwmeta.NewBuilder("vm", "d")
+	b.BrokerLayer("brk").
+		EventAction("guarded", "tick", "level > 3", false,
+			mwmeta.StepSpec{Op: "acted", Target: "t"}).
+		PassthroughAction("pass", "*", "",
+			mwmeta.StepSpec{Op: "{op}", Target: "{target}"}).
+		Bind("*", "main")
+	r := &rec{}
+	p, err := Build(b.Model(), Deps{Adapters: map[string]broker.Adapter{"main": r}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.DeliverEvent(broker.Event{Name: "tick", Attrs: map[string]any{"level": 5}}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(strings.Join(r.lines(), ";"), "acted t") {
+		t.Errorf("guarded event action: %v", r.lines())
+	}
+
+	// Bad event-action guard is rejected at build time.
+	b2 := mwmeta.NewBuilder("vm2", "d")
+	b2.BrokerLayer("brk").
+		EventAction("broken", "tick", "((", false).
+		Bind("*", "main")
+	if _, err := Build(b2.Model(), Deps{Adapters: map[string]broker.Adapter{"main": r}}); err == nil {
+		t.Error("bad event guard must fail the build")
+	}
+}
+
+func TestPolicyEffectsFromModel(t *testing.T) {
+	// Policies with effects flow from the middleware model into the live
+	// Controller: the effect forces the action case even though only an
+	// intent route exists, which must then error.
+	b := mwmeta.NewBuilder("vm", "d")
+	b.ControllerLayer("ctl").
+		Class("go", "op.open").
+		Policy(mwmeta.PolicySpec{Name: "force", Priority: 9, Condition: "true",
+			Effects: map[string]string{"case": "action"}}).
+		Done().
+		BrokerLayer("brk").Bind("*", "main")
+	p, err := Build(b.Model(), Deps{
+		Adapters:   map[string]broker.Adapter{"main": &rec{}},
+		Repository: toyRepo(t),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = p.Execute(script.New("s").Append(script.NewCommand("go", "t")))
+	if err == nil || !strings.Contains(err.Error(), "no action handles") {
+		t.Errorf("policy effect must force the action case: %v", err)
+	}
+}
+
+func TestSubmitModelConformanceError(t *testing.T) {
+	p, _ := buildFull(t)
+	bad := metamodel.NewModel("toy-dsml")
+	bad.NewObject("x", "Stream") // missing required media
+	if _, err := p.SubmitModel(bad); err == nil {
+		t.Error("non-conformant app model must fail")
+	}
+}

@@ -1,0 +1,46 @@
+package script
+
+import (
+	"strings"
+
+	"github.com/mddsm/mddsm/internal/expr"
+)
+
+// Template is a command with {placeholder} holes. Actions in the Broker and
+// Controller layers are sequences of templates; the runtime factory builds
+// them from middleware-model metadata (the paper's "code templates that are
+// parameterized with metadata from the middleware model").
+type Template struct {
+	Op     string
+	Target string
+	Args   map[string]string
+}
+
+// Expand instantiates the template against a scope. Literal argument values
+// (no placeholders) use the command-argument value syntax, so numbers and
+// booleans keep their types; single-placeholder values keep the native type
+// of the bound value.
+func (t Template) Expand(scope expr.Scope) (Command, error) {
+	op, err := expr.InterpolateString(t.Op, scope)
+	if err != nil {
+		return Command{}, err
+	}
+	target, err := expr.InterpolateString(t.Target, scope)
+	if err != nil {
+		return Command{}, err
+	}
+	cmd := NewCommand(op, target)
+	for k, tpl := range t.Args {
+		var v any
+		if strings.Contains(tpl, "{") {
+			v, err = expr.Interpolate(tpl, scope)
+			if err != nil {
+				return Command{}, err
+			}
+		} else {
+			v = ParseScalar(tpl)
+		}
+		cmd = cmd.WithArg(k, v)
+	}
+	return cmd, nil
+}

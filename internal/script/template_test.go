@@ -1,0 +1,48 @@
+package script
+
+import (
+	"testing"
+
+	"github.com/mddsm/mddsm/internal/expr"
+)
+
+func TestTemplateExpand(t *testing.T) {
+	tpl := Template{
+		Op:     "open{Kind}",
+		Target: "dev:{id}",
+		Args: map[string]string{
+			"rate":  "{rate}",   // native type preserved
+			"label": "r-{rate}", // interpolated to string
+			"lit":   "42",       // literal scalar
+			"flag":  "true",
+			"text":  "plain",
+		},
+	}
+	scope := expr.MapScope{"Kind": "Stream", "id": "d1", "rate": 2.5}
+	cmd, err := tpl.Expand(scope)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmd.Op != "openStream" || cmd.Target != "dev:d1" {
+		t.Errorf("op/target: %s %s", cmd.Op, cmd.Target)
+	}
+	if cmd.NumArg("rate") != 2.5 || cmd.StringArg("label") != "r-2.5" {
+		t.Errorf("args: %v", cmd.Args)
+	}
+	if cmd.NumArg("lit") != 42 || !cmd.BoolArg("flag") || cmd.StringArg("text") != "plain" {
+		t.Errorf("literals: %v", cmd.Args)
+	}
+}
+
+func TestTemplateExpandErrors(t *testing.T) {
+	scope := expr.MapScope{}
+	if _, err := (Template{Op: "{ghost}", Target: "t"}).Expand(scope); err == nil {
+		t.Error("unbound op")
+	}
+	if _, err := (Template{Op: "op", Target: "{ghost}"}).Expand(scope); err == nil {
+		t.Error("unbound target")
+	}
+	if _, err := (Template{Op: "op", Target: "t", Args: map[string]string{"a": "{ghost}"}}).Expand(scope); err == nil {
+		t.Error("unbound arg")
+	}
+}

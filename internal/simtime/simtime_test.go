@@ -1,0 +1,80 @@
+package simtime
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestVirtualClockAdvances(t *testing.T) {
+	c := NewVirtual()
+	start := c.Now()
+	c.Sleep(250 * time.Millisecond)
+	if got := c.Since(start); got != 250*time.Millisecond {
+		t.Errorf("Since: %v", got)
+	}
+	c.Advance(time.Second)
+	if got := c.Since(start); got != 1250*time.Millisecond {
+		t.Errorf("after Advance: %v", got)
+	}
+	// Negative sleeps are ignored.
+	c.Sleep(-time.Hour)
+	if got := c.Since(start); got != 1250*time.Millisecond {
+		t.Errorf("negative sleep must not rewind: %v", got)
+	}
+}
+
+func TestVirtualClockDeterministicEpoch(t *testing.T) {
+	a, b := NewVirtual(), NewVirtual()
+	if !a.Now().Equal(b.Now()) {
+		t.Error("fresh virtual clocks must share the epoch")
+	}
+}
+
+func TestVirtualClockConcurrency(t *testing.T) {
+	c := NewVirtual()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Sleep(time.Millisecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Since(NewVirtual().Now()); got != 8*time.Second {
+		t.Errorf("8000 concurrent 1ms sleeps: %v", got)
+	}
+}
+
+func TestRealClock(t *testing.T) {
+	var c Clock = RealClock{}
+	start := c.Now()
+	c.Sleep(time.Millisecond)
+	if c.Since(start) <= 0 {
+		t.Error("real clock must advance")
+	}
+}
+
+func TestStopwatch(t *testing.T) {
+	c := NewVirtual()
+	sw := NewStopwatch(c)
+	c.Sleep(300 * time.Millisecond)
+	if sw.Elapsed() != 300*time.Millisecond {
+		t.Errorf("Elapsed: %v", sw.Elapsed())
+	}
+	sw.Restart()
+	if sw.Elapsed() != 0 {
+		t.Errorf("after Restart: %v", sw.Elapsed())
+	}
+}
+
+func TestFormatMillis(t *testing.T) {
+	got := FormatMillis(1234567 * time.Microsecond)
+	if !strings.Contains(got, "1234.567 ms") {
+		t.Errorf("FormatMillis: %q", got)
+	}
+}

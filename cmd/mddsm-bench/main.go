@@ -25,6 +25,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("mddsm-bench", flag.ContinueOnError)
 	exp := fs.String("e", "", "experiment to run (e1..e6); empty runs all")
+	withObs := fs.Bool("obs", false, "print per-phase span counts for an instrumented run instead of the experiments")
 	iters := fs.Int("iters", 50, "iterations per scenario for timing experiments (e2)")
 	root := fs.String("root", "", "repository root for source-size accounting (e5); auto-detected when empty")
 	if err := fs.Parse(args); err != nil {
@@ -32,6 +33,9 @@ func run(args []string) error {
 	}
 
 	w := os.Stdout
+	if *withObs {
+		return experiments.ReportObs(w)
+	}
 	runE5 := func() error {
 		dir := *root
 		if dir == "" {

@@ -1,0 +1,11 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestRunObsReport(t *testing.T) {
+	if err := run([]string{"-obs"}); err != nil {
+		t.Fatal(err)
+	}
+}

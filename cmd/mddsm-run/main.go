@@ -20,6 +20,7 @@ import (
 	"github.com/mddsm/mddsm/internal/domains/cml"
 	"github.com/mddsm/mddsm/internal/domains/mgrid"
 	"github.com/mddsm/mddsm/internal/metamodel"
+	"github.com/mddsm/mddsm/internal/obs"
 	"github.com/mddsm/mddsm/internal/script"
 )
 
@@ -34,6 +35,7 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("mddsm-run", flag.ContinueOnError)
 	domain := fs.String("domain", "cvm", "platform to run: cvm or mgridvm")
 	modelPath := fs.String("model", "", "application model JSON")
+	withObs := fs.Bool("obs", false, "instrument the platform and print an observability snapshot")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -49,13 +51,22 @@ func run(args []string) error {
 		return err
 	}
 
+	var o *obs.Obs
+	if *withObs {
+		o = obs.New()
+	}
+
 	var (
 		out   *script.Script
 		trace string
 	)
 	switch *domain {
 	case "cvm":
-		vm, err := cml.New()
+		var opts []cml.Option
+		if o != nil {
+			opts = append(opts, cml.WithObs(o))
+		}
+		vm, err := cml.New(opts...)
 		if err != nil {
 			return err
 		}
@@ -65,7 +76,11 @@ func run(args []string) error {
 		}
 		trace = vm.Service.Trace().String()
 	case "mgridvm":
-		vm, err := mgrid.New()
+		var opts []mgrid.Option
+		if o != nil {
+			opts = append(opts, mgrid.WithObs(o))
+		}
+		vm, err := mgrid.New(opts...)
 		if err != nil {
 			return err
 		}
@@ -82,5 +97,9 @@ func run(args []string) error {
 	fmt.Println(script.Format(out))
 	fmt.Println("# resource trace")
 	fmt.Println(trace)
+	if o != nil {
+		fmt.Println("# observability snapshot")
+		fmt.Println(o.Snapshot())
+	}
 	return nil
 }

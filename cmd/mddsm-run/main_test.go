@@ -28,6 +28,17 @@ func TestRunMGridVM(t *testing.T) {
 	}
 }
 
+func TestRunObs(t *testing.T) {
+	for _, c := range [][]string{
+		{"-domain", "cvm", "-model", data(t, "session.json"), "-obs"},
+		{"-domain", "mgridvm", "-model", data(t, "home.json"), "-obs"},
+	} {
+		if err := run(c); err != nil {
+			t.Errorf("%v: %v", c, err)
+		}
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	if err := run([]string{"-domain", "cvm"}); err == nil {
 		t.Error("missing -model must fail")

@@ -88,7 +88,7 @@ func (n *HandcraftedNCB) onEvent(e comm.Event) {
 		return
 	}
 	// Recovery failures have no caller; the stream simply stays down.
-	_ = n.Service.ReconfigureStream(e.Session, e.Stream, comm.Audio, 32)
+	_ = n.Service.ReconfigureStream(e.Str("session"), e.Str("stream"), comm.Audio, 32)
 }
 
 func stripPrefix(target string) string {

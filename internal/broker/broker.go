@@ -13,6 +13,7 @@ import (
 	"sync"
 
 	"github.com/mddsm/mddsm/internal/expr"
+	"github.com/mddsm/mddsm/internal/obs"
 	"github.com/mddsm/mddsm/internal/policy"
 	"github.com/mddsm/mddsm/internal/script"
 )
@@ -189,6 +190,10 @@ type Config struct {
 	Policies     []policy.Policy
 	Symptoms     []Symptom
 	ChangePlans  []ChangePlan
+	// Tracer and Metrics observe the layer; both may be nil (disabled),
+	// in which case the call path pays only a nil check.
+	Tracer  *obs.Tracer
+	Metrics *obs.Metrics
 }
 
 // Broker is the live Broker layer. Its call path takes no layer-wide lock:
@@ -209,6 +214,11 @@ type Broker struct {
 	notify    func(Event) // upward event propagation (to Controller)
 	funcs     map[string]expr.Func
 
+	tracer  *obs.Tracer
+	mCalls  *obs.Counter
+	mSteps  *obs.Counter
+	mEvents *obs.Counter
+
 	evMu       sync.Mutex
 	evQueue    []Event
 	evDraining bool
@@ -227,6 +237,10 @@ func New(cfg Config, resources *ResourceManager, notify func(Event)) *Broker {
 		events:    cfg.EventActions,
 		notify:    notify,
 		funcs:     expr.StdFuncs(),
+		tracer:    cfg.Tracer,
+		mCalls:    cfg.Metrics.Counter(obs.MBrokerCalls),
+		mSteps:    cfg.Metrics.Counter(obs.MBrokerSteps),
+		mEvents:   cfg.Metrics.Counter(obs.MBrokerEvents),
 	}
 	b.autonomic = newAutonomic(b, cfg.Symptoms, cfg.ChangePlans)
 	return b
@@ -265,6 +279,10 @@ func (b *Broker) callScope(cmd script.Command) expr.MapScope {
 // Call is the layer interface exposed to the Controller: it selects an
 // action for the command via the layer's handlers and executes it.
 func (b *Broker) Call(cmd script.Command) error {
+	b.mCalls.Inc()
+	sp := b.tracer.Start(obs.SpanBrokerCall)
+	sp.SetStr("op", cmd.Op)
+	defer sp.End()
 	scope := b.callScope(cmd)
 	action, err := b.selectAction(cmd.Op, scope)
 	if err != nil {
@@ -318,11 +336,27 @@ func (b *Broker) runStepsForward(actionName string, steps []Step, scope expr.Map
 				cmd = cmd.WithArg(k, v)
 			}
 		}
-		if err := b.resources.Execute(cmd); err != nil {
+		b.mSteps.Inc()
+		if err := b.executeStep(cmd); err != nil {
 			return fmt.Errorf("broker %s: action %s: step %d: %w", b.name, actionName, i, err)
 		}
 	}
 	return nil
+}
+
+// executeStep runs one expanded resource command, wrapping the adapter
+// hop in its own span when tracing is enabled.
+func (b *Broker) executeStep(cmd script.Command) error {
+	if b.tracer == nil {
+		return b.resources.Execute(cmd)
+	}
+	step := b.tracer.Start(obs.SpanBrokerStep)
+	step.SetStr("op", cmd.Op)
+	res := b.tracer.Start(obs.SpanResourceExecute)
+	err := b.resources.Execute(cmd)
+	res.End()
+	step.End()
+	return err
 }
 
 // OnEvent is the layer's event entry point: resource adapters push events
@@ -360,6 +394,10 @@ func (b *Broker) OnEvent(ev Event) error {
 // processEvent runs matching event actions, forwards upward when asked (or
 // when unmatched), then lets the autonomic manager evaluate its symptoms.
 func (b *Broker) processEvent(ev Event) error {
+	b.mEvents.Inc()
+	sp := b.tracer.Start(obs.SpanBrokerEvent)
+	sp.SetStr("event", ev.Name)
+	defer sp.End()
 	scope := b.context.Snapshot()
 	scope["event"] = ev.Name
 	for k, v := range ev.Attrs {

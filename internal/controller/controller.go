@@ -18,6 +18,7 @@ import (
 	"github.com/mddsm/mddsm/internal/eu"
 	"github.com/mddsm/mddsm/internal/expr"
 	"github.com/mddsm/mddsm/internal/intent"
+	"github.com/mddsm/mddsm/internal/obs"
 	"github.com/mddsm/mddsm/internal/policy"
 	"github.com/mddsm/mddsm/internal/registry"
 	"github.com/mddsm/mddsm/internal/script"
@@ -92,6 +93,9 @@ type Config struct {
 	// Clock charges procedure costs and EU delays as virtual time; nil
 	// disables time accounting.
 	Clock simtime.Clock
+	// Tracer and Metrics observe the layer; both may be nil (disabled).
+	Tracer  *obs.Tracer
+	Metrics *obs.Metrics
 }
 
 // Stats counts layer activity for the evaluation harness.
@@ -100,6 +104,7 @@ type Stats struct {
 	Case1     int
 	Case2     int
 	Events    int
+	Denied    int // commands refused by a policy "deny" effect
 	Generated int // full IM generation cycles (excluding cache hits)
 	CacheHits int
 }
@@ -117,6 +122,12 @@ type Controller struct {
 	machine *eu.Machine
 	notify  func(broker.Event)
 	funcs   map[string]expr.Func
+
+	tracer    *obs.Tracer
+	mCommands *obs.Counter
+	mScripts  *obs.Counter
+	mEvents   *obs.Counter
+	mDenials  *obs.Counter
 
 	mu    sync.Mutex
 	stats Stats
@@ -147,15 +158,20 @@ func (s eventSink) Emit(event string, args map[string]any) {
 // forwarded to the Synthesis layer and may be nil.
 func New(cfg Config, b BrokerAPI, notify func(broker.Event)) *Controller {
 	c := &Controller{
-		name:    cfg.Name,
-		broker:  b,
-		context: policy.NewContext(),
-		engine:  policy.NewEngine(cfg.Policies...),
-		actions: cfg.Actions,
-		events:  cfg.EventActions,
-		classes: make(map[string]string, len(cfg.Classes)),
-		notify:  notify,
-		funcs:   expr.StdFuncs(),
+		name:      cfg.Name,
+		broker:    b,
+		context:   policy.NewContext(),
+		engine:    policy.NewEngine(cfg.Policies...),
+		actions:   cfg.Actions,
+		events:    cfg.EventActions,
+		classes:   make(map[string]string, len(cfg.Classes)),
+		notify:    notify,
+		funcs:     expr.StdFuncs(),
+		tracer:    cfg.Tracer,
+		mCommands: cfg.Metrics.Counter(obs.MControllerCommands),
+		mScripts:  cfg.Metrics.Counter(obs.MScriptsExecuted),
+		mEvents:   cfg.Metrics.Counter(obs.MControllerEvents),
+		mDenials:  cfg.Metrics.Counter(obs.MPolicyDenials),
 	}
 	for _, cl := range cfg.Classes {
 		c.classes[cl.Op] = cl.GoalDSC
@@ -168,6 +184,7 @@ func New(cfg Config, b BrokerAPI, notify func(broker.Event)) *Controller {
 		charger = clockCharger{clock: cfg.Clock}
 	}
 	c.machine = eu.NewMachine(brokerInvoker{b}, eventSink{c}, charger, cfg.Machine)
+	c.machine.SetObs(cfg.Tracer, cfg.Metrics)
 	return c
 }
 
@@ -208,6 +225,10 @@ func (c *Controller) InvalidateIntentCache() {
 // Synthesis layer. Commands are processed in order; the first failure
 // aborts the script.
 func (c *Controller) Execute(s *script.Script) error {
+	c.mScripts.Inc()
+	sp := c.tracer.Start(obs.SpanCtlScript)
+	sp.SetStr("script", s.ID)
+	defer sp.End()
 	for i, cmd := range s.Commands {
 		if err := c.Process(cmd); err != nil {
 			return fmt.Errorf("controller %s: script %s: command %d (%s): %w",
@@ -222,6 +243,10 @@ func (c *Controller) Process(cmd script.Command) error {
 	c.mu.Lock()
 	c.stats.Commands++
 	c.mu.Unlock()
+	c.mCommands.Inc()
+	sp := c.tracer.Start(obs.SpanCtlCommand)
+	sp.SetStr("op", cmd.Op)
+	defer sp.End()
 
 	scope := c.context.Snapshot()
 	scope["op"] = cmd.Op
@@ -238,6 +263,15 @@ func (c *Controller) Process(cmd script.Command) error {
 	d, err := c.engine.Decide(scope)
 	if err != nil {
 		return fmt.Errorf("classification: %w", err)
+	}
+	// Policies may refuse a command outright via the "deny" decision key;
+	// denials are counted so operators can see policy back-pressure.
+	if d.Bool("deny", false) {
+		c.mu.Lock()
+		c.stats.Denied++
+		c.mu.Unlock()
+		c.mDenials.Inc()
+		return fmt.Errorf("op %q denied by policy", cmd.Op)
 	}
 	execCase := d.String("case", "")
 	var (
@@ -399,6 +433,10 @@ func (c *Controller) processEvent(ev broker.Event) error {
 	c.mu.Lock()
 	c.stats.Events++
 	c.mu.Unlock()
+	c.mEvents.Inc()
+	sp := c.tracer.Start(obs.SpanCtlEvent)
+	sp.SetStr("event", ev.Name)
+	defer sp.End()
 
 	scope := c.context.Snapshot()
 	scope["event"] = ev.Name

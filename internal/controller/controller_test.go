@@ -10,6 +10,7 @@ import (
 	"github.com/mddsm/mddsm/internal/dsc"
 	"github.com/mddsm/mddsm/internal/eu"
 	"github.com/mddsm/mddsm/internal/expr"
+	"github.com/mddsm/mddsm/internal/obs"
 	"github.com/mddsm/mddsm/internal/policy"
 	"github.com/mddsm/mddsm/internal/registry"
 	"github.com/mddsm/mddsm/internal/script"
@@ -524,6 +525,41 @@ func TestPolicySelectsNamedAction(t *testing.T) {
 	}
 	if fb.trace.Lines()[1] != "openHigh s:2" {
 		t.Errorf("policy-selected: %q", fb.trace.Lines()[1])
+	}
+}
+
+func TestPolicyDeniesCommand(t *testing.T) {
+	fb := &fakeBroker{}
+	o := obs.New()
+	cfg := Config{Name: "c",
+		Actions: []*Action{{Name: "openAction", Ops: []string{"open"},
+			Steps: []script.Template{{Op: "svcOpen", Target: "{target}"}}}},
+		Policies: []policy.Policy{
+			policy.Rule("lockdown", 10, "locked", policy.Effect{Key: "deny", Value: true}),
+		},
+		Tracer:  o.TracerOf(),
+		Metrics: o.MetricsOf(),
+	}
+	c, _ := newController(t, cfg, fb)
+	// Unlocked: the command runs.
+	if err := c.Process(script.NewCommand("open", "s:1")); err != nil {
+		t.Fatal(err)
+	}
+	// Locked: the policy denies, the adapter stays untouched, the denial
+	// is counted in both the stats and the obs metrics.
+	c.Context().Set("locked", true)
+	err := c.Process(script.NewCommand("open", "s:2"))
+	if err == nil || !strings.Contains(err.Error(), "denied by policy") {
+		t.Fatalf("err = %v, want policy denial", err)
+	}
+	if n := len(fb.trace.Lines()); n != 1 {
+		t.Errorf("adapter saw %d commands, want 1", n)
+	}
+	if got := c.Stats().Denied; got != 1 {
+		t.Errorf("Stats.Denied = %d, want 1", got)
+	}
+	if got := o.MetricsOf().CounterValue(obs.MPolicyDenials); got != 1 {
+		t.Errorf("denials counter = %d, want 1", got)
 	}
 }
 

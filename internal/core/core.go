@@ -27,6 +27,7 @@ import (
 	"github.com/mddsm/mddsm/internal/lts"
 	"github.com/mddsm/mddsm/internal/metamodel"
 	"github.com/mddsm/mddsm/internal/mwmeta"
+	"github.com/mddsm/mddsm/internal/obs"
 	"github.com/mddsm/mddsm/internal/registry"
 	"github.com/mddsm/mddsm/internal/runtime"
 	"github.com/mddsm/mddsm/internal/script"
@@ -61,6 +62,9 @@ type Definition struct {
 	DSK DSK
 	// Clock charges virtual time; nil disables time accounting.
 	Clock simtime.Clock
+	// Obs observes every layer of the built platform (tracing + metrics);
+	// nil disables observability.
+	Obs *obs.Obs
 }
 
 // Validate cross-checks the definition without instantiating anything:
@@ -139,6 +143,8 @@ func Build(def Definition, opts ...runtime.Option) (*runtime.Platform, error) {
 		Repository: repo,
 		Scripts:    def.DSK.Scripts,
 		Clock:      def.Clock,
+		Tracer:     def.Obs.TracerOf(),
+		Metrics:    def.Obs.MetricsOf(),
 	}, opts...)
 	if err != nil {
 		return nil, fmt.Errorf("definition %s: %w", def.Name, err)

@@ -295,7 +295,7 @@ func TestMiddlewareModelJSONRoundTripRebuildsWorkingPlatform(t *testing.T) {
 	vm := &CVM{Clock: simtime.NewVirtual()}
 	vm.Service = comm.NewService(vm.Clock, func(e comm.Event) {
 		if vm.Platform != nil {
-			_ = vm.Platform.DeliverEvent(commEvent(e))
+			_ = vm.Platform.DeliverEvent(e.Broker())
 		}
 	})
 	p, err := core.Build(core.Definition{

@@ -8,6 +8,7 @@ import (
 	"github.com/mddsm/mddsm/internal/lts"
 	"github.com/mddsm/mddsm/internal/metamodel"
 	"github.com/mddsm/mddsm/internal/mwmeta"
+	"github.com/mddsm/mddsm/internal/obs"
 	"github.com/mddsm/mddsm/internal/resources/comm"
 	"github.com/mddsm/mddsm/internal/runtime"
 	"github.com/mddsm/mddsm/internal/simtime"
@@ -70,20 +71,37 @@ type CVM struct {
 	Clock    simtime.Clock
 }
 
+// Option customises CVM construction.
+type Option func(*buildOptions)
+
+type buildOptions struct {
+	obs *obs.Obs
+}
+
+// WithObs instruments every layer of the CVM with the given observability
+// bundle (tracing + metrics).
+func WithObs(o *obs.Obs) Option {
+	return func(b *buildOptions) { b.obs = o }
+}
+
 // New builds a CVM on a virtual clock. Events from the communication
 // service are delivered synchronously into the NCB so tests and scenarios
 // are deterministic.
-func New() (*CVM, error) {
+func New(opts ...Option) (*CVM, error) {
 	clock := simtime.NewVirtual()
-	return NewWithClock(clock)
+	return NewWithClock(clock, opts...)
 }
 
 // NewWithClock builds a CVM on the supplied clock.
-func NewWithClock(clock simtime.Clock) (*CVM, error) {
+func NewWithClock(clock simtime.Clock, opts ...Option) (*CVM, error) {
+	var bo buildOptions
+	for _, o := range opts {
+		o(&bo)
+	}
 	vm := &CVM{Clock: clock}
 	vm.Service = comm.NewService(clock, func(e comm.Event) {
 		if vm.Platform != nil {
-			_ = vm.Platform.DeliverEvent(commEvent(e))
+			_ = vm.Platform.DeliverEvent(e.Broker())
 		}
 	})
 	def := core.Definition{
@@ -97,6 +115,7 @@ func NewWithClock(clock simtime.Clock) (*CVM, error) {
 			Adapters:   map[string]broker.Adapter{"commService": NewAdapter(vm.Service)},
 		},
 		Clock: clock,
+		Obs:   bo.obs,
 	}
 	p, err := core.Build(def)
 	if err != nil {
@@ -140,7 +159,7 @@ func NewStandaloneNCB() (*StandaloneNCB, error) {
 	n := &StandaloneNCB{Clock: clock}
 	n.Service = comm.NewService(clock, func(e comm.Event) {
 		if n.Platform != nil {
-			_ = n.Platform.DeliverEvent(commEvent(e))
+			_ = n.Platform.DeliverEvent(e.Broker())
 		}
 	})
 	p, err := runtime.Build(NCBModel(), runtime.Deps{
@@ -152,19 +171,4 @@ func NewStandaloneNCB() (*StandaloneNCB, error) {
 	}
 	n.Platform = p
 	return n, nil
-}
-
-// commEvent converts a service event to a platform event.
-func commEvent(e comm.Event) broker.Event {
-	attrs := map[string]any{}
-	if e.Session != "" {
-		attrs["session"] = e.Session
-	}
-	if e.Stream != "" {
-		attrs["stream"] = e.Stream
-	}
-	if e.Participant != "" {
-		attrs["participant"] = e.Participant
-	}
-	return broker.Event{Name: e.Kind, Attrs: attrs}
 }

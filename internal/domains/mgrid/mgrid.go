@@ -23,6 +23,7 @@ import (
 	"github.com/mddsm/mddsm/internal/lts"
 	"github.com/mddsm/mddsm/internal/metamodel"
 	"github.com/mddsm/mddsm/internal/mwmeta"
+	"github.com/mddsm/mddsm/internal/obs"
 	"github.com/mddsm/mddsm/internal/registry"
 	"github.com/mddsm/mddsm/internal/resources/microgrid"
 	"github.com/mddsm/mddsm/internal/runtime"
@@ -266,17 +267,31 @@ type MGridVM struct {
 	Clock    simtime.Clock
 }
 
+// Option customises MGridVM construction.
+type Option func(*buildOptions)
+
+type buildOptions struct {
+	obs *obs.Obs
+}
+
+// WithObs instruments every layer of the MGridVM with the given
+// observability bundle (tracing + metrics).
+func WithObs(o *obs.Obs) Option {
+	return func(b *buildOptions) { b.obs = o }
+}
+
 // New builds an MGridVM on a virtual clock. Plant events are delivered
 // synchronously into the MHB.
-func New() (*MGridVM, error) {
+func New(opts ...Option) (*MGridVM, error) {
+	var bo buildOptions
+	for _, o := range opts {
+		o(&bo)
+	}
 	clock := simtime.NewVirtual()
 	vm := &MGridVM{Clock: clock}
 	vm.Plant = microgrid.NewPlant(clock, func(e microgrid.Event) {
 		if vm.Platform != nil {
-			_ = vm.Platform.DeliverEvent(broker.Event{
-				Name:  e.Kind,
-				Attrs: map[string]any{"device": e.Device},
-			})
+			_ = vm.Platform.DeliverEvent(e.Broker())
 		}
 	})
 	def := core.Definition{
@@ -290,6 +305,7 @@ func New() (*MGridVM, error) {
 			Adapters:   map[string]broker.Adapter{"plant": NewAdapter(vm.Plant)},
 		},
 		Clock: clock,
+		Obs:   bo.obs,
 	}
 	p, err := core.Build(def)
 	if err != nil {

@@ -158,7 +158,7 @@ func (h *Hub) onSpaceEvent(e spaceres.Event) {
 	h.mu.Lock()
 	matched := make([]rule, 0, 2)
 	for _, r := range h.rules {
-		if r.onEvent == e.Kind && (r.subject == "*" || r.subject == e.Object) {
+		if r.onEvent == e.Kind && (r.subject == "*" || r.subject == e.Str("object")) {
 			matched = append(matched, r)
 		}
 	}
@@ -174,7 +174,7 @@ func (h *Hub) onSpaceEvent(e spaceres.Event) {
 	}
 	if h.central != nil {
 		h.central(broker.Event{Name: e.Kind, Attrs: map[string]any{
-			"object": e.Object, "prop": e.Prop,
+			"object": e.Str("object"), "prop": e.Str("prop"),
 		}})
 	}
 }

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"github.com/mddsm/mddsm/internal/expr"
+	"github.com/mddsm/mddsm/internal/obs"
 	"github.com/mddsm/mddsm/internal/script"
 )
 
@@ -192,6 +193,9 @@ type Machine struct {
 	limits  Limits
 	funcs   map[string]expr.Func
 
+	tracer *obs.Tracer
+	mSteps *obs.Counter
+
 	steps int
 	stack []string // procedure labels, for diagnostics
 }
@@ -208,10 +212,22 @@ func NewMachine(broker Broker, events EventSink, charger TimeCharger, limits Lim
 	}
 }
 
+// SetObs attaches an observability pair to the machine. Both arguments
+// may be nil (disabled); the statement loop then pays only a nil check.
+func (m *Machine) SetObs(t *obs.Tracer, mx *obs.Metrics) {
+	m.tracer = t
+	m.mSteps = mx.Counter(obs.MEUSteps)
+}
+
 // Run executes the root frame with the given initial variables. The scope
 // is shared down the call chain (the paper's EUs communicate through the
 // layer's runtime model, which the scope stands in for).
 func (m *Machine) Run(root *Frame, vars map[string]any) error {
+	sp := m.tracer.Start(obs.SpanEURun)
+	if root != nil {
+		sp.SetStr("root", root.Label)
+	}
+	defer sp.End()
 	m.steps = 0
 	m.stack = m.stack[:0]
 	scope := make(expr.MapScope, len(vars)+4)
@@ -251,6 +267,7 @@ func (m *Machine) exec(f *Frame, body []Statement, scope expr.MapScope) error {
 	for i := range body {
 		st := &body[i]
 		m.steps++
+		m.mSteps.Inc()
 		if m.steps > m.limits.MaxSteps {
 			return fmt.Errorf("step budget exceeded in %q", f.Label)
 		}

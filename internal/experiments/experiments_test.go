@@ -240,3 +240,31 @@ func TestReportE2Renders(t *testing.T) {
 		}
 	}
 }
+
+func TestMeasureObs(t *testing.T) {
+	phases, o, err := MeasureObs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]int64{}
+	for _, p := range phases {
+		got[p.Phase] = p.Total
+	}
+	// Every engine phase of the submission+recovery cycle must have
+	// recorded spans.
+	for _, phase := range []string{"ui", "synthesis", "controller", "eu", "broker", "resource"} {
+		if got[phase] == 0 {
+			t.Errorf("phase %q recorded no spans (%v)", phase, got)
+		}
+	}
+	if o.MetricsOf().CounterValue("ui.submits") == 0 {
+		t.Error("ui.submits counter is zero")
+	}
+	var buf bytes.Buffer
+	if err := ReportObs(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "per-phase span counts") {
+		t.Error("report missing title")
+	}
+}

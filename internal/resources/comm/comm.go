@@ -16,6 +16,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/mddsm/mddsm/internal/resources"
 	"github.com/mddsm/mddsm/internal/script"
 	"github.com/mddsm/mddsm/internal/simtime"
 )
@@ -39,13 +40,11 @@ func ValidMedia(m MediaType) bool {
 	return false
 }
 
-// Event is an asynchronous service notification.
-type Event struct {
-	Kind        string // "participantJoined", "participantLeft", "streamFailed", "sessionClosed"
-	Session     string
-	Stream      string
-	Participant string
-}
+// Event is an asynchronous service notification — the shared resource
+// event type. Kinds: "participantJoined", "participantLeft",
+// "streamFailed", "sessionClosed"; payload keys: "session", "stream",
+// "participant".
+type Event = resources.Event
 
 // Stream is one media stream inside a session.
 type Stream struct {
@@ -229,7 +228,7 @@ func (s *Service) CloseSession(id string) error {
 	s.mu.Unlock()
 	// Events are emitted outside the lock so a synchronous sink may
 	// re-enter the service (e.g. middleware recovery paths).
-	s.emit(Event{Kind: "sessionClosed", Session: id})
+	s.emit(resources.NewEvent("sessionClosed", "session", id))
 	return nil
 }
 
@@ -252,7 +251,7 @@ func (s *Service) AddParticipant(sessionID, participant string) error {
 	sess.participants[participant] = true
 	s.charge("addParticipant", "session:"+sessionID, "who", participant)
 	s.mu.Unlock()
-	s.emit(Event{Kind: "participantJoined", Session: sessionID, Participant: participant})
+	s.emit(resources.NewEvent("participantJoined", "session", sessionID, "participant", participant))
 	return nil
 }
 
@@ -275,7 +274,7 @@ func (s *Service) RemoveParticipant(sessionID, participant string) error {
 	delete(sess.participants, participant)
 	s.charge("removeParticipant", "session:"+sessionID, "who", participant)
 	s.mu.Unlock()
-	s.emit(Event{Kind: "participantLeft", Session: sessionID, Participant: participant})
+	s.emit(resources.NewEvent("participantLeft", "session", sessionID, "participant", participant))
 	return nil
 }
 
@@ -391,7 +390,7 @@ func (s *Service) InjectStreamFailure(sessionID, streamID string) error {
 	}
 	st.Up = false
 	s.mu.Unlock()
-	s.emit(Event{Kind: "streamFailed", Session: sessionID, Stream: streamID})
+	s.emit(resources.NewEvent("streamFailed", "session", sessionID, "stream", streamID))
 	return nil
 }
 

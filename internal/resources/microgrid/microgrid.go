@@ -12,6 +12,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/mddsm/mddsm/internal/resources"
 	"github.com/mddsm/mddsm/internal/script"
 	"github.com/mddsm/mddsm/internal/simtime"
 )
@@ -57,11 +58,10 @@ type Telemetry struct {
 	BatteryCharge float64 // summed state of charge kWh
 }
 
-// Event is an asynchronous plant notification.
-type Event struct {
-	Kind   string // "deviceOffline", "deviceOnline", "batteryLow", "overload"
-	Device string
-}
+// Event is an asynchronous plant notification — the shared resource event
+// type. Kinds: "deviceOffline", "deviceOnline", "batteryLow", "overload";
+// payload key: "device".
+type Event = resources.Event
 
 // Plant is the simulated microgrid. It is safe for concurrent use.
 type Plant struct {
@@ -139,7 +139,7 @@ func (p *Plant) SetOnline(id string, online bool) error {
 	}
 	p.mu.Unlock()
 	// Emitted outside the lock so synchronous sinks may re-enter.
-	p.emit(Event{Kind: kind, Device: id})
+	p.emit(resources.NewEvent(kind, "device", id))
 	return nil
 }
 
@@ -239,7 +239,7 @@ func (p *Plant) Tick(d time.Duration) {
 		}
 		isLow := dev.Charge < p.lowBatteryThreshold*dev.Capacity
 		if isLow && !wasLow {
-			pending = append(pending, Event{Kind: "batteryLow", Device: id})
+			pending = append(pending, resources.NewEvent("batteryLow", "device", id))
 		}
 	}
 	p.clock.Sleep(d)

@@ -120,7 +120,7 @@ func TestOfflineZeroesOutput(t *testing.T) {
 	}
 	found := false
 	for _, e := range *events {
-		if e.Kind == "deviceOffline" && e.Device == "solar1" {
+		if e.Kind == "deviceOffline" && e.Str("device") == "solar1" {
 			found = true
 		}
 	}

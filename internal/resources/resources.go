@@ -1,0 +1,67 @@
+// Package resources defines the unified asynchronous notification type
+// shared by every simulated resource and service (smart space, microgrid
+// plant, communication service). Historically each resource package
+// declared its own near-identical Event struct and every domain platform
+// hand-rolled the conversion to the platform event type; the single shared
+// type converts losslessly to a broker.Event, so resource sinks can feed
+// platforms with one call.
+package resources
+
+import "github.com/mddsm/mddsm/internal/broker"
+
+// Event is an asynchronous resource notification: a kind (the event name)
+// plus a named payload. Domain-specific identifiers travel in Attrs under
+// their established keys ("object", "device", "session", "stream",
+// "participant", ...), which is exactly the shape the Broker layer binds
+// into event-action scopes.
+type Event struct {
+	Kind  string
+	Attrs map[string]any
+}
+
+// NewEvent builds an event from alternating key/value pairs. Pairs with
+// empty string values are omitted, so emit sites can pass optional fields
+// unconditionally. It panics on an odd-length list (a programming bug in
+// static resource code).
+func NewEvent(kind string, kv ...any) Event {
+	if len(kv)%2 != 0 {
+		panic("resources.NewEvent: odd key/value list")
+	}
+	e := Event{Kind: kind}
+	for i := 0; i < len(kv); i += 2 {
+		key, ok := kv[i].(string)
+		if !ok {
+			panic("resources.NewEvent: non-string key")
+		}
+		if s, isStr := kv[i+1].(string); isStr && s == "" {
+			continue
+		}
+		if e.Attrs == nil {
+			e.Attrs = make(map[string]any, len(kv)/2)
+		}
+		e.Attrs[key] = kv[i+1]
+	}
+	return e
+}
+
+// Str returns the named attribute as a string ("" when absent or not a
+// string).
+func (e Event) Str(key string) string {
+	s, _ := e.Attrs[key].(string)
+	return s
+}
+
+// Attr returns the named attribute and whether it is present.
+func (e Event) Attr(key string) (any, bool) {
+	v, ok := e.Attrs[key]
+	return v, ok
+}
+
+// Broker converts the event losslessly to the platform event type: the
+// kind becomes the event name and the payload map is shared as-is.
+func (e Event) Broker() broker.Event {
+	return broker.Event{Name: e.Kind, Attrs: e.Attrs}
+}
+
+// Sink consumes resource events; resource constructors accept one.
+type Sink func(Event)

@@ -1,0 +1,78 @@
+package resources
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestNewEvent(t *testing.T) {
+	cases := []struct {
+		name string
+		e    Event
+		want Event
+	}{
+		{
+			name: "basic",
+			e:    NewEvent("objectEntered", "object", "lamp1"),
+			want: Event{Kind: "objectEntered", Attrs: map[string]any{"object": "lamp1"}},
+		},
+		{
+			name: "empty string values omitted",
+			e:    NewEvent("streamFailed", "session", "s1", "stream", "", "participant", ""),
+			want: Event{Kind: "streamFailed", Attrs: map[string]any{"session": "s1"}},
+		},
+		{
+			name: "no attrs leaves nil map",
+			e:    NewEvent("tick"),
+			want: Event{Kind: "tick"},
+		},
+		{
+			name: "non-string values kept",
+			e:    NewEvent("propertyChanged", "object", "o1", "value", 42),
+			want: Event{Kind: "propertyChanged", Attrs: map[string]any{"object": "o1", "value": 42}},
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if !reflect.DeepEqual(c.e, c.want) {
+				t.Errorf("got %+v, want %+v", c.e, c.want)
+			}
+		})
+	}
+}
+
+func TestEventAccessors(t *testing.T) {
+	e := NewEvent("propertyChanged", "object", "o1", "value", 42)
+	if e.Str("object") != "o1" {
+		t.Errorf("Str(object) = %q", e.Str("object"))
+	}
+	if e.Str("value") != "" { // not a string
+		t.Errorf("Str(value) = %q, want empty", e.Str("value"))
+	}
+	if v, ok := e.Attr("value"); !ok || v != 42 {
+		t.Errorf("Attr(value) = %v, %v", v, ok)
+	}
+	if _, ok := e.Attr("missing"); ok {
+		t.Error("Attr(missing) reported present")
+	}
+}
+
+func TestBrokerConversionLossless(t *testing.T) {
+	e := NewEvent("batteryLow", "device", "bat1")
+	b := e.Broker()
+	if b.Name != e.Kind {
+		t.Errorf("Name = %q, want %q", b.Name, e.Kind)
+	}
+	if !reflect.DeepEqual(b.Attrs, e.Attrs) {
+		t.Errorf("Attrs = %v, want %v", b.Attrs, e.Attrs)
+	}
+}
+
+func TestNewEventPanicsOnOddList(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on odd kv list")
+		}
+	}()
+	NewEvent("x", "keyOnly")
+}

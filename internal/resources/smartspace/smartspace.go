@@ -9,16 +9,14 @@ import (
 	"sort"
 	"sync"
 
+	"github.com/mddsm/mddsm/internal/resources"
 	"github.com/mddsm/mddsm/internal/script"
 )
 
-// Event is an asynchronous space notification.
-type Event struct {
-	Kind   string // "objectEntered", "objectLeft", "propertyChanged"
-	Object string
-	Prop   string
-	Value  any
-}
+// Event is an asynchronous space notification — the shared resource event
+// type. Kinds: "objectEntered", "objectLeft", "propertyChanged"; payload
+// keys: "object", "prop", "value".
+type Event = resources.Event
 
 // SmartObject is one programmable entity in the space.
 type SmartObject struct {
@@ -92,7 +90,7 @@ func (s *Space) Enter(id, kind string) error {
 	}
 	s.trace.RecordOp("enter", "object:"+id, "kind", o.Kind)
 	s.mu.Unlock()
-	s.emit(Event{Kind: "objectEntered", Object: id})
+	s.emit(resources.NewEvent("objectEntered", "object", id))
 	return nil
 }
 
@@ -108,7 +106,7 @@ func (s *Space) Leave(id string) error {
 	o.Present = false
 	s.trace.RecordOp("leave", "object:"+id)
 	s.mu.Unlock()
-	s.emit(Event{Kind: "objectLeft", Object: id})
+	s.emit(resources.NewEvent("objectLeft", "object", id))
 	return nil
 }
 
@@ -128,7 +126,7 @@ func (s *Space) SetProperty(id, prop string, value any) error {
 	o.props[prop] = value
 	s.trace.RecordOp("setProperty", "object:"+id, "prop", prop, "value", value)
 	s.mu.Unlock()
-	s.emit(Event{Kind: "propertyChanged", Object: id, Prop: prop, Value: value})
+	s.emit(resources.NewEvent("propertyChanged", "object", id, "prop", prop, "value", value))
 	return nil
 }
 

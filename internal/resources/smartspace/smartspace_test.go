@@ -73,7 +73,7 @@ func TestProperties(t *testing.T) {
 	}
 	found := false
 	for _, e := range events {
-		if e.Kind == "propertyChanged" && e.Prop == "setpoint" && e.Value == 21.5 {
+		if v, _ := e.Attr("value"); e.Kind == "propertyChanged" && e.Str("prop") == "setpoint" && v == 21.5 {
 			found = true
 		}
 	}

@@ -27,6 +27,7 @@ import (
 	"github.com/mddsm/mddsm/internal/lts"
 	"github.com/mddsm/mddsm/internal/metamodel"
 	"github.com/mddsm/mddsm/internal/mwmeta"
+	"github.com/mddsm/mddsm/internal/obs"
 	"github.com/mddsm/mddsm/internal/policy"
 	"github.com/mddsm/mddsm/internal/registry"
 	"github.com/mddsm/mddsm/internal/script"
@@ -53,6 +54,11 @@ type Deps struct {
 	Scripts map[string]*script.Script
 	// Clock charges virtual time (optional).
 	Clock simtime.Clock
+	// Tracer and Metrics observe every layer of the platform plus the
+	// event pump and monitor loop. Both may be nil (the default): the
+	// disabled observer costs the hot paths only a nil check.
+	Tracer  *obs.Tracer
+	Metrics *obs.Metrics
 }
 
 // Platform is a live middleware platform instantiated from a middleware
@@ -73,7 +79,17 @@ type Platform struct {
 	extMu    sync.Mutex
 	external func(broker.Event)
 
+	tracer  *obs.Tracer
+	metrics *obs.Metrics
+
+	mPosted    *obs.Counter
+	mDropped   *obs.Counter
+	mDelivered *obs.Counter
+	gDepth     *obs.Gauge
+	hDeliver   *obs.Histogram
+
 	pumpMu   sync.Mutex
+	pumpCap  int
 	pumpCh   chan broker.Event
 	pumpStop chan struct{}
 	pumpDone chan struct{}
@@ -87,6 +103,16 @@ type Option func(*Platform)
 // WithExternalEvents routes events escaping the topmost layer to fn.
 func WithExternalEvents(fn func(broker.Event)) Option {
 	return func(p *Platform) { p.external = fn }
+}
+
+// WithPumpQueue sets the event pump's queue capacity (default 256).
+// PostEvent reports false and counts a drop when the queue is full.
+func WithPumpQueue(n int) Option {
+	return func(p *Platform) {
+		if n > 0 {
+			p.pumpCap = n
+		}
+	}
 }
 
 // SetExternalEvents installs (or replaces) the external event observer
@@ -118,12 +144,20 @@ func Build(model *metamodel.Model, deps Deps, opts ...Option) (*Platform, error)
 	root := platforms[0]
 
 	p := &Platform{
-		Name:   root.StringAttr("name"),
-		Domain: root.StringAttr("domain"),
+		Name:    root.StringAttr("name"),
+		Domain:  root.StringAttr("domain"),
+		tracer:  deps.Tracer,
+		metrics: deps.Metrics,
+		pumpCap: 256,
 	}
 	for _, o := range opts {
 		o(p)
 	}
+	p.mPosted = p.metrics.Counter(obs.MEventsPosted)
+	p.mDropped = p.metrics.Counter(obs.MEventsDropped)
+	p.mDelivered = p.metrics.Counter(obs.MEventsDelivered)
+	p.gDepth = p.metrics.Gauge(obs.MQueueDepth)
+	p.hDeliver = p.metrics.Histogram(obs.HPumpDeliver)
 
 	var (
 		uiObj, synthObj, ctlObj, brkObj *metamodel.Object
@@ -205,7 +239,11 @@ func (p *Platform) routeControllerEvent(ev broker.Event) {
 }
 
 func (p *Platform) buildBroker(model *metamodel.Model, obj *metamodel.Object, deps Deps) error {
-	cfg := broker.Config{Name: obj.StringAttr("name")}
+	cfg := broker.Config{
+		Name:    obj.StringAttr("name"),
+		Tracer:  p.tracer,
+		Metrics: p.metrics,
+	}
 	rm := broker.NewResourceManager()
 
 	for _, bind := range model.Resolve(obj, "bindings") {
@@ -276,6 +314,8 @@ func (p *Platform) buildController(model *metamodel.Model, obj *metamodel.Object
 		},
 		Machine: eu.Limits{MaxDepth: int(obj.IntAttr("maxDepth"))},
 		Clock:   deps.Clock,
+		Tracer:  p.tracer,
+		Metrics: p.metrics,
 	}
 	for _, actObj := range model.Resolve(obj, "actions") {
 		a, err := buildAction(model, actObj)
@@ -329,7 +369,10 @@ func (p *Platform) buildSynthesis(obj *metamodel.Object, deps Deps) error {
 		return fmt.Errorf("runtime: synthesis layer %s: unknown LTS %q", obj.ID, ltsName)
 	}
 	s, err := synthesis.New(
-		synthesis.Config{Name: obj.StringAttr("name"), DSML: deps.DSML, LTS: def},
+		synthesis.Config{
+			Name: obj.StringAttr("name"), DSML: deps.DSML, LTS: def,
+			Tracer: p.tracer, Metrics: p.metrics,
+		},
 		p.Controller.Execute,
 		func(m *metamodel.Model) {
 			if p.UI != nil {
@@ -345,7 +388,8 @@ func (p *Platform) buildSynthesis(obj *metamodel.Object, deps Deps) error {
 }
 
 func (p *Platform) buildUI(obj *metamodel.Object, deps Deps) error {
-	u, err := ui.New(obj.StringAttr("name"), deps.DSML, p.Synthesis.Submit)
+	u, err := ui.New(obj.StringAttr("name"), deps.DSML, p.Synthesis.Submit,
+		ui.WithObs(p.tracer, p.metrics))
 	if err != nil {
 		return fmt.Errorf("runtime: %w", err)
 	}
@@ -482,13 +526,21 @@ func splitOps(ops string) []string {
 	return out
 }
 
-// SubmitModel submits an application model through the Synthesis layer.
+// SubmitModel submits an application model through the platform's top
+// layer: the UI layer when present (so the submission crosses the full
+// UI→Synthesis hop), the Synthesis layer otherwise.
 func (p *Platform) SubmitModel(m *metamodel.Model) (*script.Script, error) {
+	if p.UI != nil {
+		return p.UI.Submit(m)
+	}
 	if p.Synthesis == nil {
 		return nil, fmt.Errorf("runtime: platform %s has no Synthesis layer", p.Name)
 	}
 	return p.Synthesis.Submit(m)
 }
+
+// Obs returns the platform's observability pair (nil, nil when disabled).
+func (p *Platform) Obs() (*obs.Tracer, *obs.Metrics) { return p.tracer, p.metrics }
 
 // Execute runs a control script directly on the Controller layer (the
 // entry point for layer-suppressed deployments such as 2SVM smart objects).
@@ -514,7 +566,7 @@ func (p *Platform) Start() {
 	if p.pumpCh != nil {
 		return
 	}
-	p.pumpCh = make(chan broker.Event, 1)
+	p.pumpCh = make(chan broker.Event, p.pumpCap)
 	p.pumpStop = make(chan struct{})
 	p.pumpDone = make(chan struct{})
 	go func(ch chan broker.Event, stop, done chan struct{}) {
@@ -522,7 +574,7 @@ func (p *Platform) Start() {
 		for {
 			select {
 			case ev := <-ch:
-				_ = p.Broker.OnEvent(ev)
+				p.deliverPumped(ev, len(ch))
 			case <-stop:
 				return
 			}
@@ -530,19 +582,46 @@ func (p *Platform) Start() {
 	}(p.pumpCh, p.pumpStop, p.pumpDone)
 }
 
+// deliverPumped hands one dequeued event to the Broker layer, recording
+// the delivery span, counter, latency and remaining queue depth.
+func (p *Platform) deliverPumped(ev broker.Event, depth int) {
+	p.gDepth.Set(int64(depth))
+	sp := p.tracer.Start(obs.SpanPumpDeliver)
+	sp.SetStr("event", ev.Name)
+	start := time.Now()
+	// Event-processing failures surface on the operation that caused
+	// them; an asynchronous event has no caller to report to.
+	_ = p.Broker.OnEvent(ev)
+	p.hDeliver.Observe(time.Since(start))
+	sp.End()
+	p.mDelivered.Inc()
+}
+
 // PostEvent enqueues a resource event for asynchronous delivery. It
-// returns false when the pump is not running.
+// returns false — counting the drop in the pump.events.dropped metric —
+// when the pump is not running or its queue is full; it never blocks the
+// caller.
 func (p *Platform) PostEvent(ev broker.Event) bool {
 	p.pumpMu.Lock()
 	ch, stop := p.pumpCh, p.pumpStop
 	p.pumpMu.Unlock()
 	if ch == nil {
+		p.mDropped.Inc()
 		return false
 	}
 	select {
-	case ch <- ev:
-		return true
 	case <-stop:
+		p.mDropped.Inc()
+		return false
+	default:
+	}
+	select {
+	case ch <- ev:
+		p.mPosted.Inc()
+		p.gDepth.Set(int64(len(ch)))
+		return true
+	default:
+		p.mDropped.Inc()
 		return false
 	}
 }
@@ -564,36 +643,93 @@ func (p *Platform) Stop() {
 	<-done
 }
 
-// StartMonitor launches the platform's autonomic monitor: every interval it
-// runs probe (which typically publishes telemetry into the Broker context)
-// and then evaluates the Broker's autonomic symptoms. probe may be nil.
-// StartMonitor is idempotent; Stop or StopMonitor terminates the loop.
-func (p *Platform) StartMonitor(interval time.Duration, probe func()) {
+// monitorConfig collects the autonomic monitor's options.
+type monitorConfig struct {
+	interval time.Duration
+	probe    func()
+	tracer   *obs.Tracer
+	metrics  *obs.Metrics
+}
+
+// MonitorOption customises the autonomic monitor started by Monitor.
+type MonitorOption func(*monitorConfig)
+
+// WithInterval sets the monitor's evaluation period (default 1s).
+func WithInterval(d time.Duration) MonitorOption {
+	return func(c *monitorConfig) {
+		if d > 0 {
+			c.interval = d
+		}
+	}
+}
+
+// WithProbe installs a function run before each symptom evaluation,
+// typically publishing telemetry into the Broker context.
+func WithProbe(fn func()) MonitorOption {
+	return func(c *monitorConfig) { c.probe = fn }
+}
+
+// WithObs overrides the observability pair recording the monitor's tick
+// spans and counters; the platform's own pair is used by default.
+func WithObs(t *obs.Tracer, m *obs.Metrics) MonitorOption {
+	return func(c *monitorConfig) {
+		c.tracer = t
+		c.metrics = m
+	}
+}
+
+// Monitor launches the platform's autonomic monitor: every interval it
+// runs the probe (when one is installed) and then evaluates the Broker's
+// autonomic symptoms. Monitor is idempotent while a monitor runs; the
+// returned stop function (also available as StopMonitor) terminates the
+// loop and waits for it to exit.
+func (p *Platform) Monitor(opts ...MonitorOption) (stop func()) {
+	cfg := monitorConfig{
+		interval: time.Second,
+		tracer:   p.tracer,
+		metrics:  p.metrics,
+	}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	ticks := cfg.metrics.Counter(obs.MMonitorTicks)
+
 	p.pumpMu.Lock()
 	defer p.pumpMu.Unlock()
 	if p.monStop != nil {
-		return
+		return p.StopMonitor
 	}
 	p.monStop = make(chan struct{})
 	p.monDone = make(chan struct{})
 	go func(stop, done chan struct{}) {
 		defer close(done)
-		ticker := time.NewTicker(interval)
+		ticker := time.NewTicker(cfg.interval)
 		defer ticker.Stop()
 		for {
 			select {
 			case <-ticker.C:
-				if probe != nil {
-					probe()
+				sp := cfg.tracer.Start(obs.SpanMonitorTick)
+				ticks.Inc()
+				if cfg.probe != nil {
+					cfg.probe()
 				}
 				// Asynchronous evaluation failures have no caller; the
 				// next tick retries.
 				_ = p.Broker.Autonomic().Evaluate()
+				sp.End()
 			case <-stop:
 				return
 			}
 		}
 	}(p.monStop, p.monDone)
+	return p.StopMonitor
+}
+
+// StartMonitor launches the autonomic monitor with positional arguments.
+//
+// Deprecated: use Monitor(WithInterval(interval), WithProbe(probe)).
+func (p *Platform) StartMonitor(interval time.Duration, probe func()) {
+	p.Monitor(WithInterval(interval), WithProbe(probe))
 }
 
 // StopMonitor terminates the autonomic monitor and waits for it to exit.

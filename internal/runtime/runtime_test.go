@@ -13,6 +13,7 @@ import (
 	"github.com/mddsm/mddsm/internal/lts"
 	"github.com/mddsm/mddsm/internal/metamodel"
 	"github.com/mddsm/mddsm/internal/mwmeta"
+	"github.com/mddsm/mddsm/internal/obs"
 	"github.com/mddsm/mddsm/internal/registry"
 	"github.com/mddsm/mddsm/internal/script"
 )
@@ -635,5 +636,195 @@ func TestSubmitModelConformanceError(t *testing.T) {
 	bad.NewObject("x", "Stream") // missing required media
 	if _, err := p.SubmitModel(bad); err == nil {
 		t.Error("non-conformant app model must fail")
+	}
+}
+
+// blockingRec is a rec whose Execute blocks until gate is closed; entered
+// is closed the first time Execute is reached, so tests can wait until
+// the pump goroutine is wedged inside the adapter.
+type blockingRec struct {
+	rec
+	gate    chan struct{}
+	entered chan struct{}
+	once    sync.Once
+}
+
+func (b *blockingRec) Execute(cmd script.Command) error {
+	b.once.Do(func() { close(b.entered) })
+	<-b.gate
+	return b.rec.Execute(cmd)
+}
+
+func TestPostEventQueueFullDrops(t *testing.T) {
+	b := &blockingRec{gate: make(chan struct{}), entered: make(chan struct{})}
+	o := obs.New()
+	p, err := Build(fullModel(t), Deps{
+		DSML:       toyDSML(t),
+		LTSes:      map[string]*lts.LTS{"sem": toyLTS()},
+		Adapters:   map[string]broker.Adapter{"main": b},
+		Repository: toyRepo(t),
+		Tracer:     o.TracerOf(),
+		Metrics:    o.MetricsOf(),
+	}, WithPumpQueue(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Start()
+	defer p.Stop()
+
+	ev := func(id string) broker.Event {
+		return broker.Event{Name: "streamFailed", Attrs: map[string]any{"stream": id}}
+	}
+	// First event: pump takes it and wedges inside the adapter.
+	if !p.PostEvent(ev("st1")) {
+		t.Fatal("first post must be accepted")
+	}
+	select {
+	case <-b.entered:
+	case <-time.After(2 * time.Second):
+		t.Fatal("pump never reached the adapter")
+	}
+	// Second event fills the 1-slot queue; third must drop, not block.
+	if !p.PostEvent(ev("st2")) {
+		t.Fatal("second post must fill the queue")
+	}
+	done := make(chan bool, 1)
+	go func() { done <- p.PostEvent(ev("st3")) }()
+	select {
+	case ok := <-done:
+		if ok {
+			t.Error("post into a full queue must report false")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("PostEvent blocked on a full queue")
+	}
+	close(b.gate)
+	p.Stop()
+
+	_, m := p.Obs()
+	if got := m.CounterValue(obs.MEventsPosted); got != 2 {
+		t.Errorf("posted = %d, want 2", got)
+	}
+	if got := m.CounterValue(obs.MEventsDropped); got != 1 {
+		t.Errorf("dropped = %d, want 1", got)
+	}
+	// Stopped pump: a further post is a counted drop, still non-blocking.
+	if p.PostEvent(ev("st4")) {
+		t.Error("post after Stop must report false")
+	}
+	if got := m.CounterValue(obs.MEventsDropped); got != 2 {
+		t.Errorf("dropped after stop = %d, want 2", got)
+	}
+}
+
+func TestMonitorOptions(t *testing.T) {
+	b := mwmeta.NewBuilder("mon-opt-vm", "d")
+	b.BrokerLayer("brk").
+		Symptom("overPressure", "pressure > 10").
+		ChangePlan("overPressure",
+			mwmeta.StepSpec{Op: "ventValve", Target: "valve:1"}).
+		PassthroughAction("pass", "*", "",
+			mwmeta.StepSpec{Op: "{op}", Target: "{target}"}).
+		Bind("*", "main")
+	r := &rec{}
+	p, err := Build(b.Model(), Deps{Adapters: map[string]broker.Adapter{"main": r}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := obs.New()
+	pressure := 0
+	stop := p.Monitor(
+		WithInterval(2*time.Millisecond),
+		WithProbe(func() {
+			pressure += 6
+			p.Broker.Context().Set("pressure", pressure)
+		}),
+		WithObs(o.TracerOf(), o.MetricsOf()),
+	)
+	p.Monitor(WithInterval(time.Hour)) // idempotent while running
+	defer p.Stop()
+
+	deadline := time.After(2 * time.Second)
+	for len(p.Broker.Autonomic().Handled()) == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("monitor never triggered the change plan")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	stop()
+	if got := strings.Join(r.lines(), ";"); !strings.Contains(got, "ventValve valve:1") {
+		t.Errorf("plan steps: %s", got)
+	}
+	if o.MetricsOf().CounterValue(obs.MMonitorTicks) == 0 {
+		t.Error("monitor ticks not counted in the WithObs pair")
+	}
+	if o.TracerOf().Count(obs.SpanMonitorTick) == 0 {
+		t.Error("monitor tick spans not recorded in the WithObs pair")
+	}
+}
+
+func TestObsEndToEnd(t *testing.T) {
+	r := &rec{}
+	o := obs.New()
+	p, err := Build(fullModel(t), Deps{
+		DSML:       toyDSML(t),
+		LTSes:      map[string]*lts.LTS{"sem": toyLTS()},
+		Adapters:   map[string]broker.Adapter{"main": r},
+		Repository: toyRepo(t),
+		Tracer:     o.TracerOf(),
+		Metrics:    o.MetricsOf(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := p.UI.NewDraft()
+	d.MustAdd("s1", "Session").SetRef("streams", "st1")
+	d.MustAdd("st1", "Stream").SetAttr("media", "audio")
+	if _, err := d.Submit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.DeliverEvent(broker.Event{Name: "streamFailed",
+		Attrs: map[string]any{"stream": "st1"}}); err != nil {
+		t.Fatal(err)
+	}
+
+	tr, m := p.Obs()
+	for _, span := range []string{
+		obs.SpanUISubmit, obs.SpanSynthSubmit, obs.SpanCtlScript,
+		obs.SpanBrokerCall, obs.SpanBrokerStep, obs.SpanResourceExecute,
+		obs.SpanEURun, obs.SpanBrokerEvent,
+	} {
+		if tr.Count(span) == 0 {
+			t.Errorf("no %q spans recorded", span)
+		}
+	}
+	for _, c := range []string{
+		obs.MUISubmits, obs.MSynthesisSubmits, obs.MScriptsExecuted,
+		obs.MControllerCommands, obs.MBrokerCalls, obs.MBrokerSteps,
+		obs.MEUSteps,
+	} {
+		if m.CounterValue(c) == 0 {
+			t.Errorf("counter %q is zero", c)
+		}
+	}
+	// Cross-layer parentage: some synthesis.submit span must hang off the
+	// ui.submit span recorded on the same goroutine.
+	byID := map[obs.SpanID]obs.SpanRecord{}
+	for _, sr := range tr.Recent() {
+		byID[sr.ID] = sr
+	}
+	linked := false
+	for _, sr := range tr.Recent() {
+		if sr.Name != obs.SpanSynthSubmit {
+			continue
+		}
+		if parent, ok := byID[sr.Parent]; ok && parent.Name == obs.SpanUISubmit {
+			linked = true
+		}
+	}
+	if !linked {
+		t.Error("synthesis.submit span not parented under ui.submit")
 	}
 }

@@ -23,6 +23,7 @@ import (
 	"github.com/mddsm/mddsm/internal/expr"
 	"github.com/mddsm/mddsm/internal/lts"
 	"github.com/mddsm/mddsm/internal/metamodel"
+	"github.com/mddsm/mddsm/internal/obs"
 	"github.com/mddsm/mddsm/internal/script"
 )
 
@@ -41,6 +42,9 @@ type Config struct {
 	DSML *metamodel.Metamodel
 	// LTS encodes the domain-specific synthesis semantics.
 	LTS *lts.LTS
+	// Tracer and Metrics observe the layer; both may be nil (disabled).
+	Tracer  *obs.Tracer
+	Metrics *obs.Metrics
 }
 
 // Synthesis is the live Synthesis layer. Top-level operations (Submit and
@@ -54,6 +58,10 @@ type Synthesis struct {
 	instance *lts.Instance
 	dispatch Dispatch
 	observe  ModelObserver
+
+	tracer   *obs.Tracer
+	mSubmits *obs.Counter
+	mEvents  *obs.Counter
 
 	mu      sync.Mutex // guards current, instance, seq
 	current *metamodel.Model
@@ -90,6 +98,9 @@ func New(cfg Config, dispatch Dispatch, observe ModelObserver) (*Synthesis, erro
 		dispatch: dispatch,
 		observe:  observe,
 		current:  metamodel.NewModel(cfg.DSML.Name),
+		tracer:   cfg.Tracer,
+		mSubmits: cfg.Metrics.Counter(obs.MSynthesisSubmits),
+		mEvents:  cfg.Metrics.Counter(obs.MSynthesisEvents),
 	}
 	s.opCond = sync.NewCond(&s.opMu)
 	return s, nil
@@ -150,6 +161,9 @@ func (s *Synthesis) State() string {
 // submission (it would wait on itself); events raised during dispatch are
 // deferred and processed when the submission completes.
 func (s *Synthesis) Submit(newModel *metamodel.Model) (*script.Script, error) {
+	s.mSubmits.Inc()
+	sp := s.tracer.Start(obs.SpanSynthSubmit)
+	defer sp.End()
 	s.begin()
 	defer s.finish()
 	return s.doSubmit(newModel)
@@ -300,6 +314,10 @@ func (s *Synthesis) OnEvent(ev broker.Event) error {
 }
 
 func (s *Synthesis) processEvent(ev broker.Event) error {
+	s.mEvents.Inc()
+	sp := s.tracer.Start(obs.SpanSynthEvent)
+	sp.SetStr("event", ev.Name)
+	defer sp.End()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	scope := make(expr.MapScope, len(ev.Attrs)+1)

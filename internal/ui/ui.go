@@ -12,6 +12,7 @@ import (
 	"sync"
 
 	"github.com/mddsm/mddsm/internal/metamodel"
+	"github.com/mddsm/mddsm/internal/obs"
 	"github.com/mddsm/mddsm/internal/script"
 )
 
@@ -25,26 +26,56 @@ type UI struct {
 	dsml   *metamodel.Metamodel
 	submit SubmitFunc
 
+	tracer   *obs.Tracer
+	mSubmits *obs.Counter
+
 	mu        sync.Mutex
 	runtime   *metamodel.Model
 	listeners []func(*metamodel.Model)
 }
 
+// Option customises UI construction.
+type Option func(*UI)
+
+// WithObs attaches an observability pair to the layer; both arguments may
+// be nil (disabled).
+func WithObs(t *obs.Tracer, m *obs.Metrics) Option {
+	return func(u *UI) {
+		u.tracer = t
+		u.mSubmits = m.Counter(obs.MUISubmits)
+	}
+}
+
 // New builds a UI layer for a DSML. submit is normally the Synthesis
 // layer's Submit method.
-func New(name string, dsml *metamodel.Metamodel, submit SubmitFunc) (*UI, error) {
+func New(name string, dsml *metamodel.Metamodel, submit SubmitFunc, opts ...Option) (*UI, error) {
 	if dsml == nil {
 		return nil, fmt.Errorf("ui %s: nil DSML metamodel", name)
 	}
 	if submit == nil {
 		return nil, fmt.Errorf("ui %s: nil submit function", name)
 	}
-	return &UI{
+	u := &UI{
 		name:    name,
 		dsml:    dsml,
 		submit:  submit,
 		runtime: metamodel.NewModel(dsml.Name),
-	}, nil
+	}
+	for _, o := range opts {
+		o(u)
+	}
+	return u, nil
+}
+
+// Submit sends a complete application model through the layer to the
+// Synthesis layer below: the programmatic equivalent of saving a finished
+// diagram in the generated editors. Drafts route through here too, so
+// every user submission crosses the ui.submit span.
+func (u *UI) Submit(m *metamodel.Model) (*script.Script, error) {
+	u.mSubmits.Inc()
+	sp := u.tracer.Start(obs.SpanUISubmit)
+	defer sp.End()
+	return u.submit(m)
 }
 
 // Name returns the layer instance name.
@@ -106,7 +137,7 @@ func (u *UI) SubmitWoven(concerns ...*metamodel.Model) (*script.Script, error) {
 	if err := woven.Clone().Validate(u.dsml); err != nil {
 		return nil, fmt.Errorf("ui %s: woven model does not conform: %w", u.name, err)
 	}
-	return u.submit(woven)
+	return u.Submit(woven)
 }
 
 // Draft is an editable model. It is not safe for concurrent use; each user
@@ -173,5 +204,5 @@ func (d *Draft) Validate() error {
 // Submit sends the draft to the Synthesis layer and returns the control
 // script the submission produced. The draft remains editable afterwards.
 func (d *Draft) Submit() (*script.Script, error) {
-	return d.ui.submit(d.model)
+	return d.ui.Submit(d.model)
 }

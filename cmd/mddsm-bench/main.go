@@ -26,6 +26,7 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("mddsm-bench", flag.ContinueOnError)
 	exp := fs.String("e", "", "experiment to run (e1..e6); empty runs all")
 	withObs := fs.Bool("obs", false, "print per-phase span counts for an instrumented run instead of the experiments")
+	faults := fs.String("faults", "", `with -obs: inject faults "seed=N,site:kind[:p=..][:d=..][:n=..],..." into the instrumented run`)
 	iters := fs.Int("iters", 50, "iterations per scenario for timing experiments (e2)")
 	root := fs.String("root", "", "repository root for source-size accounting (e5); auto-detected when empty")
 	if err := fs.Parse(args); err != nil {
@@ -33,6 +34,12 @@ func run(args []string) error {
 	}
 
 	w := os.Stdout
+	if *faults != "" {
+		if !*withObs {
+			return fmt.Errorf("-faults requires -obs")
+		}
+		return experiments.ReportObsFaults(w, *faults)
+	}
 	if *withObs {
 		return experiments.ReportObs(w)
 	}

@@ -19,6 +19,7 @@ import (
 
 	"github.com/mddsm/mddsm/internal/domains/cml"
 	"github.com/mddsm/mddsm/internal/domains/mgrid"
+	"github.com/mddsm/mddsm/internal/fault"
 	"github.com/mddsm/mddsm/internal/metamodel"
 	"github.com/mddsm/mddsm/internal/obs"
 	"github.com/mddsm/mddsm/internal/script"
@@ -36,6 +37,7 @@ func run(args []string) error {
 	domain := fs.String("domain", "cvm", "platform to run: cvm or mgridvm")
 	modelPath := fs.String("model", "", "application model JSON")
 	withObs := fs.Bool("obs", false, "instrument the platform and print an observability snapshot")
+	faults := fs.String("faults", "", `inject faults: "seed=N,site:kind[:p=0.5][:d=10ms][:n=3],..." (see internal/fault)`)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -56,6 +58,17 @@ func run(args []string) error {
 		o = obs.New()
 	}
 
+	var inj *fault.Injector
+	if *faults != "" {
+		inj, err = fault.Parse(*faults)
+		if err != nil {
+			return fmt.Errorf("-faults: %w", err)
+		}
+		if o != nil {
+			inj.BindMetrics(o.MetricsOf())
+		}
+	}
+
 	var (
 		out   *script.Script
 		trace string
@@ -65,6 +78,9 @@ func run(args []string) error {
 		var opts []cml.Option
 		if o != nil {
 			opts = append(opts, cml.WithObs(o))
+		}
+		if inj != nil {
+			opts = append(opts, cml.WithFault(inj), cml.WithResilience(fault.DefaultResilience()))
 		}
 		vm, err := cml.New(opts...)
 		if err != nil {
@@ -79,6 +95,9 @@ func run(args []string) error {
 		var opts []mgrid.Option
 		if o != nil {
 			opts = append(opts, mgrid.WithObs(o))
+		}
+		if inj != nil {
+			opts = append(opts, mgrid.WithFault(inj), mgrid.WithResilience(fault.DefaultResilience()))
 		}
 		vm, err := mgrid.New(opts...)
 		if err != nil {
@@ -100,6 +119,13 @@ func run(args []string) error {
 	if o != nil {
 		fmt.Println("# observability snapshot")
 		fmt.Println(o.Snapshot())
+	}
+	if inj != nil {
+		fmt.Println("# fault schedule")
+		fmt.Printf("seed=%d injected=%d\n", inj.Seed(), inj.Injected())
+		for _, line := range inj.Schedule() {
+			fmt.Println(line)
+		}
 	}
 	return nil
 }

@@ -8,14 +8,28 @@
 package broker
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"github.com/mddsm/mddsm/internal/expr"
+	"github.com/mddsm/mddsm/internal/fault"
 	"github.com/mddsm/mddsm/internal/obs"
 	"github.com/mddsm/mddsm/internal/policy"
 	"github.com/mddsm/mddsm/internal/script"
+)
+
+// Fault-point names evaluated by this layer's injector, if one is
+// configured.
+const (
+	// SiteStep fires before each resource-step execution, inside the
+	// retry loop so injected transient faults exercise it.
+	SiteStep = "broker.step"
+	// SiteEvent fires on resource-event ingress; a Drop fault silently
+	// discards the event.
+	SiteEvent = "broker.event"
 )
 
 // Event is a notification flowing through the layer: resource events enter
@@ -194,6 +208,12 @@ type Config struct {
 	// in which case the call path pays only a nil check.
 	Tracer  *obs.Tracer
 	Metrics *obs.Metrics
+	// Injector evaluates the layer's fault points (SiteStep, SiteEvent);
+	// nil disables injection at the cost of a nil check.
+	Injector *fault.Injector
+	// Resilience configures per-step retry, timeout and per-operation
+	// circuit breaking; the zero value disables all three.
+	Resilience fault.Resilience
 }
 
 // Broker is the live Broker layer. Its call path takes no layer-wide lock:
@@ -219,6 +239,14 @@ type Broker struct {
 	mSteps  *obs.Counter
 	mEvents *obs.Counter
 
+	injector    *fault.Injector
+	retryer     *fault.Retryer
+	stepTimeout time.Duration
+	breakerCfg  fault.BreakerConfig
+	breakerOpts []fault.BreakerOption
+	brkMu       sync.Mutex
+	breakers    map[string]*fault.Breaker
+
 	evMu       sync.Mutex
 	evQueue    []Event
 	evDraining bool
@@ -241,6 +269,17 @@ func New(cfg Config, resources *ResourceManager, notify func(Event)) *Broker {
 		mCalls:    cfg.Metrics.Counter(obs.MBrokerCalls),
 		mSteps:    cfg.Metrics.Counter(obs.MBrokerSteps),
 		mEvents:   cfg.Metrics.Counter(obs.MBrokerEvents),
+
+		injector:    cfg.Injector,
+		retryer:     fault.NewRetryer(cfg.Resilience.Retry, fault.RetryMetrics(cfg.Metrics)),
+		stepTimeout: cfg.Resilience.StepTimeout,
+		breakerCfg:  cfg.Resilience.Breaker,
+	}
+	if b.breakerCfg.Threshold > 0 {
+		b.breakers = make(map[string]*fault.Breaker)
+		if cfg.Metrics != nil {
+			b.breakerOpts = []fault.BreakerOption{fault.BreakerMetrics(cfg.Metrics)}
+		}
 	}
 	b.autonomic = newAutonomic(b, cfg.Symptoms, cfg.ChangePlans)
 	return b
@@ -344,19 +383,61 @@ func (b *Broker) runStepsForward(actionName string, steps []Step, scope expr.Map
 	return nil
 }
 
-// executeStep runs one expanded resource command, wrapping the adapter
-// hop in its own span when tracing is enabled.
+// executeStep runs one expanded resource command through the layer's
+// resilience stack: the per-operation circuit breaker gates the call,
+// transient failures (injected faults, timeouts, adapter errors wrapped
+// fault.Transient) are retried per the configured policy, and the final
+// outcome feeds the breaker. With a zero Resilience config this reduces to
+// a handful of nil checks around the adapter call.
 func (b *Broker) executeStep(cmd script.Command) error {
-	if b.tracer == nil {
-		return b.resources.Execute(cmd)
+	br := b.breakerFor(cmd.Op)
+	if err := br.Allow(); err != nil {
+		return fmt.Errorf("broker %s: op %q: %w", b.name, cmd.Op, err)
 	}
-	step := b.tracer.Start(obs.SpanBrokerStep)
-	step.SetStr("op", cmd.Op)
-	res := b.tracer.Start(obs.SpanResourceExecute)
-	err := b.resources.Execute(cmd)
-	res.End()
-	step.End()
+	err := b.retryer.Do(func() error { return b.executeOnce(cmd) })
+	br.Report(err)
 	return err
+}
+
+// breakerFor returns the circuit breaker guarding op, creating it on first
+// use; nil when breaking is disabled.
+func (b *Broker) breakerFor(op string) *fault.Breaker {
+	if b.breakers == nil {
+		return nil
+	}
+	b.brkMu.Lock()
+	defer b.brkMu.Unlock()
+	br, ok := b.breakers[op]
+	if !ok {
+		br = fault.NewBreaker(b.breakerCfg, b.breakerOpts...)
+		b.breakers[op] = br
+	}
+	return br
+}
+
+// executeOnce is one attempt of one resource step: fault point, optional
+// timeout bound, and the adapter hop wrapped in its spans when tracing is
+// enabled.
+func (b *Broker) executeOnce(cmd script.Command) error {
+	if err := b.injector.Inject(SiteStep); err != nil {
+		return err
+	}
+	exec := func() error {
+		if b.tracer == nil {
+			return b.resources.Execute(cmd)
+		}
+		step := b.tracer.Start(obs.SpanBrokerStep)
+		step.SetStr("op", cmd.Op)
+		res := b.tracer.Start(obs.SpanResourceExecute)
+		err := b.resources.Execute(cmd)
+		res.End()
+		step.End()
+		return err
+	}
+	if b.stepTimeout > 0 {
+		return fault.WithTimeout(b.stepTimeout, exec)
+	}
+	return exec()
 }
 
 // OnEvent is the layer's event entry point: resource adapters push events
@@ -365,6 +446,12 @@ func (b *Broker) executeStep(cmd script.Command) error {
 // The first processing error is reported to the caller that started the
 // drain.
 func (b *Broker) OnEvent(ev Event) error {
+	if err := b.injector.Inject(SiteEvent); err != nil {
+		if errors.Is(err, fault.ErrDropped) {
+			return nil // injected event loss: silently discarded
+		}
+		return err
+	}
 	b.evMu.Lock()
 	b.evQueue = append(b.evQueue, ev)
 	if b.evDraining {

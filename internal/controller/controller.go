@@ -17,6 +17,7 @@ import (
 	"github.com/mddsm/mddsm/internal/broker"
 	"github.com/mddsm/mddsm/internal/eu"
 	"github.com/mddsm/mddsm/internal/expr"
+	"github.com/mddsm/mddsm/internal/fault"
 	"github.com/mddsm/mddsm/internal/intent"
 	"github.com/mddsm/mddsm/internal/obs"
 	"github.com/mddsm/mddsm/internal/policy"
@@ -24,6 +25,10 @@ import (
 	"github.com/mddsm/mddsm/internal/script"
 	"github.com/mddsm/mddsm/internal/simtime"
 )
+
+// SiteDispatch is the fault point fired on each command dispatch, letting
+// a fault.Injector rehearse Controller-level failures deterministically.
+const SiteDispatch = "controller.dispatch"
 
 // BrokerAPI is the surface of the layer below: the Broker's exposed call
 // interface.
@@ -96,6 +101,9 @@ type Config struct {
 	// Tracer and Metrics observe the layer; both may be nil (disabled).
 	Tracer  *obs.Tracer
 	Metrics *obs.Metrics
+	// Injector evaluates the layer's SiteDispatch fault point; nil
+	// disables injection.
+	Injector *fault.Injector
 }
 
 // Stats counts layer activity for the evaluation harness.
@@ -111,17 +119,18 @@ type Stats struct {
 
 // Controller is the live Controller layer.
 type Controller struct {
-	name    string
-	broker  BrokerAPI
-	context *policy.Context
-	engine  *policy.Engine
-	actions []*Action
-	events  []*EventAction
-	classes map[string]string
-	gen     *intent.Generator
-	machine *eu.Machine
-	notify  func(broker.Event)
-	funcs   map[string]expr.Func
+	name     string
+	broker   BrokerAPI
+	context  *policy.Context
+	engine   *policy.Engine
+	actions  []*Action
+	events   []*EventAction
+	classes  map[string]string
+	injector *fault.Injector
+	gen      *intent.Generator
+	machine  *eu.Machine
+	notify   func(broker.Event)
+	funcs    map[string]expr.Func
 
 	tracer    *obs.Tracer
 	mCommands *obs.Counter
@@ -165,6 +174,7 @@ func New(cfg Config, b BrokerAPI, notify func(broker.Event)) *Controller {
 		actions:   cfg.Actions,
 		events:    cfg.EventActions,
 		classes:   make(map[string]string, len(cfg.Classes)),
+		injector:  cfg.Injector,
 		notify:    notify,
 		funcs:     expr.StdFuncs(),
 		tracer:    cfg.Tracer,
@@ -247,6 +257,9 @@ func (c *Controller) Process(cmd script.Command) error {
 	sp := c.tracer.Start(obs.SpanCtlCommand)
 	sp.SetStr("op", cmd.Op)
 	defer sp.End()
+	if err := c.injector.Inject(SiteDispatch); err != nil {
+		return fmt.Errorf("controller %s: dispatch %q: %w", c.name, cmd.Op, err)
+	}
 
 	scope := c.context.Snapshot()
 	scope["op"] = cmd.Op

@@ -24,6 +24,7 @@ import (
 
 	"github.com/mddsm/mddsm/internal/broker"
 	"github.com/mddsm/mddsm/internal/dsc"
+	"github.com/mddsm/mddsm/internal/fault"
 	"github.com/mddsm/mddsm/internal/lts"
 	"github.com/mddsm/mddsm/internal/metamodel"
 	"github.com/mddsm/mddsm/internal/mwmeta"
@@ -65,6 +66,12 @@ type Definition struct {
 	// Obs observes every layer of the built platform (tracing + metrics);
 	// nil disables observability.
 	Obs *obs.Obs
+	// Injector injects faults at the platform's named fault points; nil
+	// (the default) disables injection.
+	Injector *fault.Injector
+	// Resilience configures retry, per-step timeout, and circuit-breaking
+	// for the built platform; the zero value disables all three.
+	Resilience fault.Resilience
 }
 
 // Validate cross-checks the definition without instantiating anything:
@@ -145,6 +152,8 @@ func Build(def Definition, opts ...runtime.Option) (*runtime.Platform, error) {
 		Clock:      def.Clock,
 		Tracer:     def.Obs.TracerOf(),
 		Metrics:    def.Obs.MetricsOf(),
+		Injector:   def.Injector,
+		Resilience: def.Resilience,
 	}, opts...)
 	if err != nil {
 		return nil, fmt.Errorf("definition %s: %w", def.Name, err)

@@ -5,6 +5,7 @@ import (
 
 	"github.com/mddsm/mddsm/internal/broker"
 	"github.com/mddsm/mddsm/internal/core"
+	"github.com/mddsm/mddsm/internal/fault"
 	"github.com/mddsm/mddsm/internal/lts"
 	"github.com/mddsm/mddsm/internal/metamodel"
 	"github.com/mddsm/mddsm/internal/mwmeta"
@@ -75,13 +76,26 @@ type CVM struct {
 type Option func(*buildOptions)
 
 type buildOptions struct {
-	obs *obs.Obs
+	obs        *obs.Obs
+	injector   *fault.Injector
+	resilience fault.Resilience
 }
 
 // WithObs instruments every layer of the CVM with the given observability
 // bundle (tracing + metrics).
 func WithObs(o *obs.Obs) Option {
 	return func(b *buildOptions) { b.obs = o }
+}
+
+// WithFault arms the CVM's fault points with the given injector.
+func WithFault(in *fault.Injector) Option {
+	return func(b *buildOptions) { b.injector = in }
+}
+
+// WithResilience configures retry, step timeouts, and circuit-breaking
+// across the CVM's layers.
+func WithResilience(r fault.Resilience) Option {
+	return func(b *buildOptions) { b.resilience = r }
 }
 
 // New builds a CVM on a virtual clock. Events from the communication
@@ -114,8 +128,10 @@ func NewWithClock(clock simtime.Clock, opts ...Option) (*CVM, error) {
 			LTSes:      map[string]*lts.LTS{LTSName: SynthesisLTS()},
 			Adapters:   map[string]broker.Adapter{"commService": NewAdapter(vm.Service)},
 		},
-		Clock: clock,
-		Obs:   bo.obs,
+		Clock:      clock,
+		Obs:        bo.obs,
+		Injector:   bo.injector,
+		Resilience: bo.resilience,
 	}
 	p, err := core.Build(def)
 	if err != nil {

@@ -20,6 +20,7 @@ import (
 	"github.com/mddsm/mddsm/internal/core"
 	"github.com/mddsm/mddsm/internal/dsc"
 	"github.com/mddsm/mddsm/internal/eu"
+	"github.com/mddsm/mddsm/internal/fault"
 	"github.com/mddsm/mddsm/internal/lts"
 	"github.com/mddsm/mddsm/internal/metamodel"
 	"github.com/mddsm/mddsm/internal/mwmeta"
@@ -271,13 +272,26 @@ type MGridVM struct {
 type Option func(*buildOptions)
 
 type buildOptions struct {
-	obs *obs.Obs
+	obs        *obs.Obs
+	injector   *fault.Injector
+	resilience fault.Resilience
 }
 
 // WithObs instruments every layer of the MGridVM with the given
 // observability bundle (tracing + metrics).
 func WithObs(o *obs.Obs) Option {
 	return func(b *buildOptions) { b.obs = o }
+}
+
+// WithFault arms the MGridVM's fault points with the given injector.
+func WithFault(in *fault.Injector) Option {
+	return func(b *buildOptions) { b.injector = in }
+}
+
+// WithResilience configures retry, step timeouts, and circuit-breaking
+// across the MGridVM's layers.
+func WithResilience(r fault.Resilience) Option {
+	return func(b *buildOptions) { b.resilience = r }
 }
 
 // New builds an MGridVM on a virtual clock. Plant events are delivered
@@ -304,8 +318,10 @@ func New(opts ...Option) (*MGridVM, error) {
 			LTSes:      map[string]*lts.LTS{LTSName: SynthesisLTS()},
 			Adapters:   map[string]broker.Adapter{"plant": NewAdapter(vm.Plant)},
 		},
-		Clock: clock,
-		Obs:   bo.obs,
+		Clock:      clock,
+		Obs:        bo.obs,
+		Injector:   bo.injector,
+		Resilience: bo.resilience,
 	}
 	p, err := core.Build(def)
 	if err != nil {

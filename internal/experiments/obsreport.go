@@ -8,6 +8,7 @@ import (
 
 	"github.com/mddsm/mddsm/internal/broker"
 	"github.com/mddsm/mddsm/internal/domains/cml"
+	"github.com/mddsm/mddsm/internal/fault"
 	"github.com/mddsm/mddsm/internal/obs"
 )
 
@@ -24,8 +25,20 @@ type ObsPhase struct {
 // asynchronous stream failure back up — and returns the recorded span
 // counts grouped by phase.
 func MeasureObs() ([]ObsPhase, *obs.Obs, error) {
+	return measureObs(nil)
+}
+
+// measureObs runs the canonical scenario, optionally with an armed fault
+// injector (and the default resilience policy, so injected transients are
+// retried rather than failing the run).
+func measureObs(inj *fault.Injector) ([]ObsPhase, *obs.Obs, error) {
 	o := obs.New()
-	vm, err := cml.New(cml.WithObs(o))
+	opts := []cml.Option{cml.WithObs(o)}
+	if inj != nil {
+		inj.BindMetrics(o.MetricsOf())
+		opts = append(opts, cml.WithFault(inj), cml.WithResilience(fault.DefaultResilience()))
+	}
+	vm, err := cml.New(opts...)
 	if err != nil {
 		return nil, nil, fmt.Errorf("obs: %w", err)
 	}
@@ -97,5 +110,38 @@ func ReportObs(w io.Writer) error {
 	}
 	t.Print(w)
 	fmt.Fprintln(w, o.MetricsOf().Snapshot())
+	return nil
+}
+
+// ReportObsFaults runs the instrumented scenario with faults injected per
+// spec ("seed=N,site:kind[:p=..][:d=..][:n=..],...") and prints the
+// resilience counters plus the deterministic fault schedule. The same seed
+// reproduces the same schedule.
+func ReportObsFaults(w io.Writer, spec string) error {
+	inj, err := fault.Parse(spec)
+	if err != nil {
+		return fmt.Errorf("faults: %w", err)
+	}
+	phases, o, err := measureObs(inj)
+	if err != nil {
+		return fmt.Errorf("faults (seed=%d, %d injected): %w", inj.Seed(), inj.Injected(), err)
+	}
+	t := Table{
+		Title:   "Obs — per-phase span counts under fault injection",
+		Columns: []string{"phase", "spans"},
+		Notes: []string{
+			fmt.Sprintf("faults: %s", spec),
+			fmt.Sprintf("seed=%d injected=%d (schedule below is reproducible from the seed)", inj.Seed(), inj.Injected()),
+		},
+	}
+	for _, p := range phases {
+		t.AddRow(p.Phase, fmt.Sprintf("%d", p.Total))
+	}
+	t.Print(w)
+	fmt.Fprintln(w, o.MetricsOf().Snapshot())
+	fmt.Fprintln(w, "# fault schedule")
+	for _, line := range inj.Schedule() {
+		fmt.Fprintln(w, line)
+	}
 	return nil
 }

@@ -1,0 +1,175 @@
+package fault
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"github.com/mddsm/mddsm/internal/obs"
+)
+
+// ErrBreakerOpen short-circuits calls while a circuit is open. It is
+// permanent (not transient): retrying into an open circuit would defeat the
+// breaker, so callers back off until the cooldown admits a probe.
+var ErrBreakerOpen = errors.New("fault: circuit open")
+
+// BreakerState enumerates circuit states.
+type BreakerState int
+
+// Circuit states: Closed passes calls through, Open short-circuits them,
+// HalfOpen admits a single probe after the cooldown.
+const (
+	Closed BreakerState = iota
+	Open
+	HalfOpen
+)
+
+// String names the state.
+func (s BreakerState) String() string {
+	switch s {
+	case Closed:
+		return "closed"
+	case Open:
+		return "open"
+	case HalfOpen:
+		return "half-open"
+	default:
+		return "invalid"
+	}
+}
+
+// BreakerConfig configures a circuit breaker. A zero Threshold disables
+// breaking (NewBreaker returns nil).
+type BreakerConfig struct {
+	// Threshold is the number of consecutive failures that opens the
+	// circuit.
+	Threshold int
+	// Cooldown is how long the circuit stays open before admitting a
+	// half-open probe (default 1s).
+	Cooldown time.Duration
+}
+
+// Breaker is a consecutive-failure circuit breaker: Threshold failures in a
+// row open it; after Cooldown one probe is admitted (half-open) — its
+// success closes the circuit, its failure re-opens it. A nil *Breaker
+// passes everything through.
+type Breaker struct {
+	cfg BreakerConfig
+	now func() time.Time
+
+	mu       sync.Mutex
+	state    BreakerState
+	failures int
+	openedAt time.Time
+	probing  bool
+
+	mOpen    *obs.Counter
+	mShorted *obs.Counter
+}
+
+// BreakerOption customises a Breaker.
+type BreakerOption func(*Breaker)
+
+// BreakerNow replaces the breaker's time source (time.Now by default) so
+// cooldown transitions are testable deterministically.
+func BreakerNow(fn func() time.Time) BreakerOption {
+	return func(b *Breaker) { b.now = fn }
+}
+
+// BreakerMetrics counts open transitions ("breaker.open") and
+// short-circuited calls ("breaker.shorted") in the registry.
+func BreakerMetrics(m *obs.Metrics) BreakerOption {
+	return func(b *Breaker) {
+		b.mOpen = m.Counter(obs.MBreakerOpen)
+		b.mShorted = m.Counter(obs.MBreakerShorted)
+	}
+}
+
+// NewBreaker builds a breaker; a zero Threshold yields nil (disabled), so
+// callers store and consult the result unconditionally.
+func NewBreaker(cfg BreakerConfig, opts ...BreakerOption) *Breaker {
+	if cfg.Threshold <= 0 {
+		return nil
+	}
+	if cfg.Cooldown <= 0 {
+		cfg.Cooldown = time.Second
+	}
+	b := &Breaker{cfg: cfg, now: time.Now}
+	for _, o := range opts {
+		o(b)
+	}
+	return b
+}
+
+// Allow reports whether a call may proceed: nil to proceed, ErrBreakerOpen
+// to short-circuit. In half-open state exactly one caller is admitted as
+// the probe.
+func (b *Breaker) Allow() error {
+	if b == nil {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case Closed:
+		return nil
+	case Open:
+		if b.now().Sub(b.openedAt) < b.cfg.Cooldown {
+			b.mShorted.Inc()
+			return ErrBreakerOpen
+		}
+		b.state = HalfOpen
+		b.probing = true
+		return nil
+	default: // HalfOpen
+		if b.probing {
+			b.mShorted.Inc()
+			return ErrBreakerOpen
+		}
+		b.probing = true
+		return nil
+	}
+}
+
+// Report records the outcome of an allowed call.
+func (b *Breaker) Report(err error) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if err == nil {
+		b.state = Closed
+		b.failures = 0
+		b.probing = false
+		return
+	}
+	switch b.state {
+	case HalfOpen:
+		b.open()
+	default:
+		b.failures++
+		if b.failures >= b.cfg.Threshold {
+			b.open()
+		}
+	}
+}
+
+// open transitions to Open (b.mu held).
+func (b *Breaker) open() {
+	b.state = Open
+	b.openedAt = b.now()
+	b.failures = 0
+	b.probing = false
+	b.mOpen.Inc()
+}
+
+// State returns the current circuit state (Closed for nil).
+func (b *Breaker) State() BreakerState {
+	if b == nil {
+		return Closed
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}

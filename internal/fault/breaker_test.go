@@ -1,0 +1,142 @@
+package fault
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/mddsm/mddsm/internal/obs"
+)
+
+func TestNilBreakerPassesThrough(t *testing.T) {
+	var b *Breaker
+	if err := b.Allow(); err != nil {
+		t.Fatalf("nil breaker blocked: %v", err)
+	}
+	b.Report(errors.New("x"))
+	if b.State() != Closed {
+		t.Fatal("nil breaker not closed")
+	}
+}
+
+func TestNewBreakerDisabled(t *testing.T) {
+	if NewBreaker(BreakerConfig{}) != nil {
+		t.Fatal("zero threshold yields a breaker")
+	}
+	if NewBreaker(BreakerConfig{Threshold: 1}) == nil {
+		t.Fatal("threshold 1 yields nil")
+	}
+}
+
+// fakeClock advances under test control so cooldown transitions are exact.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time { return c.t }
+
+func TestBreakerOpensAfterThreshold(t *testing.T) {
+	m := obs.NewMetrics()
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	b := NewBreaker(BreakerConfig{Threshold: 3, Cooldown: time.Second},
+		BreakerNow(clk.now), BreakerMetrics(m))
+	boom := errors.New("boom")
+
+	for i := 0; i < 2; i++ {
+		if err := b.Allow(); err != nil {
+			t.Fatalf("closed circuit blocked call %d: %v", i, err)
+		}
+		b.Report(boom)
+		if b.State() != Closed {
+			t.Fatalf("opened after %d failures, threshold 3", i+1)
+		}
+	}
+	if err := b.Allow(); err != nil {
+		t.Fatal(err)
+	}
+	b.Report(boom)
+	if b.State() != Open {
+		t.Fatalf("state = %v after 3 consecutive failures, want open", b.State())
+	}
+	if got := m.Counter(obs.MBreakerOpen).Value(); got != 1 {
+		t.Fatalf("breaker.open = %d, want 1", got)
+	}
+	if err := b.Allow(); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("open circuit admitted a call: %v", err)
+	}
+	if got := m.Counter(obs.MBreakerShorted).Value(); got != 1 {
+		t.Fatalf("breaker.shorted = %d, want 1", got)
+	}
+}
+
+func TestSuccessResetsFailureCount(t *testing.T) {
+	b := NewBreaker(BreakerConfig{Threshold: 2})
+	boom := errors.New("boom")
+	b.Report(boom)
+	b.Report(nil)
+	b.Report(boom)
+	if b.State() != Closed {
+		t.Fatal("non-consecutive failures opened the circuit")
+	}
+}
+
+func TestHalfOpenProbeSuccessCloses(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	b := NewBreaker(BreakerConfig{Threshold: 1, Cooldown: time.Second}, BreakerNow(clk.now))
+	b.Report(errors.New("boom"))
+	if b.State() != Open {
+		t.Fatal("not open")
+	}
+	// Before the cooldown: short-circuited.
+	if err := b.Allow(); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("pre-cooldown: %v", err)
+	}
+	clk.t = clk.t.Add(time.Second)
+	// After the cooldown: one probe admitted, a second concurrent call is not.
+	if err := b.Allow(); err != nil {
+		t.Fatalf("probe blocked: %v", err)
+	}
+	if b.State() != HalfOpen {
+		t.Fatalf("state = %v, want half-open", b.State())
+	}
+	if err := b.Allow(); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatal("second probe admitted in half-open")
+	}
+	b.Report(nil)
+	if b.State() != Closed {
+		t.Fatalf("probe success left state %v", b.State())
+	}
+	if err := b.Allow(); err != nil {
+		t.Fatalf("closed circuit blocked: %v", err)
+	}
+}
+
+func TestHalfOpenProbeFailureReopens(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	b := NewBreaker(BreakerConfig{Threshold: 1, Cooldown: time.Second}, BreakerNow(clk.now))
+	b.Report(errors.New("boom"))
+	clk.t = clk.t.Add(time.Second)
+	if err := b.Allow(); err != nil {
+		t.Fatalf("probe blocked: %v", err)
+	}
+	b.Report(errors.New("still down"))
+	if b.State() != Open {
+		t.Fatalf("state = %v after failed probe, want open", b.State())
+	}
+	// The cooldown restarts from the reopen.
+	if err := b.Allow(); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatal("reopened circuit admitted a call immediately")
+	}
+	clk.t = clk.t.Add(time.Second)
+	if err := b.Allow(); err != nil {
+		t.Fatalf("second probe blocked: %v", err)
+	}
+}
+
+func TestBreakerStateStrings(t *testing.T) {
+	for state, want := range map[BreakerState]string{
+		Closed: "closed", Open: "open", HalfOpen: "half-open", BreakerState(99): "invalid",
+	} {
+		if got := state.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", state, got, want)
+		}
+	}
+}

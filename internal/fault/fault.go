@@ -1,0 +1,446 @@
+// Package fault is the engine's zero-dependency fault-injection and
+// resilience layer. The paper distributes middleware layers across devices
+// (2SVM/CSVM, §IV-C/D), so partial failure — a slow peer, a flaky resource,
+// a dropped event — is the normal operating condition, not the exception.
+// This package provides the two halves of handling it:
+//
+//   - an Injector: a seeded, deterministic source of faults at named fault
+//     points ("sites") spread through the layers. Each site can be armed
+//     with one fault kind (error, delay, drop, partition) and a firing
+//     probability; the same seed reproduces the identical fault schedule,
+//     so chaos tests and CLI repros are exact. A nil *Injector is a valid
+//     production no-op whose evaluation costs a single nil check and zero
+//     allocations.
+//
+//   - resilience primitives consuming those faults: Retryer (bounded
+//     attempts, exponential backoff with deterministic jitter, context
+//     aware) and Breaker (consecutive-failure circuit with a half-open
+//     probe), both nil-safe, plus WithTimeout for bounding resource calls.
+//
+// Fault points established across the engine (armed by site name):
+//
+//	remote.dial     client connection establishment
+//	remote.send     client request transmission
+//	remote.serve    server-side message handling
+//	broker.step     resource-step execution (below retry, so retries cover it)
+//	broker.event    resource-event ingress into the Broker layer
+//	controller.dispatch  command dispatch in the Controller layer
+//	pump.post       event submission to the runtime's event pump
+//	monitor.probe   the autonomic monitor's telemetry probe
+//
+// Every injected fault increments the obs counter "fault.injected" (when a
+// metrics registry is bound) and is appended to the injector's schedule log.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/mddsm/mddsm/internal/obs"
+)
+
+// Kind enumerates the fault kinds a site can be armed with.
+type Kind int
+
+// Fault kinds.
+const (
+	// Error makes the site return an injected (transient) error.
+	Error Kind = iota + 1
+	// Delay makes the site sleep before proceeding normally.
+	Delay
+	// Drop makes the site report ErrDropped; event-ingress paths translate
+	// it into silently discarding the work item.
+	Drop
+	// Partition behaves like Error but latches: once fired, the site keeps
+	// failing every evaluation until Heal is called. It models a network
+	// partition or a crashed peer.
+	Partition
+)
+
+// String returns the kind's spec mnemonic.
+func (k Kind) String() string {
+	switch k {
+	case Error:
+		return "error"
+	case Delay:
+		return "delay"
+	case Drop:
+		return "drop"
+	case Partition:
+		return "partition"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// kindFromString parses a spec mnemonic.
+func kindFromString(s string) (Kind, error) {
+	switch s {
+	case "error":
+		return Error, nil
+	case "delay":
+		return Delay, nil
+	case "drop":
+		return Drop, nil
+	case "partition":
+		return Partition, nil
+	default:
+		return 0, fmt.Errorf("unknown fault kind %q (want error, delay, drop or partition)", s)
+	}
+}
+
+// Sentinel errors produced by the package.
+var (
+	// ErrInjected is the base error returned by fired Error/Partition
+	// faults; injected errors are transient, so resilience paths retry
+	// them.
+	ErrInjected = errors.New("fault: injected")
+	// ErrDropped reports a fired Drop fault.
+	ErrDropped = errors.New("fault: dropped")
+	// ErrTimeout reports an operation exceeding its bound; it is treated
+	// as transient.
+	ErrTimeout = errors.New("fault: timeout")
+)
+
+// Spec arms one site: the fault kind, its firing probability and its
+// parameters.
+type Spec struct {
+	Kind Kind
+	// P is the firing probability per evaluation in [0,1]; 0 means 1
+	// (always fire), so the zero Spec of a kind fires deterministically.
+	P float64
+	// Delay is the injected latency for Delay faults.
+	Delay time.Duration
+	// Limit caps the number of firings; 0 = unlimited. A partition ignores
+	// the limit once latched.
+	Limit int
+}
+
+// site is the armed state of one fault point.
+type site struct {
+	spec   Spec
+	fired  int
+	parted bool // partition latched
+}
+
+// Injector evaluates named fault points deterministically from a seed. It
+// is safe for concurrent use; concurrent call interleaving is the caller's
+// only source of schedule nondeterminism, so deterministic tests drive the
+// engine synchronously. A nil *Injector never fires and costs only a nil
+// check.
+type Injector struct {
+	mu      sync.Mutex
+	seed    int64
+	rng     *rand.Rand
+	sites   map[string]*site
+	sleep   func(time.Duration)
+	mFaults *obs.Counter
+	log     []string
+}
+
+// InjectorOption customises an Injector.
+type InjectorOption func(*Injector)
+
+// WithSleep replaces the function realising Delay faults (time.Sleep by
+// default); tests inject a recorder to keep chaos runs instantaneous.
+func WithSleep(fn func(time.Duration)) InjectorOption {
+	return func(in *Injector) { in.sleep = fn }
+}
+
+// WithMetrics counts fired faults in the registry's "fault.injected"
+// counter.
+func WithMetrics(m *obs.Metrics) InjectorOption {
+	return func(in *Injector) { in.mFaults = m.Counter(obs.MFaultInjected) }
+}
+
+// NewInjector returns an injector whose fault schedule is a pure function
+// of the seed and the sequence of site evaluations.
+func NewInjector(seed int64, opts ...InjectorOption) *Injector {
+	in := &Injector{
+		seed:  seed,
+		rng:   rand.New(rand.NewSource(seed)),
+		sites: make(map[string]*site),
+		sleep: time.Sleep,
+	}
+	for _, o := range opts {
+		o(in)
+	}
+	return in
+}
+
+// BindMetrics attaches (or replaces) the metrics registry counting fired
+// faults; CLI flows parse the injector before observability exists.
+func (in *Injector) BindMetrics(m *obs.Metrics) {
+	if in == nil {
+		return
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.mFaults = m.Counter(obs.MFaultInjected)
+}
+
+// Seed returns the injector's seed (0 for nil).
+func (in *Injector) Seed() int64 {
+	if in == nil {
+		return 0
+	}
+	return in.seed
+}
+
+// Arm installs (or replaces) the fault spec for a site.
+func (in *Injector) Arm(name string, spec Spec) {
+	if in == nil {
+		return
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.sites[name] = &site{spec: spec}
+}
+
+// Heal disarms a site, clearing a latched partition.
+func (in *Injector) Heal(name string) {
+	if in == nil {
+		return
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	delete(in.sites, name)
+}
+
+// Inject evaluates the named fault point. It returns nil when the injector
+// is nil, the site is unarmed, or the roll does not fire. A fired Error or
+// Partition fault returns a transient error wrapping ErrInjected; a fired
+// Drop fault returns ErrDropped; a fired Delay fault sleeps and returns
+// nil.
+func (in *Injector) Inject(name string) error {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	st, ok := in.sites[name]
+	if !ok {
+		in.mu.Unlock()
+		return nil
+	}
+	if st.parted {
+		in.mu.Unlock()
+		return Transient(fmt.Errorf("%w: partition at %s", ErrInjected, name))
+	}
+	if st.spec.Limit > 0 && st.fired >= st.spec.Limit {
+		in.mu.Unlock()
+		return nil
+	}
+	if p := st.spec.P; p > 0 && p < 1 && in.rng.Float64() >= p {
+		in.mu.Unlock()
+		return nil
+	}
+	st.fired++
+	in.log = append(in.log, fmt.Sprintf("%d %s %s", len(in.log)+1, name, st.spec.Kind))
+	delay := st.spec.Delay
+	kind := st.spec.Kind
+	if kind == Partition {
+		st.parted = true
+	}
+	in.mu.Unlock()
+	in.mFaults.Inc()
+
+	switch kind {
+	case Delay:
+		in.sleep(delay)
+		return nil
+	case Drop:
+		return ErrDropped
+	default: // Error, Partition
+		return Transient(fmt.Errorf("%w: %s at %s", ErrInjected, kind, name))
+	}
+}
+
+// ShouldDrop evaluates the site and reports whether a fault fired; event
+// ingress paths use it to drop work instead of failing the caller. A fired
+// Delay fault sleeps and reports false.
+func (in *Injector) ShouldDrop(name string) bool {
+	return in.Inject(name) != nil
+}
+
+// Injected returns the total number of fired faults.
+func (in *Injector) Injected() int {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return len(in.log)
+}
+
+// Schedule returns the fired faults in order ("<n> <site> <kind>" lines) —
+// the reproducibility witness: two runs with the same seed and the same
+// evaluation sequence produce identical schedules.
+func (in *Injector) Schedule() []string {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return append([]string(nil), in.log...)
+}
+
+// Parse builds an injector from a CLI spec:
+//
+//	seed=N,site:kind[:p=0.5][:d=10ms][:n=3][,site:kind...]
+//
+// e.g. "seed=42,remote.dial:error:n=2,broker.step:delay:d=5ms:p=0.3".
+// The seed entry is optional (default 1) and may appear anywhere.
+func Parse(spec string, opts ...InjectorOption) (*Injector, error) {
+	seed := int64(1)
+	type armed struct {
+		name string
+		spec Spec
+	}
+	var arms []armed
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		if v, ok := strings.CutPrefix(part, "seed="); ok {
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("fault spec: bad seed %q", v)
+			}
+			seed = n
+			continue
+		}
+		fields := strings.Split(part, ":")
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("fault spec: %q: want site:kind[:param...]", part)
+		}
+		kind, err := kindFromString(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("fault spec: %q: %w", part, err)
+		}
+		s := Spec{Kind: kind}
+		for _, param := range fields[2:] {
+			key, val, ok := strings.Cut(param, "=")
+			if !ok {
+				return nil, fmt.Errorf("fault spec: %q: bad parameter %q", part, param)
+			}
+			switch key {
+			case "p":
+				p, err := strconv.ParseFloat(val, 64)
+				if err != nil || p < 0 || p > 1 {
+					return nil, fmt.Errorf("fault spec: %q: bad probability %q", part, val)
+				}
+				s.P = p
+			case "d":
+				d, err := time.ParseDuration(val)
+				if err != nil {
+					return nil, fmt.Errorf("fault spec: %q: bad delay %q", part, val)
+				}
+				s.Delay = d
+			case "n":
+				n, err := strconv.Atoi(val)
+				if err != nil || n < 0 {
+					return nil, fmt.Errorf("fault spec: %q: bad limit %q", part, val)
+				}
+				s.Limit = n
+			default:
+				return nil, fmt.Errorf("fault spec: %q: unknown parameter %q", part, key)
+			}
+		}
+		arms = append(arms, armed{name: fields[0], spec: s})
+	}
+	in := NewInjector(seed, opts...)
+	for _, a := range arms {
+		in.Arm(a.name, a.spec)
+	}
+	return in, nil
+}
+
+// ---------------------------------------------------------------------------
+// Error classification and timeouts
+// ---------------------------------------------------------------------------
+
+// transientErr marks an error as retryable.
+type transientErr struct{ err error }
+
+func (e *transientErr) Error() string { return e.err.Error() }
+func (e *transientErr) Unwrap() error { return e.err }
+
+// Transient wraps err so IsTransient reports true; resilience paths retry
+// only transient failures. Wrapping nil returns nil.
+func Transient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &transientErr{err: err}
+}
+
+// IsTransient reports whether err is marked transient (via Transient) or is
+// a timeout (ErrTimeout). Permanent errors — application rejections, policy
+// denials — are never retried.
+func IsTransient(err error) bool {
+	if err == nil {
+		return false
+	}
+	var te *transientErr
+	return errors.As(err, &te) || errors.Is(err, ErrTimeout)
+}
+
+// WithTimeout runs fn, returning an error wrapping ErrTimeout if fn does
+// not return within d (d <= 0 runs fn inline, unbounded). Go cannot kill a
+// goroutine, so a genuinely stuck fn leaks its goroutine and a late result
+// is discarded; the bound exists to unwedge the caller, not the callee.
+func WithTimeout(d time.Duration, fn func() error) error {
+	if d <= 0 {
+		return fn()
+	}
+	done := make(chan error, 1)
+	go func() { done <- fn() }()
+	tm := time.NewTimer(d)
+	defer tm.Stop()
+	select {
+	case err := <-done:
+		return err
+	case <-tm.C:
+		return fmt.Errorf("%w after %v", ErrTimeout, d)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Resilience bundle
+// ---------------------------------------------------------------------------
+
+// Resilience bundles the engine's resource-path resilience knobs, threaded
+// from runtime.Deps into the Broker layer. The zero value disables
+// everything.
+type Resilience struct {
+	// Retry retries transient resource-step failures.
+	Retry Policy
+	// StepTimeout bounds one resource step; 0 = unbounded.
+	StepTimeout time.Duration
+	// Breaker opens a per-operation circuit after consecutive step
+	// failures; a zero Threshold disables breaking.
+	Breaker BreakerConfig
+}
+
+// DefaultResilience returns the defaults the CLIs arm alongside -faults:
+// three attempts with 1ms..100ms backoff, a 2s step bound, and a circuit
+// opening after 8 consecutive failures with a 250ms cooldown.
+func DefaultResilience() Resilience {
+	return Resilience{
+		Retry: Policy{
+			MaxAttempts: 3,
+			BaseDelay:   time.Millisecond,
+			MaxDelay:    100 * time.Millisecond,
+			Multiplier:  2,
+			Jitter:      0.2,
+		},
+		StepTimeout: 2 * time.Second,
+		Breaker:     BreakerConfig{Threshold: 8, Cooldown: 250 * time.Millisecond},
+	}
+}

@@ -1,0 +1,242 @@
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/mddsm/mddsm/internal/obs"
+)
+
+func TestNilInjectorIsNoOp(t *testing.T) {
+	var in *Injector
+	if err := in.Inject("any.site"); err != nil {
+		t.Fatalf("nil injector fired: %v", err)
+	}
+	if in.ShouldDrop("any.site") {
+		t.Fatal("nil injector dropped")
+	}
+	in.Arm("x", Spec{Kind: Error})
+	in.Heal("x")
+	in.BindMetrics(obs.NewMetrics())
+	if got := in.Seed(); got != 0 {
+		t.Fatalf("nil Seed() = %d", got)
+	}
+	if got := in.Injected(); got != 0 {
+		t.Fatalf("nil Injected() = %d", got)
+	}
+	if got := in.Schedule(); got != nil {
+		t.Fatalf("nil Schedule() = %v", got)
+	}
+}
+
+// The production hot path — an unarmed evaluation — must cost only a nil
+// check: zero allocations.
+func TestNilInjectorAllocs(t *testing.T) {
+	var in *Injector
+	allocs := testing.AllocsPerRun(1000, func() {
+		if err := in.Inject("broker.step"); err != nil {
+			t.Errorf("fired: %v", err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("nil injector: %v allocs per evaluation, want 0", allocs)
+	}
+}
+
+func TestInjectErrorKind(t *testing.T) {
+	in := NewInjector(1)
+	in.Arm("s", Spec{Kind: Error})
+	err := in.Inject("s")
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	if !IsTransient(err) {
+		t.Fatal("injected error must be transient")
+	}
+	if got := in.Injected(); got != 1 {
+		t.Fatalf("Injected() = %d, want 1", got)
+	}
+}
+
+func TestInjectDropKind(t *testing.T) {
+	in := NewInjector(1)
+	in.Arm("s", Spec{Kind: Drop})
+	if err := in.Inject("s"); !errors.Is(err, ErrDropped) {
+		t.Fatalf("err = %v, want ErrDropped", err)
+	}
+	if !in.ShouldDrop("s") {
+		t.Fatal("ShouldDrop = false for armed drop site")
+	}
+}
+
+func TestInjectDelayKind(t *testing.T) {
+	var slept time.Duration
+	in := NewInjector(1, WithSleep(func(d time.Duration) { slept += d }))
+	in.Arm("s", Spec{Kind: Delay, Delay: 7 * time.Millisecond})
+	if err := in.Inject("s"); err != nil {
+		t.Fatalf("delay fault returned error: %v", err)
+	}
+	if slept != 7*time.Millisecond {
+		t.Fatalf("slept %v, want 7ms", slept)
+	}
+}
+
+func TestPartitionLatchesUntilHeal(t *testing.T) {
+	in := NewInjector(1)
+	in.Arm("s", Spec{Kind: Partition, Limit: 1})
+	if err := in.Inject("s"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("first evaluation: %v", err)
+	}
+	// Latched: keeps failing despite the limit.
+	for i := 0; i < 3; i++ {
+		if err := in.Inject("s"); !errors.Is(err, ErrInjected) {
+			t.Fatalf("latched evaluation %d: %v", i, err)
+		}
+	}
+	in.Heal("s")
+	if err := in.Inject("s"); err != nil {
+		t.Fatalf("after heal: %v", err)
+	}
+}
+
+func TestLimitCapsFirings(t *testing.T) {
+	in := NewInjector(1)
+	in.Arm("s", Spec{Kind: Error, Limit: 2})
+	fired := 0
+	for i := 0; i < 10; i++ {
+		if in.Inject("s") != nil {
+			fired++
+		}
+	}
+	if fired != 2 {
+		t.Fatalf("fired %d times, want 2", fired)
+	}
+}
+
+func TestScheduleDeterminism(t *testing.T) {
+	run := func(seed int64) []string {
+		in := NewInjector(seed)
+		in.Arm("a", Spec{Kind: Error, P: 0.5})
+		in.Arm("b", Spec{Kind: Drop, P: 0.3})
+		for i := 0; i < 200; i++ {
+			_ = in.Inject("a")
+			_ = in.Inject("b")
+		}
+		return in.Schedule()
+	}
+	s1, s2 := run(42), run(42)
+	if len(s1) == 0 {
+		t.Fatal("no faults fired at p=0.5 over 200 evaluations")
+	}
+	if fmt.Sprint(s1) != fmt.Sprint(s2) {
+		t.Fatalf("same seed, different schedules:\n%v\n%v", s1, s2)
+	}
+	if other := run(43); fmt.Sprint(s1) == fmt.Sprint(other) {
+		t.Fatal("different seeds produced identical schedules (suspicious)")
+	}
+}
+
+func TestInjectCountsMetrics(t *testing.T) {
+	m := obs.NewMetrics()
+	in := NewInjector(1, WithMetrics(m))
+	in.Arm("s", Spec{Kind: Error})
+	_ = in.Inject("s")
+	_ = in.Inject("s")
+	if got := m.Counter(obs.MFaultInjected).Value(); got != 2 {
+		t.Fatalf("fault.injected = %d, want 2", got)
+	}
+}
+
+func TestParse(t *testing.T) {
+	in, err := Parse("seed=42,remote.dial:error:n=2,broker.step:delay:d=5ms:p=0.3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Seed() != 42 {
+		t.Fatalf("seed = %d, want 42", in.Seed())
+	}
+	// remote.dial fires exactly twice.
+	fired := 0
+	for i := 0; i < 5; i++ {
+		if in.Inject("remote.dial") != nil {
+			fired++
+		}
+	}
+	if fired != 2 {
+		t.Fatalf("remote.dial fired %d times, want 2", fired)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, spec := range []string{
+		"seed=abc",
+		"siteonly",
+		"s:badkind",
+		"s:error:p=2",
+		"s:error:d=xyz",
+		"s:error:n=-1",
+		"s:error:q=1",
+		"s:error:noequals",
+	} {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", spec)
+		}
+	}
+	// Empty spec is valid: an injector with no armed sites.
+	in, err := Parse("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Seed() != 1 {
+		t.Fatalf("default seed = %d, want 1", in.Seed())
+	}
+}
+
+func TestTransientClassification(t *testing.T) {
+	if IsTransient(nil) {
+		t.Fatal("nil is transient")
+	}
+	if Transient(nil) != nil {
+		t.Fatal("Transient(nil) != nil")
+	}
+	base := errors.New("boom")
+	if IsTransient(base) {
+		t.Fatal("plain error is transient")
+	}
+	if !IsTransient(Transient(base)) {
+		t.Fatal("Transient(err) not transient")
+	}
+	wrapped := fmt.Errorf("op: %w", Transient(base))
+	if !IsTransient(wrapped) {
+		t.Fatal("wrapped transient not transient")
+	}
+	if !errors.Is(wrapped, base) {
+		t.Fatal("Transient broke the error chain")
+	}
+	if !IsTransient(fmt.Errorf("%w after 1s", ErrTimeout)) {
+		t.Fatal("timeout not transient")
+	}
+	if IsTransient(ErrBreakerOpen) {
+		t.Fatal("breaker-open must be permanent")
+	}
+}
+
+func TestWithTimeout(t *testing.T) {
+	if err := WithTimeout(0, func() error { return nil }); err != nil {
+		t.Fatalf("unbounded: %v", err)
+	}
+	if err := WithTimeout(time.Second, func() error { return nil }); err != nil {
+		t.Fatalf("fast fn: %v", err)
+	}
+	release := make(chan struct{})
+	defer close(release)
+	err := WithTimeout(5*time.Millisecond, func() error { <-release; return nil })
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("stuck fn: err = %v, want ErrTimeout", err)
+	}
+	if !IsTransient(err) {
+		t.Fatal("timeout must be transient")
+	}
+}

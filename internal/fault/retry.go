@@ -1,0 +1,151 @@
+package fault
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"time"
+
+	"github.com/mddsm/mddsm/internal/obs"
+)
+
+// Policy configures retry behaviour. The zero Policy (and any policy with
+// MaxAttempts <= 1) disables retrying: the operation runs exactly once.
+type Policy struct {
+	// MaxAttempts is the total number of attempts, first try included.
+	MaxAttempts int
+	// BaseDelay is the wait before the first re-attempt (default 1ms when
+	// retrying is enabled).
+	BaseDelay time.Duration
+	// MaxDelay caps the grown delay; 0 = uncapped.
+	MaxDelay time.Duration
+	// Multiplier grows the delay between attempts (default 2).
+	Multiplier float64
+	// Jitter randomises each delay by ±Jitter×delay (0..1), decorrelating
+	// retry storms. The jitter source is seeded, so schedules stay
+	// reproducible.
+	Jitter float64
+	// RetryAll retries every error; by default only transient failures
+	// (IsTransient) are retried.
+	RetryAll bool
+}
+
+// Enabled reports whether the policy performs any retrying.
+func (p Policy) Enabled() bool { return p.MaxAttempts > 1 }
+
+// Retryer executes operations under a Policy, counting re-attempts and
+// exhaustions in the obs registry. A nil *Retryer runs operations exactly
+// once — the disabled path costs one nil check.
+type Retryer struct {
+	policy Policy
+	sleep  func(time.Duration)
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	mAttempts  *obs.Counter
+	mExhausted *obs.Counter
+}
+
+// RetryOption customises a Retryer.
+type RetryOption func(*Retryer)
+
+// RetrySleep replaces the inter-attempt sleep (time.Sleep by default).
+func RetrySleep(fn func(time.Duration)) RetryOption {
+	return func(r *Retryer) { r.sleep = fn }
+}
+
+// RetrySeed seeds the jitter source (default 1) so backoff schedules are
+// reproducible.
+func RetrySeed(seed int64) RetryOption {
+	return func(r *Retryer) { r.rng = rand.New(rand.NewSource(seed)) }
+}
+
+// RetryMetrics counts re-attempts ("retry.attempts") and exhausted retries
+// ("retry.exhausted") in the registry.
+func RetryMetrics(m *obs.Metrics) RetryOption {
+	return func(r *Retryer) {
+		r.mAttempts = m.Counter(obs.MRetryAttempts)
+		r.mExhausted = m.Counter(obs.MRetryExhausted)
+	}
+}
+
+// NewRetryer builds a retryer; a disabled policy yields a nil retryer, so
+// callers store and invoke the result unconditionally.
+func NewRetryer(p Policy, opts ...RetryOption) *Retryer {
+	if !p.Enabled() {
+		return nil
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = time.Millisecond
+	}
+	if p.Multiplier <= 0 {
+		p.Multiplier = 2
+	}
+	r := &Retryer{
+		policy: p,
+		sleep:  time.Sleep,
+		rng:    rand.New(rand.NewSource(1)),
+	}
+	for _, o := range opts {
+		o(r)
+	}
+	return r
+}
+
+// Do runs fn, retrying per the policy. See DoCtx.
+func (r *Retryer) Do(fn func() error) error {
+	return r.DoCtx(context.Background(), fn)
+}
+
+// DoCtx runs fn, re-attempting failed runs with exponential backoff until
+// it succeeds, the error is not retryable, attempts are exhausted, or ctx
+// is done (the context error then wraps the last failure). A nil receiver
+// runs fn exactly once.
+func (r *Retryer) DoCtx(ctx context.Context, fn func() error) error {
+	if r == nil {
+		return fn()
+	}
+	delay := r.policy.BaseDelay
+	var err error
+	for attempt := 1; ; attempt++ {
+		err = fn()
+		if err == nil {
+			return nil
+		}
+		if !r.policy.RetryAll && !IsTransient(err) {
+			return err
+		}
+		if attempt >= r.policy.MaxAttempts {
+			r.mExhausted.Inc()
+			return err
+		}
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		r.mAttempts.Inc()
+		r.sleep(r.jittered(delay))
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		delay = time.Duration(float64(delay) * r.policy.Multiplier)
+		if max := r.policy.MaxDelay; max > 0 && delay > max {
+			delay = max
+		}
+	}
+}
+
+// jittered applies the policy's jitter to d.
+func (r *Retryer) jittered(d time.Duration) time.Duration {
+	j := r.policy.Jitter
+	if j <= 0 || d <= 0 {
+		return d
+	}
+	if j > 1 {
+		j = 1
+	}
+	r.rngMu.Lock()
+	f := 1 + j*(2*r.rng.Float64()-1) // uniform in [1-j, 1+j]
+	r.rngMu.Unlock()
+	return time.Duration(float64(d) * f)
+}

@@ -1,0 +1,168 @@
+package fault
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/mddsm/mddsm/internal/obs"
+)
+
+func TestNilRetryerRunsOnce(t *testing.T) {
+	var r *Retryer
+	calls := 0
+	err := r.Do(func() error { calls++; return Transient(errors.New("x")) })
+	if calls != 1 {
+		t.Fatalf("calls = %d, want 1", calls)
+	}
+	if err == nil {
+		t.Fatal("error swallowed")
+	}
+}
+
+func TestNewRetryerDisabledPolicies(t *testing.T) {
+	if NewRetryer(Policy{}) != nil {
+		t.Fatal("zero policy yields a retryer")
+	}
+	if NewRetryer(Policy{MaxAttempts: 1}) != nil {
+		t.Fatal("single-attempt policy yields a retryer")
+	}
+	if NewRetryer(Policy{MaxAttempts: 2}) == nil {
+		t.Fatal("two-attempt policy yields nil")
+	}
+}
+
+func TestRetryTransientUntilSuccess(t *testing.T) {
+	r := NewRetryer(Policy{MaxAttempts: 5}, RetrySleep(func(time.Duration) {}))
+	calls := 0
+	err := r.Do(func() error {
+		calls++
+		if calls < 3 {
+			return Transient(errors.New("flaky"))
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("err = %v", err)
+	}
+	if calls != 3 {
+		t.Fatalf("calls = %d, want 3", calls)
+	}
+}
+
+func TestRetryStopsOnPermanentError(t *testing.T) {
+	r := NewRetryer(Policy{MaxAttempts: 5}, RetrySleep(func(time.Duration) {}))
+	calls := 0
+	perm := errors.New("rejected")
+	if err := r.Do(func() error { calls++; return perm }); !errors.Is(err, perm) {
+		t.Fatalf("err = %v", err)
+	}
+	if calls != 1 {
+		t.Fatalf("permanent error retried: calls = %d", calls)
+	}
+}
+
+func TestRetryAllRetriesPermanent(t *testing.T) {
+	r := NewRetryer(Policy{MaxAttempts: 3, RetryAll: true}, RetrySleep(func(time.Duration) {}))
+	calls := 0
+	_ = r.Do(func() error { calls++; return errors.New("any") })
+	if calls != 3 {
+		t.Fatalf("calls = %d, want 3", calls)
+	}
+}
+
+func TestRetryExhaustionCountsMetrics(t *testing.T) {
+	m := obs.NewMetrics()
+	r := NewRetryer(Policy{MaxAttempts: 3},
+		RetrySleep(func(time.Duration) {}), RetryMetrics(m))
+	err := r.Do(func() error { return Transient(errors.New("always")) })
+	if !IsTransient(err) {
+		t.Fatalf("err = %v", err)
+	}
+	if got := m.Counter(obs.MRetryAttempts).Value(); got != 2 {
+		t.Fatalf("retry.attempts = %d, want 2", got)
+	}
+	if got := m.Counter(obs.MRetryExhausted).Value(); got != 1 {
+		t.Fatalf("retry.exhausted = %d, want 1", got)
+	}
+}
+
+func TestBackoffGrowsAndCaps(t *testing.T) {
+	var delays []time.Duration
+	r := NewRetryer(
+		Policy{MaxAttempts: 6, BaseDelay: time.Millisecond, MaxDelay: 4 * time.Millisecond, Multiplier: 2},
+		RetrySleep(func(d time.Duration) { delays = append(delays, d) }),
+	)
+	_ = r.Do(func() error { return Transient(errors.New("always")) })
+	want := []time.Duration{1, 2, 4, 4, 4}
+	if len(delays) != len(want) {
+		t.Fatalf("delays = %v, want %d entries", delays, len(want))
+	}
+	for i, d := range delays {
+		if d != want[i]*time.Millisecond {
+			t.Fatalf("delay[%d] = %v, want %vms (all: %v)", i, d, want[i], delays)
+		}
+	}
+}
+
+func TestJitterIsDeterministicFromSeed(t *testing.T) {
+	run := func(seed int64) []time.Duration {
+		var delays []time.Duration
+		r := NewRetryer(
+			Policy{MaxAttempts: 5, BaseDelay: 10 * time.Millisecond, Multiplier: 2, Jitter: 0.5},
+			RetrySleep(func(d time.Duration) { delays = append(delays, d) }),
+			RetrySeed(seed),
+		)
+		_ = r.Do(func() error { return Transient(errors.New("always")) })
+		return delays
+	}
+	a, b := run(7), run(7)
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Fatalf("same seed, different backoff: %v vs %v", a, b)
+	}
+	base := 10 * time.Millisecond
+	for i, d := range a {
+		lo := time.Duration(float64(base) * 0.5)
+		hi := time.Duration(float64(base) * 1.5)
+		if d < lo || d > hi {
+			t.Fatalf("delay[%d] = %v outside [%v, %v]", i, d, lo, hi)
+		}
+		base *= 2
+	}
+}
+
+func TestDoCtxHonoursCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	r := NewRetryer(Policy{MaxAttempts: 100, BaseDelay: time.Nanosecond},
+		RetrySleep(func(time.Duration) {}))
+	calls := 0
+	err := r.DoCtx(ctx, func() error {
+		calls++
+		if calls == 2 {
+			cancel()
+		}
+		return Transient(errors.New("flaky"))
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if calls > 3 {
+		t.Fatalf("kept retrying after cancel: %d calls", calls)
+	}
+}
+
+func TestDoCtxDeadline(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	r := NewRetryer(Policy{MaxAttempts: 1000, BaseDelay: 100 * time.Microsecond})
+	start := time.Now()
+	err := r.DoCtx(ctx, func() error { return Transient(errors.New("flaky")) })
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("retry loop outlived deadline by %v", elapsed)
+	}
+}

@@ -143,9 +143,17 @@ func containmentDepths(m *Model, mm *Metamodel) map[string]int {
 func diffOrdered(oldM, newM *Model, depth map[string]int) ChangeList {
 	var out ChangeList
 
+	// An ID that survives under a different class is a different entity —
+	// domain semantics key on add-object:<Class> — so reclassification is a
+	// removal of the old object plus an addition of the new one, never an
+	// in-place feature patch.
+	reclassified := func(id string) bool {
+		o, n := oldM.Get(id), newM.Get(id)
+		return o != nil && n != nil && o.Class != n.Class
+	}
 	removed := make([]string, 0)
 	for _, id := range oldM.IDs() {
-		if newM.Get(id) == nil {
+		if newM.Get(id) == nil || reclassified(id) {
 			removed = append(removed, id)
 		}
 	}
@@ -168,7 +176,7 @@ func diffOrdered(oldM, newM *Model, depth map[string]int) ChangeList {
 
 	for _, id := range newM.IDs() {
 		n := newM.Get(id)
-		if oldM.Get(id) == nil {
+		if oldM.Get(id) == nil || reclassified(id) {
 			out = append(out, Change{Kind: ChangeAddObject, ObjectID: id, Class: n.Class})
 			for _, name := range n.AttrNames() {
 				v, _ := n.Attr(name)
@@ -184,7 +192,7 @@ func diffOrdered(oldM, newM *Model, depth map[string]int) ChangeList {
 
 	surviving := make([]string, 0)
 	for _, id := range oldM.IDs() {
-		if newM.Get(id) != nil {
+		if newM.Get(id) != nil && !reclassified(id) {
 			surviving = append(surviving, id)
 		}
 	}

@@ -1,0 +1,192 @@
+package metamodel
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// propMM is the small metamodel the property tests generate instances of:
+// Nodes with one attribute per kind and non-containment links to Nodes and
+// Tags. Containment is deliberately absent so random reference topologies
+// (cycles, sharing) stay valid.
+func propMM(t testing.TB) *Metamodel {
+	t.Helper()
+	mm := New("prop-mm")
+	mm.MustAddClass(&Class{Name: "Node",
+		Attributes: []Attribute{
+			{Name: "name", Kind: KindString, Required: true},
+			{Name: "weight", Kind: KindInt},
+			{Name: "ratio", Kind: KindFloat},
+			{Name: "active", Kind: KindBool},
+		},
+		References: []Reference{
+			{Name: "links", Target: "Node", Many: true},
+			{Name: "tags", Target: "Tag", Many: true},
+		},
+	})
+	mm.MustAddClass(&Class{Name: "Tag",
+		Attributes: []Attribute{{Name: "label", Kind: KindString, Required: true}},
+	})
+	if err := mm.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return mm
+}
+
+// genModel builds a random valid instance of propMM. Object IDs come from a
+// fixed pool so two independently generated models overlap — diffs then
+// contain adds, removes, and in-place feature changes all at once.
+func genModel(rng *rand.Rand, size int) *Model {
+	m := NewModel("prop-mm")
+	var nodes, tags []string
+	for i := 0; i < size; i++ {
+		// The id pool is 2×size wide, so overlap between two draws is high
+		// but not total.
+		id := fmt.Sprintf("o%d", rng.Intn(size*2))
+		if m.Get(id) != nil {
+			continue
+		}
+		if rng.Intn(4) == 0 {
+			o := NewObject(id, "Tag")
+			o.SetAttr("label", fmt.Sprintf("t%d", rng.Intn(10)))
+			m.MustAdd(o)
+			tags = append(tags, id)
+			continue
+		}
+		o := NewObject(id, "Node")
+		o.SetAttr("name", fmt.Sprintf("n%d", rng.Intn(10)))
+		if rng.Intn(2) == 0 {
+			o.SetAttr("weight", int64(rng.Intn(100)))
+		}
+		if rng.Intn(2) == 0 {
+			o.SetAttr("ratio", float64(rng.Intn(100))/4)
+		}
+		if rng.Intn(2) == 0 {
+			o.SetAttr("active", rng.Intn(2) == 0)
+		}
+		m.MustAdd(o)
+		nodes = append(nodes, id)
+	}
+	// Wire random non-containment references among the generated objects.
+	for _, id := range nodes {
+		o := m.Get(id)
+		for _, tgt := range pick(rng, nodes, 3) {
+			o.AddRef("links", tgt)
+		}
+		for _, tgt := range pick(rng, tags, 2) {
+			o.AddRef("tags", tgt)
+		}
+	}
+	return m
+}
+
+// pick draws up to n random elements from pool (with dedup via AddRef).
+func pick(rng *rand.Rand, pool []string, n int) []string {
+	if len(pool) == 0 {
+		return nil
+	}
+	out := make([]string, 0, n)
+	for i := 0; i < rng.Intn(n+1); i++ {
+		out = append(out, pool[rng.Intn(len(pool))])
+	}
+	return out
+}
+
+// TestPropertyDiffApplyRoundTrip: for arbitrary models a and b,
+// Apply(a, Diff(a, b)) == b — the delta really is the difference.
+func TestPropertyDiffApplyRoundTrip(t *testing.T) {
+	for seed := int64(0); seed < 100; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		a := genModel(rng, 2+rng.Intn(12))
+		b := genModel(rng, 2+rng.Intn(12))
+		patched := a.Clone()
+		if err := Apply(patched, Diff(a, b)); err != nil {
+			t.Fatalf("seed %d: apply: %v", seed, err)
+		}
+		if !Equal(patched, b) {
+			t.Fatalf("seed %d: Apply(a, Diff(a,b)) != b\ndiff: %s\npatched vs b diff: %s",
+				seed, Diff(a, b), Diff(patched, b))
+		}
+	}
+}
+
+// TestPropertyDiffIdentity: Diff(a, a) is empty, and applying an empty
+// diff changes nothing.
+func TestPropertyDiffIdentity(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		a := genModel(rng, 2+rng.Intn(12))
+		if d := Diff(a, a.Clone()); !d.Empty() {
+			t.Fatalf("seed %d: Diff(a,a) = %s", seed, d)
+		}
+		patched := a.Clone()
+		if err := Apply(patched, nil); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !Equal(patched, a) {
+			t.Fatalf("seed %d: empty diff changed the model", seed)
+		}
+	}
+}
+
+// TestPropertyDiffApplySymmetry: the reverse diff undoes the forward diff.
+func TestPropertyDiffApplySymmetry(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		a := genModel(rng, 2+rng.Intn(12))
+		b := genModel(rng, 2+rng.Intn(12))
+		there := a.Clone()
+		if err := Apply(there, Diff(a, b)); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		back := there.Clone()
+		if err := Apply(back, Diff(b, a)); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !Equal(back, a) {
+			t.Fatalf("seed %d: a -> b -> a did not return to a; residue: %s",
+				seed, Diff(back, a))
+		}
+	}
+}
+
+// TestPropertyJSONRoundTripLossless: serialise → parse → validate loses
+// nothing. Validation normalises JSON's float64 numbers back to the
+// metamodel's kinds, so a validated round trip must compare Equal.
+func TestPropertyJSONRoundTripLossless(t *testing.T) {
+	mm := propMM(t)
+	for seed := int64(0); seed < 100; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		m := genModel(rng, 2+rng.Intn(12))
+		if err := m.Validate(mm); err != nil {
+			t.Fatalf("seed %d: generated model invalid: %v", seed, err)
+		}
+		data, err := MarshalModel(m)
+		if err != nil {
+			t.Fatalf("seed %d: marshal: %v", seed, err)
+		}
+		back, err := UnmarshalModel(data)
+		if err != nil {
+			t.Fatalf("seed %d: unmarshal: %v", seed, err)
+		}
+		if back.MetamodelName != m.MetamodelName {
+			t.Fatalf("seed %d: metamodel name %q -> %q", seed, m.MetamodelName, back.MetamodelName)
+		}
+		if err := back.Validate(mm); err != nil {
+			t.Fatalf("seed %d: round-tripped model invalid: %v", seed, err)
+		}
+		if !Equal(back, m) {
+			t.Fatalf("seed %d: JSON round trip lost data; diff: %s", seed, Diff(back, m))
+		}
+		// And the round trip is a fixed point: a second pass is bytewise
+		// identical.
+		data2, err := MarshalModel(back)
+		if err != nil {
+			t.Fatalf("seed %d: re-marshal: %v", seed, err)
+		}
+		if string(data) != string(data2) {
+			t.Fatalf("seed %d: serialisation not a fixed point:\n%s\nvs\n%s", seed, data, data2)
+		}
+	}
+}

@@ -42,6 +42,21 @@ const (
 	MQueueDepth         = "pump.queue.depth"
 	MMonitorTicks       = "monitor.ticks"
 	HPumpDeliver        = "pump.deliver.latency"
+
+	// Fault-injection and resilience metrics (package fault and the
+	// degraded-mode paths consuming it).
+	MFaultInjected    = "fault.injected"
+	MRetryAttempts    = "retry.attempts"
+	MRetryExhausted   = "retry.exhausted"
+	MBreakerOpen      = "breaker.open"
+	MBreakerShorted   = "breaker.shorted"
+	MProbeFailures    = "monitor.probe.failures"
+	MEvalFailures     = "monitor.eval.failures"
+	MDeliverFailures  = "pump.deliver.failures"
+	MRemoteRedials    = "remote.redials"
+	MRemoteTimeouts   = "remote.timeouts"
+	MRemoteBadFrames  = "remote.frames.bad"
+	MRemoteSlowEvents = "remote.events.slowdrop"
 )
 
 // Canonical span names, one per cross-layer hop.

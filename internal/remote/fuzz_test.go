@@ -1,0 +1,110 @@
+package remote
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+// FuzzDecodeMessage fuzzes the wire decoder with arbitrary byte streams.
+// Invariants: readFrame never panics; a decoded frame re-encodes to JSON
+// that decodes back to the same envelope; an error is always one of the
+// protocol sentinel (errMalformed) or a transport error; and the decoder
+// never reads past the frame's trailing newline.
+func FuzzDecodeMessage(f *testing.F) {
+	seeds := [][]byte{
+		[]byte(`{"type":"command","op":"setProp","target":"object:lamp","args":{"on":true,"level":0.7}}` + "\n"),
+		[]byte(`{"type":"event","name":"ping","attrs":{"n":1}}` + "\n"),
+		[]byte(`{"type":"result","ok":true}` + "\n"),
+		[]byte(`{"type":"result","ok":false,"error":"boom"}` + "\n"),
+		[]byte(`{"type":"subscribe"}` + "\n"),
+		[]byte("\n\n  \n{\"type\":\"command\"}\n"),
+		[]byte(`{"type":1}` + "\n"),
+		[]byte(`{"args":{"deep":{"nest":[1,[2,[3]]]}}}` + "\n"),
+		[]byte(`not json at all` + "\n"),
+		[]byte(`{"type":"command"` + "\n"),          // truncated object
+		[]byte(`{"type":"command"}`),                // missing newline (EOF)
+		[]byte("{\"op\":\"\\u0000\"}\n"),            // escaped NUL
+		[]byte("\xff\xfe{\"type\":\"x\"}\n"),        // invalid UTF-8 prefix
+		[]byte(`[1,2,3]` + "\n"),                    // wrong top-level type
+		[]byte(`"just a string"` + "\n"),            // top-level string
+		[]byte(`{}` + "\n" + `{"type":"x"}` + "\n"), // two frames
+		bytes.Repeat([]byte("a"), 4096),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		br := bufio.NewReader(bytes.NewReader(data))
+		for i := 0; i < 4; i++ { // drain a few frames; streams carry many
+			msg, err := readFrame(br)
+			if err != nil {
+				if errors.Is(err, errMalformed) || errors.Is(err, io.EOF) ||
+					errors.Is(err, io.ErrUnexpectedEOF) {
+					return
+				}
+				t.Fatalf("unexpected error class: %v", err)
+			}
+			// A decoded frame must survive a re-encode round trip.
+			out, err := json.Marshal(msg)
+			if err != nil {
+				t.Fatalf("re-encode: %v", err)
+			}
+			var back message
+			if err := json.Unmarshal(out, &back); err != nil {
+				t.Fatalf("re-decode: %v", err)
+			}
+			if back.Type != msg.Type || back.Op != msg.Op || back.Target != msg.Target ||
+				back.Name != msg.Name || back.OK != msg.OK || back.Error != msg.Error {
+				t.Fatalf("round trip changed envelope: %+v -> %+v", msg, back)
+			}
+		}
+	})
+}
+
+// TestReadFrameBounds pins the decoder's protocol edges outside the fuzzer.
+func TestReadFrameBounds(t *testing.T) {
+	read := func(s string) (message, error) {
+		return readFrame(bufio.NewReader(strings.NewReader(s)))
+	}
+
+	// An oversized frame is malformed, not accepted or hung.
+	huge := `{"op":"` + strings.Repeat("a", MaxFrame) + `"}` + "\n"
+	if _, err := read(huge); !errors.Is(err, errMalformed) {
+		t.Fatalf("oversized frame: %v", err)
+	}
+
+	// Blank lines are skipped, not frames.
+	msg, err := read("\n  \n\t\n" + `{"type":"command","op":"x"}` + "\n")
+	if err != nil || msg.Op != "x" {
+		t.Fatalf("blank-line skip: %+v, %v", msg, err)
+	}
+
+	// CRLF peers work: \r is trimmed.
+	msg, err = read("{\"type\":\"result\",\"ok\":true}\r\n")
+	if err != nil || !msg.OK {
+		t.Fatalf("crlf frame: %+v, %v", msg, err)
+	}
+
+	// EOF without a newline is a transport error, not a decode.
+	if _, err := read(`{"type":"x"}`); !errors.Is(err, io.EOF) {
+		t.Fatalf("unterminated frame: %v", err)
+	}
+
+	// Garbage is malformed.
+	if _, err := read("garbage\n"); !errors.Is(err, errMalformed) {
+		t.Fatalf("garbage frame: %v", err)
+	}
+
+	// Consecutive frames decode in order.
+	br := bufio.NewReader(strings.NewReader(`{"op":"a"}` + "\n" + `{"op":"b"}` + "\n"))
+	m1, err1 := readFrame(br)
+	m2, err2 := readFrame(br)
+	if err1 != nil || err2 != nil || m1.Op != "a" || m2.Op != "b" {
+		t.Fatalf("stream: %+v/%v %+v/%v", m1, err1, m2, err2)
+	}
+}

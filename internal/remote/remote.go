@@ -5,7 +5,8 @@
 // distribute their layers across devices exactly this way; this package
 // provides the wire so those splits can span real process boundaries.
 //
-// The protocol is newline-delimited JSON:
+// The protocol is newline-delimited JSON, one frame per line, each frame at
+// most MaxFrame bytes:
 //
 //	-> {"type":"command","op":"...","target":"...","args":{...}}
 //	<- {"type":"result","ok":true}            (or "error":"...")
@@ -14,19 +15,48 @@
 //	-> {"type":"subscribe"}
 //	<- {"type":"result","ok":true}
 //	<- {"type":"event","name":"...","attrs":{...}}   (pushed thereafter)
+//
+// Failure handling is first-class: dials and round trips carry deadlines,
+// writes to slow subscribers are bounded, transport failures are classified
+// transient (fault.IsTransient) while endpoint rejections are permanent,
+// and Conn layers reconnect-with-backoff and idempotent command retry on
+// top of the single-connection Client. The named fault points SiteDial,
+// SiteSend and SiteServe let a fault.Injector rehearse all of it
+// deterministically.
 package remote
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"github.com/mddsm/mddsm/internal/broker"
+	"github.com/mddsm/mddsm/internal/fault"
+	"github.com/mddsm/mddsm/internal/obs"
 	"github.com/mddsm/mddsm/internal/script"
 )
+
+// Fault-point names evaluated by this package's injector, if one is
+// configured.
+const (
+	// SiteDial fires when a client establishes a connection.
+	SiteDial = "remote.dial"
+	// SiteSend fires when a client transmits a request.
+	SiteSend = "remote.send"
+	// SiteServe fires when the server handles a received message; a fired
+	// error is reported to the client as a result error.
+	SiteServe = "remote.serve"
+)
+
+// MaxFrame bounds one wire frame. A peer sending a longer line is cut off
+// rather than ballooning the process; the previous decoder accepted
+// unbounded input.
+const MaxFrame = 1 << 20
 
 // message is the wire envelope.
 type message struct {
@@ -38,6 +68,107 @@ type message struct {
 	Attrs  map[string]any `json:"attrs,omitempty"`
 	OK     bool           `json:"ok,omitempty"`
 	Error  string         `json:"error,omitempty"`
+}
+
+// errMalformed distinguishes protocol violations (oversized or undecodable
+// frames) from plain transport failures.
+var errMalformed = errors.New("remote: malformed frame")
+
+// readFrame reads one newline-delimited JSON frame, skipping blank lines
+// and enforcing MaxFrame. Any transport or decode error poisons the
+// connection: framing cannot be trusted past a bad line, so callers drop
+// the connection.
+func readFrame(br *bufio.Reader) (message, error) {
+	var buf []byte
+	for {
+		chunk, err := br.ReadSlice('\n')
+		buf = append(buf, chunk...)
+		if err == bufio.ErrBufferFull {
+			if len(buf) > MaxFrame {
+				return message{}, fmt.Errorf("%w: exceeds %d bytes", errMalformed, MaxFrame)
+			}
+			continue
+		}
+		if err != nil {
+			return message{}, err
+		}
+		line := bytes.TrimSpace(buf)
+		if len(line) == 0 {
+			buf = buf[:0]
+			continue
+		}
+		if len(line) > MaxFrame {
+			return message{}, fmt.Errorf("%w: exceeds %d bytes", errMalformed, MaxFrame)
+		}
+		var msg message
+		if err := json.Unmarshal(line, &msg); err != nil {
+			return message{}, fmt.Errorf("%w: %v", errMalformed, err)
+		}
+		return msg, nil
+	}
+}
+
+// CallError is an error reported by the remote endpoint itself, as opposed
+// to a transport failure. It is permanent: the command reached the other
+// side and was rejected, so retrying cannot help.
+type CallError struct{ Msg string }
+
+// Error implements error.
+func (e *CallError) Error() string { return e.Msg }
+
+// options collects the tunables shared by Server, Client and Conn.
+type options struct {
+	dialTimeout time.Duration
+	ioTimeout   time.Duration
+	retry       fault.Policy
+	retrySet    bool
+	injector    *fault.Injector
+	metrics     *obs.Metrics
+}
+
+func defaultOptions() options {
+	return options{
+		dialTimeout: 5 * time.Second,
+		ioTimeout:   10 * time.Second,
+	}
+}
+
+// Option customises a Server, Client or Conn.
+type Option func(*options)
+
+// WithDialTimeout bounds connection establishment (default 5s).
+func WithDialTimeout(d time.Duration) Option {
+	return func(o *options) {
+		if d > 0 {
+			o.dialTimeout = d
+		}
+	}
+}
+
+// WithIOTimeout bounds one request/response round trip on the client and
+// one frame write on the server (default 10s; 0 disables).
+func WithIOTimeout(d time.Duration) Option {
+	return func(o *options) { o.ioTimeout = d }
+}
+
+// WithRetry sets the reconnect/retry policy used by Connect (default: 5
+// attempts, 25ms base backoff). It has no effect on a raw Dial client.
+func WithRetry(p fault.Policy) Option {
+	return func(o *options) {
+		o.retry = p
+		o.retrySet = true
+	}
+}
+
+// WithInjector evaluates this package's fault points against in.
+func WithInjector(in *fault.Injector) Option {
+	return func(o *options) { o.injector = in }
+}
+
+// WithMetrics counts wire-level failures (timeouts, redials, bad frames,
+// slow-subscriber drops) in the registry.
+func WithMetrics(m *obs.Metrics) Option {
+	return func(o *options) { o.metrics = m }
 }
 
 // Endpoint is the platform surface the server exposes: command execution
@@ -53,6 +184,10 @@ type Endpoint interface {
 type Server struct {
 	endpoint Endpoint
 	listener net.Listener
+	opts     options
+
+	mBadFrames *obs.Counter
+	mSlowSubs  *obs.Counter
 
 	mu    sync.Mutex
 	subs  map[net.Conn]*json.Encoder
@@ -62,17 +197,24 @@ type Server struct {
 }
 
 // NewServer starts serving the endpoint on addr (e.g. "127.0.0.1:0").
-func NewServer(endpoint Endpoint, addr string) (*Server, error) {
+func NewServer(endpoint Endpoint, addr string, opts ...Option) (*Server, error) {
+	o := defaultOptions()
+	for _, f := range opts {
+		f(&o)
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("remote server: %w", err)
 	}
 	s := &Server{
-		endpoint: endpoint,
-		listener: ln,
-		subs:     make(map[net.Conn]*json.Encoder),
-		conns:    make(map[net.Conn]bool),
-		done:     make(chan struct{}),
+		endpoint:   endpoint,
+		listener:   ln,
+		opts:       o,
+		mBadFrames: o.metrics.Counter(obs.MRemoteBadFrames),
+		mSlowSubs:  o.metrics.Counter(obs.MRemoteSlowEvents),
+		subs:       make(map[net.Conn]*json.Encoder),
+		conns:      make(map[net.Conn]bool),
+		done:       make(chan struct{}),
 	}
 	s.wg.Add(1)
 	go s.acceptLoop()
@@ -102,12 +244,19 @@ func (s *Server) Close() {
 
 // PublishEvent pushes an event to every subscribed client. Wire it to the
 // platform's external event observer to stream top-of-stack events out.
+// Each subscriber write is bounded by the server's IO timeout, so one
+// never-reading subscriber cannot wedge the publisher: it is counted and
+// dropped instead.
 func (s *Server) PublishEvent(ev broker.Event) {
 	msg := message{Type: "event", Name: ev.Name, Attrs: ev.Attrs}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for conn, enc := range s.subs {
+		if d := s.opts.ioTimeout; d > 0 {
+			_ = conn.SetWriteDeadline(time.Now().Add(d))
+		}
 		if err := enc.Encode(msg); err != nil {
+			s.mSlowSubs.Inc()
 			delete(s.subs, conn)
 			_ = conn.Close()
 		}
@@ -143,41 +292,55 @@ func (s *Server) serve(conn net.Conn) {
 		s.mu.Unlock()
 		_ = conn.Close()
 	}()
-	dec := json.NewDecoder(bufio.NewReader(conn))
+	br := bufio.NewReader(conn)
 	enc := json.NewEncoder(conn)
 	for {
-		var msg message
-		if err := dec.Decode(&msg); err != nil {
-			return // disconnect or garbage: drop the connection
+		msg, err := readFrame(br)
+		if err != nil {
+			// Disconnect or garbage: framing is untrustworthy, drop the
+			// connection. Protocol violations are counted.
+			if errors.Is(err, errMalformed) {
+				s.mBadFrames.Inc()
+			}
+			return
 		}
 		reply := message{Type: "result", OK: true}
-		switch msg.Type {
-		case "command":
-			cmd := script.NewCommand(msg.Op, msg.Target)
-			for k, v := range msg.Args {
-				cmd = cmd.WithArg(k, v)
-			}
-			if err := s.endpoint.Execute(script.New("remote").Append(cmd)); err != nil {
-				reply.OK = false
-				reply.Error = err.Error()
-			}
-		case "event":
-			if err := s.endpoint.DeliverEvent(broker.Event{Name: msg.Name, Attrs: msg.Attrs}); err != nil {
-				reply.OK = false
-				reply.Error = err.Error()
-			}
-		case "subscribe":
-			s.mu.Lock()
-			s.subs[conn] = enc
-			s.mu.Unlock()
-		default:
+		if err := s.opts.injector.Inject(SiteServe); err != nil {
 			reply.OK = false
-			reply.Error = fmt.Sprintf("unknown message type %q", msg.Type)
+			reply.Error = err.Error()
+		} else {
+			switch msg.Type {
+			case "command":
+				cmd := script.NewCommand(msg.Op, msg.Target)
+				for k, v := range msg.Args {
+					cmd = cmd.WithArg(k, v)
+				}
+				if err := s.endpoint.Execute(script.New("remote").Append(cmd)); err != nil {
+					reply.OK = false
+					reply.Error = err.Error()
+				}
+			case "event":
+				if err := s.endpoint.DeliverEvent(broker.Event{Name: msg.Name, Attrs: msg.Attrs}); err != nil {
+					reply.OK = false
+					reply.Error = err.Error()
+				}
+			case "subscribe":
+				s.mu.Lock()
+				s.subs[conn] = enc
+				s.mu.Unlock()
+			default:
+				reply.OK = false
+				reply.Error = fmt.Sprintf("unknown message type %q", msg.Type)
+			}
 		}
 		// The subscribe stream shares the encoder; guard against
-		// interleaving with PublishEvent.
+		// interleaving with PublishEvent. The write deadline bounds the
+		// time a stalled client can hold the lock.
 		s.mu.Lock()
-		err := enc.Encode(reply)
+		if d := s.opts.ioTimeout; d > 0 {
+			_ = conn.SetWriteDeadline(time.Now().Add(d))
+		}
+		err = enc.Encode(reply)
 		s.mu.Unlock()
 		if err != nil {
 			return
@@ -185,14 +348,19 @@ func (s *Server) serve(conn net.Conn) {
 	}
 }
 
-// Client talks to a remote platform. A single reader goroutine owns the
-// connection's receive side from the moment the client is created:
-// command/event results are matched to the one outstanding request (calls
-// are serialised), and pushed events flow to the subscription channel. It
-// is safe for concurrent use.
+// Client talks to a remote platform over one connection. A single reader
+// goroutine owns the connection's receive side from the moment the client
+// is created: command/event results are matched to the one outstanding
+// request (calls are serialised), and pushed events flow to the
+// subscription channel. It is safe for concurrent use. A Client does not
+// heal itself — once its connection dies it stays dead; use Connect for a
+// self-healing handle.
 type Client struct {
 	conn net.Conn
 	enc  *json.Encoder
+	opts options
+
+	mTimeouts *obs.Counter
 
 	sendMu  sync.Mutex // serialises request/response pairs
 	results chan message
@@ -202,20 +370,34 @@ type Client struct {
 	errOnce sync.Once
 }
 
-// Dial connects to a server.
-func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
+// Dial connects to a server, bounded by the dial timeout.
+func Dial(addr string, opts ...Option) (*Client, error) {
+	o := defaultOptions()
+	for _, f := range opts {
+		f(&o)
+	}
+	return dialOpts(addr, o)
+}
+
+// dialOpts is Dial with resolved options; Conn redials through it.
+func dialOpts(addr string, o options) (*Client, error) {
+	if err := o.injector.Inject(SiteDial); err != nil {
+		return nil, fmt.Errorf("remote client: dial %s: %w", addr, err)
+	}
+	conn, err := net.DialTimeout("tcp", addr, o.dialTimeout)
 	if err != nil {
-		return nil, fmt.Errorf("remote client: %w", err)
+		return nil, fault.Transient(fmt.Errorf("remote client: %w", err))
 	}
 	c := &Client{
-		conn:    conn,
-		enc:     json.NewEncoder(conn),
-		results: make(chan message, 1),
-		events:  make(chan broker.Event, 16),
-		closed:  make(chan struct{}),
+		conn:      conn,
+		enc:       json.NewEncoder(conn),
+		opts:      o,
+		mTimeouts: o.metrics.Counter(obs.MRemoteTimeouts),
+		results:   make(chan message, 1),
+		events:    make(chan broker.Event, 16),
+		closed:    make(chan struct{}),
 	}
-	go c.receiveLoop(json.NewDecoder(bufio.NewReader(conn)))
+	go c.receiveLoop(bufio.NewReader(conn))
 	return c, nil
 }
 
@@ -229,15 +411,25 @@ func (c *Client) Close() {
 	_ = c.conn.Close()
 }
 
+// Closed reports whether the client's connection is no longer usable.
+func (c *Client) Closed() bool {
+	select {
+	case <-c.closed:
+		return true
+	default:
+		return false
+	}
+}
+
 // receiveLoop is the sole reader: results are handed to the waiting
 // request, events to the subscription channel.
-func (c *Client) receiveLoop(dec *json.Decoder) {
+func (c *Client) receiveLoop(br *bufio.Reader) {
 	defer close(c.events)
 	for {
-		var msg message
-		if err := dec.Decode(&msg); err != nil {
+		msg, err := readFrame(br)
+		if err != nil {
 			c.errOnce.Do(func() {
-				c.readErr = fmt.Errorf("remote client: receive: %w", err)
+				c.readErr = fault.Transient(fmt.Errorf("remote client: receive: %w", err))
 				close(c.closed)
 			})
 			return
@@ -258,7 +450,9 @@ func (c *Client) receiveLoop(dec *json.Decoder) {
 	}
 }
 
-// roundTrip sends a message and waits for its result.
+// roundTrip sends a message and waits for its result, bounded by the IO
+// timeout. A timed-out round trip closes the connection: the request/
+// response pairing can no longer be trusted.
 func (c *Client) roundTrip(msg message) error {
 	c.sendMu.Lock()
 	defer c.sendMu.Unlock()
@@ -267,15 +461,31 @@ func (c *Client) roundTrip(msg message) error {
 		return c.readErr
 	default:
 	}
-	if err := c.enc.Encode(msg); err != nil {
+	if err := c.opts.injector.Inject(SiteSend); err != nil {
 		return fmt.Errorf("remote client: send: %w", err)
+	}
+	if d := c.opts.ioTimeout; d > 0 {
+		_ = c.conn.SetWriteDeadline(time.Now().Add(d))
+	}
+	if err := c.enc.Encode(msg); err != nil {
+		return fault.Transient(fmt.Errorf("remote client: send: %w", err))
+	}
+	var timeout <-chan time.Time
+	if d := c.opts.ioTimeout; d > 0 {
+		tm := time.NewTimer(d)
+		defer tm.Stop()
+		timeout = tm.C
 	}
 	select {
 	case reply := <-c.results:
 		if !reply.OK {
-			return errors.New(reply.Error)
+			return &CallError{Msg: reply.Error}
 		}
 		return nil
+	case <-timeout:
+		c.mTimeouts.Inc()
+		c.Close()
+		return fmt.Errorf("remote client: round trip: %w after %v", fault.ErrTimeout, c.opts.ioTimeout)
 	case <-c.closed:
 		return c.readErr
 	}
@@ -301,4 +511,188 @@ func (c *Client) Subscribe() (<-chan broker.Event, error) {
 		return nil, err
 	}
 	return c.events, nil
+}
+
+// ---------------------------------------------------------------------------
+// Conn: self-healing client
+// ---------------------------------------------------------------------------
+
+// DefaultRetry is Connect's reconnect/retry policy when none is given.
+var DefaultRetry = fault.Policy{
+	MaxAttempts: 5,
+	BaseDelay:   25 * time.Millisecond,
+	MaxDelay:    time.Second,
+	Multiplier:  2,
+	Jitter:      0.2,
+}
+
+// ErrConnClosed reports use of a Conn after Close.
+var ErrConnClosed = errors.New("remote conn: closed")
+
+// Conn is a self-healing remote handle: Connect dials with backoff, Call
+// and PostEvent retry transient transport failures — MD-DSM commands are
+// declarative property assignments, hence idempotent and safe to replay —
+// and a dead connection is redialled transparently, resubscribing when the
+// Conn is subscribed. Operations are serialised; endpoint rejections
+// (CallError) are never retried. The subscription channel survives
+// reconnects, though events published while disconnected are lost.
+type Conn struct {
+	addr    string
+	opts    options
+	retryer *fault.Retryer
+
+	mRedials *obs.Counter
+
+	mu         sync.Mutex
+	cli        *Client
+	subscribed bool
+	closed     bool
+	events     chan broker.Event
+	fwd        sync.WaitGroup
+}
+
+// Connect dials addr with backoff and returns a self-healing handle.
+func Connect(addr string, opts ...Option) (*Conn, error) {
+	o := defaultOptions()
+	for _, f := range opts {
+		f(&o)
+	}
+	if !o.retrySet {
+		o.retry = DefaultRetry
+	}
+	c := &Conn{
+		addr:     addr,
+		opts:     o,
+		retryer:  fault.NewRetryer(o.retry, fault.RetryMetrics(o.metrics)),
+		mRedials: o.metrics.Counter(obs.MRemoteRedials),
+		events:   make(chan broker.Event, 64),
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.retryer.Do(c.ensureLocked); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// ensureLocked makes sure a live client exists, redialling if needed
+// (c.mu held).
+func (c *Conn) ensureLocked() error {
+	if c.cli != nil && !c.cli.Closed() {
+		return nil
+	}
+	if c.cli != nil {
+		c.mRedials.Inc()
+	}
+	cli, err := dialOpts(c.addr, c.opts)
+	if err != nil {
+		return err
+	}
+	if c.subscribed {
+		sub, err := cli.Subscribe()
+		if err != nil {
+			cli.Close()
+			return err
+		}
+		c.forward(sub)
+	}
+	c.cli = cli
+	return nil
+}
+
+// forward pumps one inner client's event stream into the Conn's persistent
+// channel until the inner channel closes (connection death).
+func (c *Conn) forward(sub <-chan broker.Event) {
+	c.fwd.Add(1)
+	go func() {
+		defer c.fwd.Done()
+		for ev := range sub {
+			select {
+			case c.events <- ev:
+			default: // slow consumer: drop rather than stall
+			}
+		}
+	}()
+}
+
+// do runs one operation against a live client, retrying transient failures
+// with reconnection between attempts.
+func (c *Conn) do(fn func(*Client) error) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return ErrConnClosed
+	}
+	return c.retryer.Do(func() error {
+		if err := c.ensureLocked(); err != nil {
+			return err
+		}
+		err := fn(c.cli)
+		if err != nil && fault.IsTransient(err) {
+			c.cli.Close() // force a redial on the next attempt
+		}
+		return err
+	})
+}
+
+// Call dispatches one command, retrying transient transport failures.
+func (c *Conn) Call(cmd script.Command) error {
+	return c.do(func(cli *Client) error { return cli.Call(cmd) })
+}
+
+// PostEvent injects an event into the remote Broker layer, retrying
+// transient transport failures.
+func (c *Conn) PostEvent(ev broker.Event) error {
+	return c.do(func(cli *Client) error { return cli.PostEvent(ev) })
+}
+
+// Subscribe returns the Conn's persistent event channel, subscribing the
+// current connection (and every future reconnection) to the server's
+// top-of-stack stream. The channel closes only when the Conn is closed.
+func (c *Conn) Subscribe() (<-chan broker.Event, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, ErrConnClosed
+	}
+	if c.subscribed {
+		return c.events, nil
+	}
+	err := c.retryer.Do(func() error {
+		if err := c.ensureLocked(); err != nil {
+			return err
+		}
+		sub, err := c.cli.Subscribe()
+		if err != nil {
+			if fault.IsTransient(err) {
+				c.cli.Close()
+			}
+			return err
+		}
+		c.forward(sub)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	c.subscribed = true
+	return c.events, nil
+}
+
+// Close tears the connection down, waits for the event forwarder and
+// closes the subscription channel. Close is idempotent.
+func (c *Conn) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	cli := c.cli
+	c.mu.Unlock()
+	if cli != nil {
+		cli.Close()
+	}
+	c.fwd.Wait()
+	close(c.events)
 }

@@ -1,0 +1,360 @@
+package remote
+
+import (
+	"errors"
+	"net"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/mddsm/mddsm/internal/broker"
+	"github.com/mddsm/mddsm/internal/fault"
+	"github.com/mddsm/mddsm/internal/obs"
+	"github.com/mddsm/mddsm/internal/script"
+)
+
+// waitGoroutines polls until the goroutine count drops back to the
+// baseline (with slack for runtime housekeeping) or the deadline passes.
+func waitGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		n := runtime.NumGoroutine()
+		if n <= base+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			t.Fatalf("goroutines leaked: %d -> %d\n%s", base, n, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// blockingEndpoint parks every Execute until released.
+type blockingEndpoint struct {
+	entered chan struct{}
+	release chan struct{}
+}
+
+func (b *blockingEndpoint) Execute(*script.Script) error {
+	b.entered <- struct{}{}
+	<-b.release
+	return nil
+}
+func (b *blockingEndpoint) DeliverEvent(broker.Event) error { return nil }
+
+// TestCloseUnblocksInFlightCall: Close during an in-flight command returns
+// the caller promptly instead of waiting for the server.
+func TestCloseUnblocksInFlightCall(t *testing.T) {
+	ep := &blockingEndpoint{entered: make(chan struct{}, 1), release: make(chan struct{})}
+	srv, err := NewServer(ep, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// LIFO: release the parked endpoint before Close waits on its goroutine.
+	defer srv.Close()
+	defer close(ep.release)
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	callErr := make(chan error, 1)
+	go func() { callErr <- c.Call(script.NewCommand("x", "t")) }()
+	<-ep.entered // the command is parked server-side
+	c.Close()
+	select {
+	case err := <-callErr:
+		if err == nil {
+			t.Error("in-flight call succeeded after Close")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Call still blocked 2s after Close")
+	}
+}
+
+// TestRoundTripTimeout: a stuck server cannot hold the client past the
+// configured IO timeout, and the timeout is counted and transient.
+func TestRoundTripTimeout(t *testing.T) {
+	ep := &blockingEndpoint{entered: make(chan struct{}, 1), release: make(chan struct{})}
+	srv, err := NewServer(ep, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// LIFO: release the parked endpoint before Close waits on its goroutine.
+	defer srv.Close()
+	defer close(ep.release)
+	m := obs.NewMetrics()
+	c, err := Dial(srv.Addr(), WithIOTimeout(50*time.Millisecond), WithMetrics(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	start := time.Now()
+	err = c.Call(script.NewCommand("x", "t"))
+	elapsed := time.Since(start)
+	if !errors.Is(err, fault.ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+	if !fault.IsTransient(err) {
+		t.Error("round-trip timeout must be transient")
+	}
+	if elapsed > 2*time.Second {
+		t.Errorf("call took %v with a 50ms timeout", elapsed)
+	}
+	if got := m.Counter(obs.MRemoteTimeouts).Value(); got != 1 {
+		t.Errorf("remote.timeouts = %d, want 1", got)
+	}
+	// The connection is poisoned after a timeout: pairing is untrustworthy.
+	if !c.Closed() {
+		t.Error("client must close itself after a round-trip timeout")
+	}
+}
+
+// TestDialDeadline: dialing a black-holed address returns within the
+// configured bound rather than the kernel's minutes-long default.
+func TestDialDeadline(t *testing.T) {
+	start := time.Now()
+	// 240.0.0.0/4 is reserved; packets go nowhere on a sane network.
+	c, err := Dial("240.0.0.1:1", WithDialTimeout(100*time.Millisecond))
+	elapsed := time.Since(start)
+	if err == nil {
+		c.Close()
+		t.Skip("environment routes the reserved address; cannot black-hole")
+	}
+	if !fault.IsTransient(err) {
+		t.Error("dial failure must be transient (retryable)")
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("dial took %v with a 100ms bound", elapsed)
+	}
+}
+
+// TestSlowSubscriberDoesNotWedgeServer: a subscriber that never reads
+// cannot stall PublishEvent for other clients; the write deadline drops it.
+func TestSlowSubscriberDoesNotWedgeServer(t *testing.T) {
+	r := &rec{}
+	p := nodePlatform(t, r)
+	m := obs.NewMetrics()
+	srv, err := NewServer(p, "127.0.0.1:0", WithIOTimeout(50*time.Millisecond), WithMetrics(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	p.SetExternalEvents(srv.PublishEvent)
+
+	// A raw socket that subscribes and then never reads.
+	raw, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	if _, err := raw.Write([]byte(`{"type":"subscribe"}` + "\n")); err != nil {
+		t.Fatal(err)
+	}
+	// Wait for the result frame so the subscription is registered.
+	buf := make([]byte, 256)
+	if _, err := raw.Read(buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// A healthy subscriber alongside it.
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	events, err := c.Subscribe()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Flood with fat events until the dead socket's buffers fill; the
+	// write deadline must cut the slow subscriber off, not wedge publish.
+	payload := strings.Repeat("x", 1<<16)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 256; i++ {
+			srv.PublishEvent(broker.Event{Name: "tick", Attrs: map[string]any{"pad": payload}})
+			if m.Counter(obs.MRemoteSlowEvents).Value() > 0 {
+				return
+			}
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("PublishEvent wedged behind a slow subscriber")
+	}
+	if got := m.Counter(obs.MRemoteSlowEvents).Value(); got == 0 {
+		t.Fatal("slow subscriber never dropped")
+	}
+
+	// The healthy subscriber still receives events.
+	srv.PublishEvent(broker.Event{Name: "after"})
+	deadline := time.After(5 * time.Second)
+	for {
+		select {
+		case ev := <-events:
+			if ev.Name == "after" {
+				return
+			}
+		case <-deadline:
+			t.Fatal("healthy subscriber starved after slow one dropped")
+		}
+	}
+}
+
+// TestNoGoroutineLeaks: a full server + client + subscriber lifecycle
+// returns the process to its baseline goroutine count.
+func TestNoGoroutineLeaks(t *testing.T) {
+	base := runtime.NumGoroutine()
+	r := &rec{}
+	p := nodePlatform(t, r)
+	srv, err := NewServer(p, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.SetExternalEvents(srv.PublishEvent)
+
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := Dial(srv.Addr())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer c.Close()
+			if _, err := c.Subscribe(); err != nil {
+				t.Error(err)
+				return
+			}
+			for j := 0; j < 10; j++ {
+				if err := c.Call(script.NewCommand("op", "t")); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	srv.Close()
+	waitGoroutines(t, base)
+}
+
+// TestConnLeaksNothingAfterClose: the self-healing wrapper's forwarder and
+// inner client goroutines exit on Close.
+func TestConnLeaksNothingAfterClose(t *testing.T) {
+	base := runtime.NumGoroutine()
+	r := &rec{}
+	p := nodePlatform(t, r)
+	srv, err := NewServer(p, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := Connect(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Subscribe(); err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.Call(script.NewCommand("op", "t")); err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+	srv.Close()
+	waitGoroutines(t, base)
+
+	if err := conn.Call(script.NewCommand("op", "t")); !errors.Is(err, ErrConnClosed) {
+		t.Errorf("call after close: %v, want ErrConnClosed", err)
+	}
+}
+
+// TestConnReconnectsAcrossServerRestart: the Conn redials after the server
+// dies and comes back on the same address, replaying the idempotent
+// command; the subscription survives on the same channel.
+func TestConnReconnectsAcrossServerRestart(t *testing.T) {
+	r := &rec{}
+	p := nodePlatform(t, r)
+	srv, err := NewServer(p, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+	p.SetExternalEvents(srv.PublishEvent)
+
+	m := obs.NewMetrics()
+	conn, err := Connect(addr,
+		WithMetrics(m),
+		WithRetry(fault.Policy{MaxAttempts: 40, BaseDelay: 5 * time.Millisecond, MaxDelay: 50 * time.Millisecond}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	events, err := conn.Subscribe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.Call(script.NewCommand("op", "before")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill the server; restart on the same address, racing the redial.
+	srv.Close()
+	restarted := make(chan *Server, 1)
+	go func() {
+		deadline := time.Now().Add(5 * time.Second)
+		for time.Now().Before(deadline) {
+			s2, err := NewServer(p, addr)
+			if err == nil {
+				restarted <- s2
+				return
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		restarted <- nil
+	}()
+
+	// The Conn heals: this call redials until the new server is up.
+	if err := conn.Call(script.NewCommand("op", "after")); err != nil {
+		t.Fatalf("call across restart: %v", err)
+	}
+	srv2 := <-restarted
+	if srv2 == nil {
+		t.Fatal("server never restarted")
+	}
+	defer srv2.Close()
+	p.SetExternalEvents(srv2.PublishEvent)
+
+	text := r.text()
+	if !strings.Contains(text, "op before") || !strings.Contains(text, "op after") {
+		t.Fatalf("commands across restart:\n%s", text)
+	}
+	if m.Counter(obs.MRemoteRedials).Value() == 0 {
+		t.Error("remote.redials = 0 across a server restart")
+	}
+
+	// The pre-restart subscription channel still delivers.
+	srv2.PublishEvent(broker.Event{Name: "post-restart"})
+	deadline := time.After(5 * time.Second)
+	for {
+		select {
+		case ev := <-events:
+			if ev.Name == "post-restart" {
+				return
+			}
+		case <-deadline:
+			t.Fatal("subscription did not survive the reconnect")
+		}
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"github.com/mddsm/mddsm/internal/controller"
 	"github.com/mddsm/mddsm/internal/eu"
 	"github.com/mddsm/mddsm/internal/expr"
+	"github.com/mddsm/mddsm/internal/fault"
 	"github.com/mddsm/mddsm/internal/intent"
 	"github.com/mddsm/mddsm/internal/lts"
 	"github.com/mddsm/mddsm/internal/metamodel"
@@ -59,7 +60,26 @@ type Deps struct {
 	// disabled observer costs the hot paths only a nil check.
 	Tracer  *obs.Tracer
 	Metrics *obs.Metrics
+	// Injector evaluates the engine's fault points in every layer it is
+	// threaded into (Controller dispatch, Broker steps and events, the
+	// event pump and the monitor probe). Nil — the default — disables
+	// injection; the fault points cost a nil check.
+	Injector *fault.Injector
+	// Resilience configures the Broker layer's step retry, timeout and
+	// per-operation circuit breaking. The zero value disables all three.
+	Resilience fault.Resilience
 }
+
+// Fault-point names evaluated by the platform's injector, if one is
+// configured.
+const (
+	// SitePumpPost fires on event submission to the pump; a fired fault
+	// drops the event (counted in pump.events.dropped).
+	SitePumpPost = "pump.post"
+	// SiteMonitorProbe fires before each monitor probe; a fired fault
+	// skips the probe and counts a monitor.probe.failure.
+	SiteMonitorProbe = "monitor.probe"
+)
 
 // Platform is a live middleware platform instantiated from a middleware
 // model. Layers that the model suppressed are nil.
@@ -79,14 +99,16 @@ type Platform struct {
 	extMu    sync.Mutex
 	external func(broker.Event)
 
-	tracer  *obs.Tracer
-	metrics *obs.Metrics
+	tracer   *obs.Tracer
+	metrics  *obs.Metrics
+	injector *fault.Injector
 
-	mPosted    *obs.Counter
-	mDropped   *obs.Counter
-	mDelivered *obs.Counter
-	gDepth     *obs.Gauge
-	hDeliver   *obs.Histogram
+	mPosted      *obs.Counter
+	mDropped     *obs.Counter
+	mDelivered   *obs.Counter
+	mDeliverFail *obs.Counter
+	gDepth       *obs.Gauge
+	hDeliver     *obs.Histogram
 
 	pumpMu   sync.Mutex
 	pumpCap  int
@@ -144,11 +166,12 @@ func Build(model *metamodel.Model, deps Deps, opts ...Option) (*Platform, error)
 	root := platforms[0]
 
 	p := &Platform{
-		Name:    root.StringAttr("name"),
-		Domain:  root.StringAttr("domain"),
-		tracer:  deps.Tracer,
-		metrics: deps.Metrics,
-		pumpCap: 256,
+		Name:     root.StringAttr("name"),
+		Domain:   root.StringAttr("domain"),
+		tracer:   deps.Tracer,
+		metrics:  deps.Metrics,
+		injector: deps.Injector,
+		pumpCap:  256,
 	}
 	for _, o := range opts {
 		o(p)
@@ -156,6 +179,7 @@ func Build(model *metamodel.Model, deps Deps, opts ...Option) (*Platform, error)
 	p.mPosted = p.metrics.Counter(obs.MEventsPosted)
 	p.mDropped = p.metrics.Counter(obs.MEventsDropped)
 	p.mDelivered = p.metrics.Counter(obs.MEventsDelivered)
+	p.mDeliverFail = p.metrics.Counter(obs.MDeliverFailures)
 	p.gDepth = p.metrics.Gauge(obs.MQueueDepth)
 	p.hDeliver = p.metrics.Histogram(obs.HPumpDeliver)
 
@@ -240,9 +264,11 @@ func (p *Platform) routeControllerEvent(ev broker.Event) {
 
 func (p *Platform) buildBroker(model *metamodel.Model, obj *metamodel.Object, deps Deps) error {
 	cfg := broker.Config{
-		Name:    obj.StringAttr("name"),
-		Tracer:  p.tracer,
-		Metrics: p.metrics,
+		Name:       obj.StringAttr("name"),
+		Tracer:     p.tracer,
+		Metrics:    p.metrics,
+		Injector:   deps.Injector,
+		Resilience: deps.Resilience,
 	}
 	rm := broker.NewResourceManager()
 
@@ -312,10 +338,11 @@ func (p *Platform) buildController(model *metamodel.Model, obj *metamodel.Object
 			MaxDepth:     int(obj.IntAttr("maxDepth")),
 			DisableCache: !obj.BoolAttr("cacheEnabled"),
 		},
-		Machine: eu.Limits{MaxDepth: int(obj.IntAttr("maxDepth"))},
-		Clock:   deps.Clock,
-		Tracer:  p.tracer,
-		Metrics: p.metrics,
+		Machine:  eu.Limits{MaxDepth: int(obj.IntAttr("maxDepth"))},
+		Clock:    deps.Clock,
+		Tracer:   p.tracer,
+		Metrics:  p.metrics,
+		Injector: deps.Injector,
 	}
 	for _, actObj := range model.Resolve(obj, "actions") {
 		a, err := buildAction(model, actObj)
@@ -590,8 +617,12 @@ func (p *Platform) deliverPumped(ev broker.Event, depth int) {
 	sp.SetStr("event", ev.Name)
 	start := time.Now()
 	// Event-processing failures surface on the operation that caused
-	// them; an asynchronous event has no caller to report to.
-	_ = p.Broker.OnEvent(ev)
+	// them; an asynchronous event has no caller to report to. The pump
+	// itself degrades rather than dies: the failure is counted and the
+	// next event is delivered normally.
+	if err := p.Broker.OnEvent(ev); err != nil {
+		p.mDeliverFail.Inc()
+	}
 	p.hDeliver.Observe(time.Since(start))
 	sp.End()
 	p.mDelivered.Inc()
@@ -602,6 +633,10 @@ func (p *Platform) deliverPumped(ev broker.Event, depth int) {
 // when the pump is not running or its queue is full; it never blocks the
 // caller.
 func (p *Platform) PostEvent(ev broker.Event) bool {
+	if p.injector.ShouldDrop(SitePumpPost) {
+		p.mDropped.Inc()
+		return false
+	}
 	p.pumpMu.Lock()
 	ch, stop := p.pumpCh, p.pumpStop
 	p.pumpMu.Unlock()
@@ -693,6 +728,8 @@ func (p *Platform) Monitor(opts ...MonitorOption) (stop func()) {
 		o(&cfg)
 	}
 	ticks := cfg.metrics.Counter(obs.MMonitorTicks)
+	probeFail := cfg.metrics.Counter(obs.MProbeFailures)
+	evalFail := cfg.metrics.Counter(obs.MEvalFailures)
 
 	p.pumpMu.Lock()
 	defer p.pumpMu.Unlock()
@@ -710,12 +747,14 @@ func (p *Platform) Monitor(opts ...MonitorOption) (stop func()) {
 			case <-ticker.C:
 				sp := cfg.tracer.Start(obs.SpanMonitorTick)
 				ticks.Inc()
-				if cfg.probe != nil {
-					cfg.probe()
+				if cfg.probe != nil && !p.runProbe(cfg.probe) {
+					probeFail.Inc()
 				}
 				// Asynchronous evaluation failures have no caller; the
-				// next tick retries.
-				_ = p.Broker.Autonomic().Evaluate()
+				// next tick retries, so the failure is only counted.
+				if err := p.Broker.Autonomic().Evaluate(); err != nil {
+					evalFail.Inc()
+				}
 				sp.End()
 			case <-stop:
 				return
@@ -723,6 +762,23 @@ func (p *Platform) Monitor(opts ...MonitorOption) (stop func()) {
 		}
 	}(p.monStop, p.monDone)
 	return p.StopMonitor
+}
+
+// runProbe executes a monitor probe in degraded mode: an injected
+// monitor.probe fault skips the probe, and a panicking probe is recovered
+// so a failing sensor cannot kill the monitor loop. It reports whether the
+// probe ran to completion.
+func (p *Platform) runProbe(probe func()) (ok bool) {
+	if p.injector.Inject(SiteMonitorProbe) != nil {
+		return false
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			ok = false
+		}
+	}()
+	probe()
+	return true
 }
 
 // StartMonitor launches the autonomic monitor with positional arguments.

@@ -1,10 +1,10 @@
 // Command mddsm-bench regenerates the paper's evaluation results (§VII)
 // as printed reports. Without flags it runs every experiment; -e selects
-// one (e1..e6).
+// one (e1..e6, or "pump" for the sharded event-pump throughput report).
 //
 // Usage:
 //
-//	mddsm-bench [-e e1|e2|e3|e4|e5|e6] [-iters N] [-root DIR]
+//	mddsm-bench [-e e1|e2|e3|e4|e5|e6|pump] [-iters N] [-root DIR]
 package main
 
 import (
@@ -24,7 +24,7 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("mddsm-bench", flag.ContinueOnError)
-	exp := fs.String("e", "", "experiment to run (e1..e6); empty runs all")
+	exp := fs.String("e", "", "experiment to run (e1..e6, pump); empty runs all")
 	withObs := fs.Bool("obs", false, "print per-phase span counts for an instrumented run instead of the experiments")
 	faults := fs.String("faults", "", `with -obs: inject faults "seed=N,site:kind[:p=..][:d=..][:n=..],..." into the instrumented run`)
 	iters := fs.Int("iters", 50, "iterations per scenario for timing experiments (e2)")
@@ -56,21 +56,22 @@ func run(args []string) error {
 	}
 
 	all := map[string]func() error{
-		"e1": func() error { return experiments.ReportE1(w) },
-		"e2": func() error { return experiments.ReportE2(w, *iters) },
-		"e3": func() error { return experiments.ReportE3(w) },
-		"e4": func() error { return experiments.ReportE4(w) },
-		"e5": runE5,
-		"e6": func() error { return experiments.ReportE6(w) },
+		"e1":   func() error { return experiments.ReportE1(w) },
+		"e2":   func() error { return experiments.ReportE2(w, *iters) },
+		"e3":   func() error { return experiments.ReportE3(w) },
+		"e4":   func() error { return experiments.ReportE4(w) },
+		"e5":   runE5,
+		"e6":   func() error { return experiments.ReportE6(w) },
+		"pump": func() error { return experiments.ReportPump(w) },
 	}
 	if *exp != "" {
 		fn, ok := all[*exp]
 		if !ok {
-			return fmt.Errorf("unknown experiment %q (want e1..e6)", *exp)
+			return fmt.Errorf("unknown experiment %q (want e1..e6 or pump)", *exp)
 		}
 		return fn()
 	}
-	for _, name := range []string{"e1", "e2", "e3", "e4", "e5", "e6"} {
+	for _, name := range []string{"e1", "e2", "e3", "e4", "e5", "e6", "pump"} {
 		if err := all[name](); err != nil {
 			return fmt.Errorf("%s: %w", name, err)
 		}

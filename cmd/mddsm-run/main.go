@@ -22,6 +22,7 @@ import (
 	"github.com/mddsm/mddsm/internal/fault"
 	"github.com/mddsm/mddsm/internal/metamodel"
 	"github.com/mddsm/mddsm/internal/obs"
+	"github.com/mddsm/mddsm/internal/runtime"
 	"github.com/mddsm/mddsm/internal/script"
 )
 
@@ -38,6 +39,7 @@ func run(args []string) error {
 	modelPath := fs.String("model", "", "application model JSON")
 	withObs := fs.Bool("obs", false, "instrument the platform and print an observability snapshot")
 	faults := fs.String("faults", "", `inject faults: "seed=N,site:kind[:p=0.5][:d=10ms][:n=3],..." (see internal/fault)`)
+	pumpShards := fs.Int("pump-shards", 0, "event-pump shards (0 = GOMAXPROCS); same-source events stay ordered per shard key")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -82,6 +84,9 @@ func run(args []string) error {
 		if inj != nil {
 			opts = append(opts, cml.WithFault(inj), cml.WithResilience(fault.DefaultResilience()))
 		}
+		if *pumpShards > 0 {
+			opts = append(opts, cml.WithRuntime(runtime.WithPumpShards(*pumpShards)))
+		}
 		vm, err := cml.New(opts...)
 		if err != nil {
 			return err
@@ -98,6 +103,9 @@ func run(args []string) error {
 		}
 		if inj != nil {
 			opts = append(opts, mgrid.WithFault(inj), mgrid.WithResilience(fault.DefaultResilience()))
+		}
+		if *pumpShards > 0 {
+			opts = append(opts, mgrid.WithRuntime(runtime.WithPumpShards(*pumpShards)))
 		}
 		vm, err := mgrid.New(opts...)
 		if err != nil {

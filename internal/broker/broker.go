@@ -247,9 +247,8 @@ type Broker struct {
 	brkMu       sync.Mutex
 	breakers    map[string]*fault.Breaker
 
-	evMu       sync.Mutex
-	evQueue    []Event
-	evDraining bool
+	evMu     sync.Mutex
+	evQueues map[uint64][]Event // per-goroutine re-entrancy queues
 }
 
 // New builds a Broker from a configuration. resources must carry the
@@ -441,10 +440,12 @@ func (b *Broker) executeOnce(cmd script.Command) error {
 }
 
 // OnEvent is the layer's event entry point: resource adapters push events
-// here. Events are queued and drained in arrival order; re-entrant events
-// emitted while one is being processed join the queue rather than recurse.
-// The first processing error is reported to the caller that started the
-// drain.
+// here. Re-entrant events — emitted by an action while this goroutine is
+// already processing one — join that goroutine's queue rather than recurse,
+// preserving arrival order per caller. Distinct goroutines (e.g. the
+// runtime's pump shards) process their events concurrently; the downstream
+// managers are individually locked. The first processing error is reported
+// to the caller that started the goroutine's drain.
 func (b *Broker) OnEvent(ev Event) error {
 	if err := b.injector.Inject(SiteEvent); err != nil {
 		if errors.Is(err, fault.ErrDropped) {
@@ -452,25 +453,30 @@ func (b *Broker) OnEvent(ev Event) error {
 		}
 		return err
 	}
+	g := obs.GoID()
 	b.evMu.Lock()
-	b.evQueue = append(b.evQueue, ev)
-	if b.evDraining {
+	if q, ok := b.evQueues[g]; ok {
+		b.evQueues[g] = append(q, ev)
 		b.evMu.Unlock()
 		return nil
 	}
-	b.evDraining = true
+	if b.evQueues == nil {
+		b.evQueues = make(map[uint64][]Event)
+	}
+	b.evQueues[g] = []Event{ev}
 	b.evMu.Unlock()
 
 	var firstErr error
 	for {
 		b.evMu.Lock()
-		if len(b.evQueue) == 0 {
-			b.evDraining = false
+		q := b.evQueues[g]
+		if len(q) == 0 {
+			delete(b.evQueues, g)
 			b.evMu.Unlock()
 			return firstErr
 		}
-		next := b.evQueue[0]
-		b.evQueue = b.evQueue[1:]
+		next := q[0]
+		b.evQueues[g] = q[1:]
 		b.evMu.Unlock()
 		if err := b.processEvent(next); err != nil && firstErr == nil {
 			firstErr = err

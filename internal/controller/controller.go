@@ -141,9 +141,8 @@ type Controller struct {
 	mu    sync.Mutex
 	stats Stats
 
-	evMu       sync.Mutex
-	evQueue    []broker.Event
-	evDraining bool
+	evMu     sync.Mutex
+	evQueues map[uint64][]broker.Event // per-goroutine re-entrancy queues
 }
 
 // clockCharger charges machine time against a clock.
@@ -414,27 +413,35 @@ func (c *Controller) runIntent(cmd script.Command, scope expr.MapScope) error {
 }
 
 // OnEvent is the event handler entry point: events from the Broker layer
-// (or raised internally by EUs) are queued and drained in order.
+// (or raised internally by EUs) are queued and drained in arrival order per
+// goroutine. An event raised by an EU mid-processing joins the raising
+// goroutine's queue instead of recursing into the machine; events arriving
+// on distinct goroutines are processed concurrently.
 func (c *Controller) OnEvent(ev broker.Event) error {
+	g := obs.GoID()
 	c.evMu.Lock()
-	c.evQueue = append(c.evQueue, ev)
-	if c.evDraining {
+	if q, ok := c.evQueues[g]; ok {
+		c.evQueues[g] = append(q, ev)
 		c.evMu.Unlock()
 		return nil
 	}
-	c.evDraining = true
+	if c.evQueues == nil {
+		c.evQueues = make(map[uint64][]broker.Event)
+	}
+	c.evQueues[g] = []broker.Event{ev}
 	c.evMu.Unlock()
 
 	var firstErr error
 	for {
 		c.evMu.Lock()
-		if len(c.evQueue) == 0 {
-			c.evDraining = false
+		q := c.evQueues[g]
+		if len(q) == 0 {
+			delete(c.evQueues, g)
 			c.evMu.Unlock()
 			return firstErr
 		}
-		next := c.evQueue[0]
-		c.evQueue = c.evQueue[1:]
+		next := q[0]
+		c.evQueues[g] = q[1:]
 		c.evMu.Unlock()
 		if err := c.processEvent(next); err != nil && firstErr == nil {
 			firstErr = err

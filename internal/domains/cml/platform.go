@@ -79,6 +79,7 @@ type buildOptions struct {
 	obs        *obs.Obs
 	injector   *fault.Injector
 	resilience fault.Resilience
+	runtime    []runtime.Option
 }
 
 // WithObs instruments every layer of the CVM with the given observability
@@ -96,6 +97,12 @@ func WithFault(in *fault.Injector) Option {
 // across the CVM's layers.
 func WithResilience(r fault.Resilience) Option {
 	return func(b *buildOptions) { b.resilience = r }
+}
+
+// WithRuntime forwards platform-level runtime options (pump sharding,
+// queue capacity, drain timeout, ...) to the underlying engine.
+func WithRuntime(opts ...runtime.Option) Option {
+	return func(b *buildOptions) { b.runtime = append(b.runtime, opts...) }
 }
 
 // New builds a CVM on a virtual clock. Events from the communication
@@ -133,7 +140,7 @@ func NewWithClock(clock simtime.Clock, opts ...Option) (*CVM, error) {
 		Injector:   bo.injector,
 		Resilience: bo.resilience,
 	}
-	p, err := core.Build(def)
+	p, err := core.Build(def, bo.runtime...)
 	if err != nil {
 		return nil, fmt.Errorf("cvm: %w", err)
 	}

@@ -275,6 +275,7 @@ type buildOptions struct {
 	obs        *obs.Obs
 	injector   *fault.Injector
 	resilience fault.Resilience
+	runtime    []runtime.Option
 }
 
 // WithObs instruments every layer of the MGridVM with the given
@@ -292,6 +293,12 @@ func WithFault(in *fault.Injector) Option {
 // across the MGridVM's layers.
 func WithResilience(r fault.Resilience) Option {
 	return func(b *buildOptions) { b.resilience = r }
+}
+
+// WithRuntime forwards platform-level runtime options (pump sharding,
+// queue capacity, drain timeout, ...) to the underlying engine.
+func WithRuntime(opts ...runtime.Option) Option {
+	return func(b *buildOptions) { b.runtime = append(b.runtime, opts...) }
 }
 
 // New builds an MGridVM on a virtual clock. Plant events are delivered
@@ -323,7 +330,7 @@ func New(opts ...Option) (*MGridVM, error) {
 		Injector:   bo.injector,
 		Resilience: bo.resilience,
 	}
-	p, err := core.Build(def)
+	p, err := core.Build(def, bo.runtime...)
 	if err != nil {
 		return nil, fmt.Errorf("mgridvm: %w", err)
 	}

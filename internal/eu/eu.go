@@ -11,6 +11,7 @@ package eu
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"github.com/mddsm/mddsm/internal/expr"
@@ -196,6 +197,13 @@ type Machine struct {
 	tracer *obs.Tracer
 	mSteps *obs.Counter
 
+	depth atomic.Int64 // frames currently pushed across all in-flight runs
+}
+
+// runState is the per-Run execution state. Keeping it off the Machine makes
+// Run safe to call concurrently and re-entrantly: an EU that emits an event
+// whose action executes another script re-enters Run on the same machine.
+type runState struct {
 	steps int
 	stack []string // procedure labels, for diagnostics
 }
@@ -228,47 +236,50 @@ func (m *Machine) Run(root *Frame, vars map[string]any) error {
 		sp.SetStr("root", root.Label)
 	}
 	defer sp.End()
-	m.steps = 0
-	m.stack = m.stack[:0]
 	scope := make(expr.MapScope, len(vars)+4)
 	for k, v := range vars {
 		scope[k] = v
 	}
-	return m.push(root, scope)
+	return m.push(&runState{}, root, scope)
 }
 
-// Depth returns the current procedure-stack depth (used by tests).
-func (m *Machine) Depth() int { return len(m.stack) }
+// Depth returns the number of frames currently pushed across all in-flight
+// runs (used by tests; zero when the machine is idle).
+func (m *Machine) Depth() int { return int(m.depth.Load()) }
 
 // errDone is an internal sentinel unwinding an OpDone.
 var errDone = fmt.Errorf("done")
 
-func (m *Machine) push(f *Frame, scope expr.MapScope) error {
+func (m *Machine) push(rs *runState, f *Frame, scope expr.MapScope) error {
 	if f == nil || f.Unit == nil {
 		return fmt.Errorf("nil frame or unit")
 	}
-	if len(m.stack) >= m.limits.MaxDepth {
-		return fmt.Errorf("procedure stack overflow at %q (depth %d)", f.Label, len(m.stack))
+	if len(rs.stack) >= m.limits.MaxDepth {
+		return fmt.Errorf("procedure stack overflow at %q (depth %d)", f.Label, len(rs.stack))
 	}
-	m.stack = append(m.stack, f.Label)
-	defer func() { m.stack = m.stack[:len(m.stack)-1] }()
+	rs.stack = append(rs.stack, f.Label)
+	m.depth.Add(1)
+	defer func() {
+		rs.stack = rs.stack[:len(rs.stack)-1]
+		m.depth.Add(-1)
+	}()
 	if f.EnterCharge > 0 && m.charger != nil {
 		m.charger.Charge(f.EnterCharge)
 	}
-	err := m.exec(f, f.Unit.Body, scope)
+	err := m.exec(rs, f, f.Unit.Body, scope)
 	if err == errDone {
 		return nil
 	}
 	return err
 }
 
-func (m *Machine) exec(f *Frame, body []Statement, scope expr.MapScope) error {
+func (m *Machine) exec(rs *runState, f *Frame, body []Statement, scope expr.MapScope) error {
 	env := expr.Env{Scope: scope, Funcs: m.funcs}
 	for i := range body {
 		st := &body[i]
-		m.steps++
+		rs.steps++
 		m.mSteps.Inc()
-		if m.steps > m.limits.MaxSteps {
+		if rs.steps > m.limits.MaxSteps {
 			return fmt.Errorf("step budget exceeded in %q", f.Label)
 		}
 		switch st.Op {
@@ -291,7 +302,7 @@ func (m *Machine) exec(f *Frame, body []Statement, scope expr.MapScope) error {
 			if err != nil {
 				return fmt.Errorf("%s: call %s: %w", f.Label, st.Text, err)
 			}
-			if err := m.push(callee, scope); err != nil {
+			if err := m.push(rs, callee, scope); err != nil {
 				return err
 			}
 		case OpSet:
@@ -317,7 +328,7 @@ func (m *Machine) exec(f *Frame, body []Statement, scope expr.MapScope) error {
 			if cond {
 				branch = st.Then
 			}
-			if err := m.exec(f, branch, scope); err != nil {
+			if err := m.exec(rs, f, branch, scope); err != nil {
 				return err
 			}
 		case OpDelay:

@@ -59,6 +59,15 @@ const (
 	MRemoteSlowEvents = "remote.events.slowdrop"
 )
 
+// ShardMetric derives the per-shard instrument name for one shard of the
+// sharded event pump (e.g. "pump.queue.depth.shard.3"). The aggregate
+// names above keep their meaning; a sharded pump additionally registers
+// one instrument per shard under these derived names, and the snapshot's
+// sorted output groups them behind their aggregate.
+func ShardMetric(base string, shard int) string {
+	return fmt.Sprintf("%s.shard.%d", base, shard)
+}
+
 // Canonical span names, one per cross-layer hop.
 const (
 	SpanUISubmit        = "ui.submit"
@@ -580,6 +589,12 @@ func (t *Tracer) Snapshot() string {
 	}
 	return b.String()
 }
+
+// GoID returns the calling goroutine's id. Layers use it to keep
+// per-goroutine re-entrancy state (event drains that must not recurse on
+// the goroutine already processing an event, while letting other
+// goroutines proceed concurrently).
+func GoID() uint64 { return goid() }
 
 // goid parses the running goroutine's id from its stack header
 // ("goroutine N [running]:"). It costs roughly a microsecond, paid only

@@ -1,0 +1,203 @@
+// Sharded event pump: the platform's asynchronous resource-event path.
+//
+// The pump is N independent shards, each a bounded queue drained by its
+// own delivery goroutine. PostEvent routes every event to a shard by its
+// shard key — a configurable event attribute (WithShardKey), falling back
+// to the event name — so events sharing a key are delivered strictly in
+// post order while events with different keys flow concurrently. A slow
+// resource adapter therefore stalls only the shard its events hash to,
+// not the platform.
+//
+// Shutdown is a graceful drain: Stop closes the intake (further posts are
+// counted drops), delivers everything already queued, and after a bounded
+// drain deadline (WithDrainTimeout) counts anything still queued as a
+// drop — so posted == delivered + deliver-failures + dropped holds across
+// the pump's whole lifetime.
+
+package runtime
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/mddsm/mddsm/internal/broker"
+	"github.com/mddsm/mddsm/internal/obs"
+)
+
+// pump is one running generation of the platform's sharded event pump.
+// Start creates it, Stop drains and discards it; a restarted platform gets
+// a fresh pump, so a drain can never race a new generation's intake.
+type pump struct {
+	p       *Platform
+	keyAttr string
+	drain   time.Duration
+	shards  []*shard
+
+	// mu serialises intake against shutdown: posts hold it shared, stop
+	// holds it exclusively while flagging closed, after which no sender
+	// can be in flight and the shard channels are safe to close.
+	mu     sync.RWMutex
+	closed bool
+	// abandon flips when the drain deadline expires: workers then count
+	// the remaining queue as drops instead of delivering it.
+	abandon atomic.Bool
+	wg      sync.WaitGroup
+}
+
+// shard is one bounded queue plus the per-shard instruments mirroring the
+// pump's aggregate ones.
+type shard struct {
+	ch         chan broker.Event
+	gDepth     *obs.Gauge
+	mDelivered *obs.Counter
+	mDropped   *obs.Counter
+	hDeliver   *obs.Histogram
+}
+
+// newPump builds and launches a pump with n shards of cap events each.
+func newPump(p *Platform, n, cap int) *pump {
+	pu := &pump{p: p, keyAttr: p.shardKey, drain: p.drainTimeout}
+	pu.shards = make([]*shard, n)
+	for i := range pu.shards {
+		pu.shards[i] = &shard{
+			ch:         make(chan broker.Event, cap),
+			gDepth:     p.metrics.Gauge(obs.ShardMetric(obs.MQueueDepth, i)),
+			mDelivered: p.metrics.Counter(obs.ShardMetric(obs.MEventsDelivered, i)),
+			mDropped:   p.metrics.Counter(obs.ShardMetric(obs.MEventsDropped, i)),
+			hDeliver:   p.metrics.Histogram(obs.ShardMetric(obs.HPumpDeliver, i)),
+		}
+	}
+	pu.wg.Add(n)
+	for i := range pu.shards {
+		go pu.run(pu.shards[i])
+	}
+	return pu
+}
+
+// shardFor routes an event to its shard: the configured key attribute when
+// the event carries it, the event name otherwise, FNV-1a-hashed onto the
+// shard count. Same key, same shard — the ordering guarantee.
+func (pu *pump) shardFor(ev broker.Event) *shard {
+	if len(pu.shards) == 1 {
+		return pu.shards[0]
+	}
+	key := ev.Name
+	if pu.keyAttr != "" {
+		if v, ok := ev.Attrs[pu.keyAttr]; ok {
+			if s, ok := v.(string); ok {
+				key = s
+			} else {
+				key = fmt.Sprint(v)
+			}
+		}
+	}
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h = (h ^ uint32(key[i])) * 16777619
+	}
+	return pu.shards[h%uint32(len(pu.shards))]
+}
+
+// depth is the total number of queued events across shards.
+func (pu *pump) depth() int64 {
+	var d int64
+	for _, sh := range pu.shards {
+		d += int64(len(sh.ch))
+	}
+	return d
+}
+
+// post enqueues ev on its shard. It reports false — without counting —
+// when the pump is closed or the shard queue is full; the caller owns the
+// aggregate drop accounting.
+func (pu *pump) post(ev broker.Event) bool {
+	pu.mu.RLock()
+	defer pu.mu.RUnlock()
+	if pu.closed {
+		return false
+	}
+	sh := pu.shardFor(ev)
+	select {
+	case sh.ch <- ev:
+		pu.p.mPosted.Inc()
+		sh.gDepth.Set(int64(len(sh.ch)))
+		pu.p.gDepth.Set(pu.depth())
+		return true
+	default:
+		sh.mDropped.Inc()
+		return false
+	}
+}
+
+// run is one shard's delivery loop: deliver until the channel is closed
+// and drained, counting instead of delivering once the drain deadline has
+// abandoned the queue.
+func (pu *pump) run(sh *shard) {
+	defer pu.wg.Done()
+	for ev := range sh.ch {
+		if pu.abandon.Load() {
+			sh.mDropped.Inc()
+			pu.p.mDropped.Inc()
+			continue
+		}
+		pu.deliver(sh, ev)
+	}
+}
+
+// deliver hands one dequeued event to the Broker layer, recording the
+// delivery span, latency and remaining depth. Delivered counts only
+// successes; a failed delivery counts exactly once, as a deliver-failure.
+// The pump degrades rather than dies: an asynchronous event has no caller
+// to report to, so the failure is counted and the next event delivered
+// normally.
+func (pu *pump) deliver(sh *shard, ev broker.Event) {
+	p := pu.p
+	sh.gDepth.Set(int64(len(sh.ch)))
+	p.gDepth.Set(pu.depth())
+	sp := p.tracer.Start(obs.SpanPumpDeliver)
+	sp.SetStr("event", ev.Name)
+	start := time.Now()
+	err := p.Broker.OnEvent(ev)
+	d := time.Since(start)
+	sh.hDeliver.Observe(d)
+	p.hDeliver.Observe(d)
+	sp.End()
+	if err != nil {
+		p.mDeliverFail.Inc()
+		return
+	}
+	sh.mDelivered.Inc()
+	p.mDelivered.Inc()
+}
+
+// stop closes the intake and drains: queued events are delivered until the
+// drain deadline, after which the remainder is abandoned as counted drops.
+// stop returns once every shard worker has exited (an in-flight delivery
+// is always waited out — a goroutine cannot be killed mid-adapter).
+func (pu *pump) stop() {
+	pu.mu.Lock()
+	if pu.closed {
+		pu.mu.Unlock()
+		return
+	}
+	pu.closed = true
+	pu.mu.Unlock()
+	for _, sh := range pu.shards {
+		close(sh.ch)
+	}
+	done := make(chan struct{})
+	go func() {
+		pu.wg.Wait()
+		close(done)
+	}()
+	timer := time.NewTimer(pu.drain)
+	defer timer.Stop()
+	select {
+	case <-done:
+	case <-timer.C:
+		pu.abandon.Store(true)
+		<-done
+	}
+}

@@ -15,7 +15,9 @@ package runtime
 
 import (
 	"fmt"
+	goruntime "runtime"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -110,13 +112,14 @@ type Platform struct {
 	gDepth       *obs.Gauge
 	hDeliver     *obs.Histogram
 
-	pumpMu   sync.Mutex
-	pumpCap  int
-	pumpCh   chan broker.Event
-	pumpStop chan struct{}
-	pumpDone chan struct{}
-	monStop  chan struct{}
-	monDone  chan struct{}
+	pumpMu       sync.Mutex
+	pumpCap      int
+	pumpShards   int
+	shardKey     string
+	drainTimeout time.Duration
+	pump         *pump
+	monStop      chan struct{}
+	monDone      chan struct{}
 }
 
 // Option customises platform construction.
@@ -127,12 +130,42 @@ func WithExternalEvents(fn func(broker.Event)) Option {
 	return func(p *Platform) { p.external = fn }
 }
 
-// WithPumpQueue sets the event pump's queue capacity (default 256).
-// PostEvent reports false and counts a drop when the queue is full.
+// WithPumpQueue sets each pump shard's queue capacity (default 256).
+// PostEvent reports false and counts a drop when the target shard's queue
+// is full.
 func WithPumpQueue(n int) Option {
 	return func(p *Platform) {
 		if n > 0 {
 			p.pumpCap = n
+		}
+	}
+}
+
+// WithPumpShards sets the event pump's shard count (default GOMAXPROCS).
+// Each shard owns a bounded queue and a delivery goroutine; events sharing
+// a shard key are delivered strictly in post order, events on different
+// shards concurrently.
+func WithPumpShards(n int) Option {
+	return func(p *Platform) {
+		if n > 0 {
+			p.pumpShards = n
+		}
+	}
+}
+
+// WithShardKey names the event attribute the pump shards by. Events
+// carrying the attribute are routed by its value; events without it (and
+// the default, attr == "") fall back to a hash of the event name.
+func WithShardKey(attr string) Option {
+	return func(p *Platform) { p.shardKey = attr }
+}
+
+// WithDrainTimeout bounds Stop's graceful drain (default 5s): events
+// still queued when the deadline expires are abandoned as counted drops.
+func WithDrainTimeout(d time.Duration) Option {
+	return func(p *Platform) {
+		if d > 0 {
+			p.drainTimeout = d
 		}
 	}
 }
@@ -166,12 +199,13 @@ func Build(model *metamodel.Model, deps Deps, opts ...Option) (*Platform, error)
 	root := platforms[0]
 
 	p := &Platform{
-		Name:     root.StringAttr("name"),
-		Domain:   root.StringAttr("domain"),
-		tracer:   deps.Tracer,
-		metrics:  deps.Metrics,
-		injector: deps.Injector,
-		pumpCap:  256,
+		Name:         root.StringAttr("name"),
+		Domain:       root.StringAttr("domain"),
+		tracer:       deps.Tracer,
+		metrics:      deps.Metrics,
+		injector:     deps.Injector,
+		pumpCap:      256,
+		drainTimeout: 5 * time.Second,
 	}
 	for _, o := range opts {
 		o(p)
@@ -539,15 +573,14 @@ func buildPolicies(model *metamodel.Model, owner *metamodel.Object) ([]policy.Po
 	return out, nil
 }
 
+// splitOps splits a model's comma-separated ops attribute, trimming the
+// whitespace authors naturally write ("open, close") and dropping empty
+// segments — an untrimmed " close" would never match a dispatched op.
 func splitOps(ops string) []string {
 	var out []string
-	start := 0
-	for i := 0; i <= len(ops); i++ {
-		if i == len(ops) || ops[i] == ',' {
-			if i > start {
-				out = append(out, ops[start:i])
-			}
-			start = i + 1
+	for _, seg := range strings.Split(ops, ",") {
+		if s := strings.TrimSpace(seg); s != "" {
+			out = append(out, s)
 		}
 	}
 	return out
@@ -584,98 +617,57 @@ func (p *Platform) DeliverEvent(ev broker.Event) error {
 	return p.Broker.OnEvent(ev)
 }
 
-// Start launches the platform's event pump: PostEvent enqueues resource
-// events which a dedicated goroutine delivers to the Broker layer in
-// order. Start is idempotent.
+// Start launches the platform's event pump: PostEvent routes resource
+// events onto N shards (WithPumpShards, default GOMAXPROCS), each drained
+// by its own goroutine into the Broker layer. Events sharing a shard key
+// are delivered strictly in post order. Start is idempotent.
 func (p *Platform) Start() {
 	p.pumpMu.Lock()
 	defer p.pumpMu.Unlock()
-	if p.pumpCh != nil {
+	if p.pump != nil {
 		return
 	}
-	p.pumpCh = make(chan broker.Event, p.pumpCap)
-	p.pumpStop = make(chan struct{})
-	p.pumpDone = make(chan struct{})
-	go func(ch chan broker.Event, stop, done chan struct{}) {
-		defer close(done)
-		for {
-			select {
-			case ev := <-ch:
-				p.deliverPumped(ev, len(ch))
-			case <-stop:
-				return
-			}
-		}
-	}(p.pumpCh, p.pumpStop, p.pumpDone)
-}
-
-// deliverPumped hands one dequeued event to the Broker layer, recording
-// the delivery span, counter, latency and remaining queue depth.
-func (p *Platform) deliverPumped(ev broker.Event, depth int) {
-	p.gDepth.Set(int64(depth))
-	sp := p.tracer.Start(obs.SpanPumpDeliver)
-	sp.SetStr("event", ev.Name)
-	start := time.Now()
-	// Event-processing failures surface on the operation that caused
-	// them; an asynchronous event has no caller to report to. The pump
-	// itself degrades rather than dies: the failure is counted and the
-	// next event is delivered normally.
-	if err := p.Broker.OnEvent(ev); err != nil {
-		p.mDeliverFail.Inc()
+	n := p.pumpShards
+	if n <= 0 {
+		n = goruntime.GOMAXPROCS(0)
 	}
-	p.hDeliver.Observe(time.Since(start))
-	sp.End()
-	p.mDelivered.Inc()
+	p.pump = newPump(p, n, p.pumpCap)
 }
 
 // PostEvent enqueues a resource event for asynchronous delivery. It
 // returns false — counting the drop in the pump.events.dropped metric —
-// when the pump is not running or its queue is full; it never blocks the
-// caller.
+// when the pump is not running or the event's shard queue is full; it
+// never blocks the caller.
 func (p *Platform) PostEvent(ev broker.Event) bool {
 	if p.injector.ShouldDrop(SitePumpPost) {
 		p.mDropped.Inc()
 		return false
 	}
 	p.pumpMu.Lock()
-	ch, stop := p.pumpCh, p.pumpStop
+	pu := p.pump
 	p.pumpMu.Unlock()
-	if ch == nil {
+	if pu == nil || !pu.post(ev) {
 		p.mDropped.Inc()
 		return false
 	}
-	select {
-	case <-stop:
-		p.mDropped.Inc()
-		return false
-	default:
-	}
-	select {
-	case ch <- ev:
-		p.mPosted.Inc()
-		p.gDepth.Set(int64(len(ch)))
-		return true
-	default:
-		p.mDropped.Inc()
-		return false
-	}
+	return true
 }
 
-// Stop shuts the event pump and any autonomic monitor down and waits for
-// their goroutines to exit. Stop is idempotent.
+// Stop shuts any autonomic monitor down, then drains the event pump:
+// intake closes (further posts are counted drops), queued events are
+// delivered until the drain deadline (WithDrainTimeout), and anything
+// abandoned past it is a counted drop — no event leaves the pump
+// unaccounted. Stop is idempotent.
 func (p *Platform) Stop() {
 	p.StopMonitor()
 	p.pumpMu.Lock()
-	stop, done := p.pumpStop, p.pumpDone
-	p.pumpCh = nil
-	p.pumpStop = nil
-	p.pumpDone = nil
+	pu := p.pump
+	p.pump = nil
 	p.pumpMu.Unlock()
-	if stop == nil {
+	if pu == nil {
 		return
 	}
-	close(stop)
-	<-done
+	pu.stop()
 }
 
 // monitorConfig collects the autonomic monitor's options.
@@ -715,10 +707,17 @@ func WithObs(t *obs.Tracer, m *obs.Metrics) MonitorOption {
 
 // Monitor launches the platform's autonomic monitor: every interval it
 // runs the probe (when one is installed) and then evaluates the Broker's
-// autonomic symptoms. Monitor is idempotent while a monitor runs; the
+// autonomic symptoms. Monitor is idempotent while a monitor runs: the
+// running monitor keeps its original options, the new ones are ignored
+// entirely (no counters are registered on their obs pair), and the
 // returned stop function (also available as StopMonitor) terminates the
-// loop and waits for it to exit.
+// already-running loop and waits for it to exit.
 func (p *Platform) Monitor(opts ...MonitorOption) (stop func()) {
+	p.pumpMu.Lock()
+	defer p.pumpMu.Unlock()
+	if p.monStop != nil {
+		return p.StopMonitor
+	}
 	cfg := monitorConfig{
 		interval: time.Second,
 		tracer:   p.tracer,
@@ -730,12 +729,6 @@ func (p *Platform) Monitor(opts ...MonitorOption) (stop func()) {
 	ticks := cfg.metrics.Counter(obs.MMonitorTicks)
 	probeFail := cfg.metrics.Counter(obs.MProbeFailures)
 	evalFail := cfg.metrics.Counter(obs.MEvalFailures)
-
-	p.pumpMu.Lock()
-	defer p.pumpMu.Unlock()
-	if p.monStop != nil {
-		return p.StopMonitor
-	}
 	p.monStop = make(chan struct{})
 	p.monDone = make(chan struct{})
 	go func(stop, done chan struct{}) {

@@ -10,6 +10,7 @@ import (
 	"github.com/mddsm/mddsm/internal/broker"
 	"github.com/mddsm/mddsm/internal/dsc"
 	"github.com/mddsm/mddsm/internal/eu"
+	"github.com/mddsm/mddsm/internal/fault"
 	"github.com/mddsm/mddsm/internal/lts"
 	"github.com/mddsm/mddsm/internal/metamodel"
 	"github.com/mddsm/mddsm/internal/mwmeta"
@@ -443,6 +444,10 @@ func TestSplitOps(t *testing.T) {
 		{"a,b,c", "a|b|c"},
 		{"", ""},
 		{"a,,b", "a|b"},
+		{"open, close", "open|close"},
+		{" open ,\tclose ", "open|close"},
+		{"  ", ""},
+		{"a, ,b", "a|b"},
 	}
 	for _, tt := range tests {
 		got := strings.Join(splitOps(tt.in), "|")
@@ -827,4 +832,269 @@ func TestObsEndToEnd(t *testing.T) {
 	if !linked {
 		t.Error("synthesis.submit span not parented under ui.submit")
 	}
+}
+
+// pumpEventModel authors a broker-only middleware model whose event action
+// echoes each event's key and sequence number into the resource trace, so
+// tests can assert per-key delivery order and exact delivery counts.
+func pumpEventModel(t testing.TB) *metamodel.Model {
+	t.Helper()
+	b := mwmeta.NewBuilder("pump-vm", "d")
+	b.BrokerLayer("brk").
+		EventAction("echo", "tick", "", false,
+			mwmeta.StepSpec{Op: "h", Target: "{key}:{seq}"}).
+		Bind("*", "main")
+	if err := b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return b.Model()
+}
+
+func tickEvent(key string, seq int) broker.Event {
+	return broker.Event{Name: "tick", Attrs: map[string]any{
+		"key": key, "seq": fmt.Sprintf("%06d", seq),
+	}}
+}
+
+// assertPumpAccounting checks the pump's lifetime invariant: every posted
+// event is eventually delivered, failed, or dropped — none vanish.
+func assertPumpAccounting(t *testing.T, m *obs.Metrics, accepted, rejected int64) {
+	t.Helper()
+	posted := m.CounterValue(obs.MEventsPosted)
+	delivered := m.CounterValue(obs.MEventsDelivered)
+	failures := m.CounterValue(obs.MDeliverFailures)
+	dropped := m.CounterValue(obs.MEventsDropped)
+	if posted != accepted {
+		t.Errorf("posted = %d, want %d", posted, accepted)
+	}
+	if delivered+failures+dropped != accepted+rejected {
+		t.Errorf("delivered(%d) + failures(%d) + dropped(%d) != accepted(%d) + rejected(%d)",
+			delivered, failures, dropped, accepted, rejected)
+	}
+}
+
+// TestStopDrainsQueuedEvents is the regression test for the lost-event bug:
+// events still queued at Stop used to vanish uncounted. The graceful drain
+// must deliver (or count) every accepted event: delivered + dropped == K.
+func TestStopDrainsQueuedEvents(t *testing.T) {
+	const K = 64
+	r := &rec{}
+	m := obs.NewMetrics()
+	p, err := Build(pumpEventModel(t), Deps{
+		Adapters: map[string]broker.Adapter{"main": r},
+		Metrics:  m,
+	}, WithPumpQueue(K), WithPumpShards(4), WithShardKey("key"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Start()
+	for i := 0; i < K; i++ {
+		if !p.PostEvent(tickEvent(fmt.Sprintf("k%d", i%8), i)) {
+			t.Fatalf("post %d rejected", i)
+		}
+	}
+	p.Stop() // immediately: most events are still queued
+	delivered := m.CounterValue(obs.MEventsDelivered)
+	dropped := m.CounterValue(obs.MEventsDropped)
+	if delivered+dropped != K {
+		t.Errorf("delivered(%d) + dropped(%d) = %d, want %d", delivered, dropped, delivered+dropped, K)
+	}
+	if dropped != 0 {
+		t.Errorf("fast adapter, 5s drain budget: dropped = %d, want 0", dropped)
+	}
+	if got := len(r.lines()); got != K {
+		t.Errorf("adapter saw %d events, want %d", got, K)
+	}
+	assertPumpAccounting(t, m, K, 0)
+}
+
+// TestStopDrainDeadlineAbandonsAsDrops: a wedged adapter cannot hold Stop
+// hostage forever — past the drain deadline the still-queued remainder is
+// abandoned as counted drops, keeping the accounting invariant intact.
+func TestStopDrainDeadlineAbandonsAsDrops(t *testing.T) {
+	b := &blockingRec{gate: make(chan struct{}), entered: make(chan struct{})}
+	m := obs.NewMetrics()
+	p, err := Build(pumpEventModel(t), Deps{
+		Adapters: map[string]broker.Adapter{"main": b},
+		Metrics:  m,
+	}, WithPumpQueue(8), WithPumpShards(1), WithDrainTimeout(30*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Start()
+	for i := 0; i < 3; i++ {
+		if !p.PostEvent(tickEvent("k", i)) {
+			t.Fatalf("post %d rejected", i)
+		}
+	}
+	// The worker wedges inside the adapter on the first event.
+	select {
+	case <-b.entered:
+	case <-time.After(2 * time.Second):
+		t.Fatal("pump never reached the adapter")
+	}
+	stopped := make(chan struct{})
+	go func() { p.Stop(); close(stopped) }()
+	// Wait past the drain deadline so the queue is abandoned, then unblock
+	// the in-flight delivery.
+	time.Sleep(150 * time.Millisecond)
+	close(b.gate)
+	select {
+	case <-stopped:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Stop never returned after the gate opened")
+	}
+	if got := m.CounterValue(obs.MEventsDelivered); got != 1 {
+		t.Errorf("delivered = %d, want 1 (the in-flight event)", got)
+	}
+	if got := m.CounterValue(obs.MEventsDropped); got != 2 {
+		t.Errorf("dropped = %d, want 2 (abandoned past the drain deadline)", got)
+	}
+	assertPumpAccounting(t, m, 3, 0)
+}
+
+// TestDeliverFailureNotCountedDelivered is the regression test for the
+// double-count bug: a failed delivery used to increment both
+// pump.events.delivered and pump.deliver.failures.
+func TestDeliverFailureNotCountedDelivered(t *testing.T) {
+	in := fault.NewInjector(1)
+	in.Arm(broker.SiteEvent, fault.Spec{Kind: fault.Error, Limit: 2})
+	r := &rec{}
+	m := obs.NewMetrics()
+	in.BindMetrics(m)
+	p, err := Build(pumpEventModel(t), Deps{
+		Adapters: map[string]broker.Adapter{"main": r},
+		Metrics:  m,
+		Injector: in,
+	}, WithPumpShards(2), WithShardKey("key"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Start()
+	for i := 0; i < 5; i++ {
+		if !p.PostEvent(tickEvent("k", i)) {
+			t.Fatalf("post %d rejected", i)
+		}
+	}
+	p.Stop()
+	delivered := m.CounterValue(obs.MEventsDelivered)
+	failures := m.CounterValue(obs.MDeliverFailures)
+	if failures != 2 {
+		t.Fatalf("deliver failures = %d, want 2", failures)
+	}
+	if delivered != 3 {
+		t.Errorf("delivered = %d, want 3 (failures must not count as delivered)", delivered)
+	}
+	assertPumpAccounting(t, m, 5, 0)
+}
+
+// TestPerShardMetrics: a sharded pump registers per-shard instruments whose
+// sums match the aggregates, and the aggregate names keep working.
+func TestPerShardMetrics(t *testing.T) {
+	const shards, K = 4, 40
+	r := &rec{}
+	m := obs.NewMetrics()
+	p, err := Build(pumpEventModel(t), Deps{
+		Adapters: map[string]broker.Adapter{"main": r},
+		Metrics:  m,
+	}, WithPumpShards(shards), WithShardKey("key"), WithPumpQueue(K))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Start()
+	for i := 0; i < K; i++ {
+		if !p.PostEvent(tickEvent(fmt.Sprintf("key-%d", i), i)) {
+			t.Fatalf("post %d rejected", i)
+		}
+	}
+	p.Stop()
+	var perShard int64
+	spread := 0
+	for i := 0; i < shards; i++ {
+		n := m.CounterValue(obs.ShardMetric(obs.MEventsDelivered, i))
+		perShard += n
+		if n > 0 {
+			spread++
+		}
+	}
+	if agg := m.CounterValue(obs.MEventsDelivered); perShard != agg {
+		t.Errorf("per-shard delivered sum = %d, aggregate = %d", perShard, agg)
+	}
+	if spread < 2 {
+		t.Errorf("40 distinct keys landed on %d shard(s); want spread across >= 2", spread)
+	}
+	if !strings.Contains(m.Snapshot(), obs.ShardMetric(obs.MQueueDepth, 0)) {
+		t.Error("per-shard depth gauge missing from the snapshot")
+	}
+}
+
+// TestPerKeyOrderingAcrossShards: events sharing a shard key are delivered
+// strictly in post order even when many keys flow concurrently.
+func TestPerKeyOrderingAcrossShards(t *testing.T) {
+	const keys, perKey = 8, 100
+	r := &rec{}
+	m := obs.NewMetrics()
+	p, err := Build(pumpEventModel(t), Deps{
+		Adapters: map[string]broker.Adapter{"main": r},
+		Metrics:  m,
+	}, WithPumpShards(4), WithShardKey("key"), WithPumpQueue(keys*perKey))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Start()
+	var wg sync.WaitGroup
+	for k := 0; k < keys; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			for i := 0; i < perKey; i++ {
+				if !p.PostEvent(tickEvent(fmt.Sprintf("g%d", k), i)) {
+					t.Errorf("key g%d: post %d rejected", k, i)
+					return
+				}
+			}
+		}(k)
+	}
+	wg.Wait()
+	p.Stop()
+	assertOrderedPerKey(t, r.lines())
+	assertPumpAccounting(t, m, keys*perKey, 0)
+}
+
+// assertOrderedPerKey parses "h <key>:<seq>" trace lines and requires each
+// key's sequence numbers to be strictly increasing.
+func assertOrderedPerKey(t *testing.T, lines []string) {
+	t.Helper()
+	last := map[string]string{}
+	for _, line := range lines {
+		rest, ok := strings.CutPrefix(line, "h ")
+		if !ok {
+			t.Fatalf("unexpected trace line %q", line)
+		}
+		key, seq, ok := strings.Cut(rest, ":")
+		if !ok {
+			t.Fatalf("unexpected target %q", rest)
+		}
+		if prev, seen := last[key]; seen && seq <= prev {
+			t.Fatalf("key %s: seq %s delivered after %s (out of order)", key, seq, prev)
+		}
+		last[key] = seq
+	}
+}
+
+// TestMonitorIdempotentIgnoresNewOptions: a second Monitor call while one
+// runs must not register counters on the new options' obs pair — the
+// running monitor's configuration stays untouched.
+func TestMonitorIdempotentIgnoresNewOptions(t *testing.T) {
+	p, _ := buildFull(t)
+	stop := p.Monitor(WithInterval(time.Millisecond))
+	defer stop()
+	o2 := obs.New()
+	stop2 := p.Monitor(WithInterval(time.Hour), WithObs(o2.TracerOf(), o2.MetricsOf()))
+	if strings.Contains(o2.MetricsOf().Snapshot(), obs.MMonitorTicks) {
+		t.Error("second Monitor call registered counters on the ignored obs pair")
+	}
+	// The returned stop still controls the running monitor.
+	stop2()
+	p.StopMonitor() // idempotent after stop
 }

@@ -6,10 +6,15 @@
 //
 //	mddsm-run -domain cvm      -model session.json
 //	mddsm-run -domain mgridvm  -model home.json
+//	mddsm-run -domain cvm      -model session.json -snapshot state.json
+//	mddsm-run -domain cvm      -restore state.json [-model next.json]
 //
-// The two single-process domains (cvm, mgridvm) are runnable from model
-// files; the distributed platforms (2svm, csvm) are demonstrated by the
-// examples/ programs.
+// -snapshot checkpoints the platform's models@runtime state after the run;
+// -restore rebuilds the platform from such a checkpoint instead of
+// building it fresh (a -model is then optional and submitted on top of the
+// restored state). The two single-process domains (cvm, mgridvm) are
+// runnable from model files; the distributed platforms (2svm, csvm) are
+// demonstrated by the examples/ programs.
 package main
 
 import (
@@ -40,19 +45,30 @@ func run(args []string) error {
 	withObs := fs.Bool("obs", false, "instrument the platform and print an observability snapshot")
 	faults := fs.String("faults", "", `inject faults: "seed=N,site:kind[:p=0.5][:d=10ms][:n=3],..." (see internal/fault)`)
 	pumpShards := fs.Int("pump-shards", 0, "event-pump shards (0 = GOMAXPROCS); same-source events stay ordered per shard key")
+	snapshotPath := fs.String("snapshot", "", "checkpoint the platform state to this file after the run")
+	restorePath := fs.String("restore", "", "rebuild the platform from this checkpoint instead of building it fresh")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *modelPath == "" {
-		return fmt.Errorf("need -model")
+	if *modelPath == "" && *restorePath == "" {
+		return fmt.Errorf("need -model (or -restore)")
 	}
-	data, err := os.ReadFile(*modelPath)
-	if err != nil {
-		return err
+	var m *metamodel.Model
+	if *modelPath != "" {
+		data, err := os.ReadFile(*modelPath)
+		if err != nil {
+			return err
+		}
+		if m, err = metamodel.UnmarshalModel(data); err != nil {
+			return err
+		}
 	}
-	m, err := metamodel.UnmarshalModel(data)
-	if err != nil {
-		return err
+	var snap []byte
+	if *restorePath != "" {
+		var err error
+		if snap, err = os.ReadFile(*restorePath); err != nil {
+			return err
+		}
 	}
 
 	var o *obs.Obs
@@ -62,6 +78,7 @@ func run(args []string) error {
 
 	var inj *fault.Injector
 	if *faults != "" {
+		var err error
 		inj, err = fault.Parse(*faults)
 		if err != nil {
 			return fmt.Errorf("-faults: %w", err)
@@ -72,8 +89,8 @@ func run(args []string) error {
 	}
 
 	var (
-		out   *script.Script
-		trace string
+		plat    *runtime.Platform
+		traceFn func() string
 	)
 	switch *domain {
 	case "cvm":
@@ -87,15 +104,20 @@ func run(args []string) error {
 		if *pumpShards > 0 {
 			opts = append(opts, cml.WithRuntime(runtime.WithPumpShards(*pumpShards)))
 		}
-		vm, err := cml.New(opts...)
+		var (
+			vm  *cml.CVM
+			err error
+		)
+		if snap != nil {
+			vm, err = cml.Restore(snap, opts...)
+		} else {
+			vm, err = cml.New(opts...)
+		}
 		if err != nil {
 			return err
 		}
-		out, err = vm.Platform.SubmitModel(m)
-		if err != nil {
-			return err
-		}
-		trace = vm.Service.Trace().String()
+		plat = vm.Platform
+		traceFn = func() string { return vm.Service.Trace().String() }
 	case "mgridvm":
 		var opts []mgrid.Option
 		if o != nil {
@@ -107,21 +129,58 @@ func run(args []string) error {
 		if *pumpShards > 0 {
 			opts = append(opts, mgrid.WithRuntime(runtime.WithPumpShards(*pumpShards)))
 		}
-		vm, err := mgrid.New(opts...)
+		var (
+			vm  *mgrid.MGridVM
+			err error
+		)
+		if snap != nil {
+			vm, err = mgrid.Restore(snap, opts...)
+		} else {
+			vm, err = mgrid.New(opts...)
+		}
 		if err != nil {
 			return err
 		}
-		out, err = vm.Platform.SubmitModel(m)
-		if err != nil {
-			return err
-		}
-		trace = vm.Plant.Trace().String()
+		plat = vm.Platform
+		traceFn = func() string { return vm.Plant.Trace().String() }
 	default:
 		return fmt.Errorf("unknown domain %q (want cvm or mgridvm)", *domain)
 	}
 
-	fmt.Println("# synthesised control script")
-	fmt.Println(script.Format(out))
+	var out *script.Script
+	if m != nil {
+		var err error
+		out, err = plat.SubmitModel(m)
+		if err != nil {
+			return err
+		}
+	}
+	if *snapshotPath != "" {
+		data, err := plat.Checkpoint()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*snapshotPath, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("# checkpoint written to %s (%d bytes)\n", *snapshotPath, len(data))
+	}
+
+	report(plat, out, traceFn(), o, inj)
+	return nil
+}
+
+// report prints the run's artefacts: the synthesised script (when a model
+// was submitted), the resource trace, and — when armed — the observability
+// snapshot and fault schedule.
+func report(plat *runtime.Platform, out *script.Script, trace string, o *obs.Obs, inj *fault.Injector) {
+	if out != nil {
+		fmt.Println("# synthesised control script")
+		fmt.Println(script.Format(out))
+	} else if plat.Synthesis != nil {
+		fmt.Println("# restored runtime model")
+		fmt.Printf("synthesis state=%s seq=%d\n", plat.Synthesis.State(), plat.Synthesis.Seq())
+	}
 	fmt.Println("# resource trace")
 	fmt.Println(trace)
 	if o != nil {
@@ -135,5 +194,4 @@ func run(args []string) error {
 			fmt.Println(line)
 		}
 	}
-	return nil
 }

@@ -234,10 +234,12 @@ type Broker struct {
 	notify    func(Event) // upward event propagation (to Controller)
 	funcs     map[string]expr.Func
 
-	tracer  *obs.Tracer
-	mCalls  *obs.Counter
-	mSteps  *obs.Counter
-	mEvents *obs.Counter
+	tracer            *obs.Tracer
+	mCalls            *obs.Counter
+	mSteps            *obs.Counter
+	mEvents           *obs.Counter
+	mPanics           *obs.Counter
+	mReentrantDropped *obs.Counter
 
 	injector    *fault.Injector
 	retryer     *fault.Retryer
@@ -268,6 +270,9 @@ func New(cfg Config, resources *ResourceManager, notify func(Event)) *Broker {
 		mCalls:    cfg.Metrics.Counter(obs.MBrokerCalls),
 		mSteps:    cfg.Metrics.Counter(obs.MBrokerSteps),
 		mEvents:   cfg.Metrics.Counter(obs.MBrokerEvents),
+
+		mPanics:           cfg.Metrics.Counter(obs.MPanicsRecovered),
+		mReentrantDropped: cfg.Metrics.Counter(obs.MBrokerReentrantDropped),
 
 		injector:    cfg.Injector,
 		retryer:     fault.NewRetryer(cfg.Resilience.Retry, fault.RetryMetrics(cfg.Metrics)),
@@ -414,21 +419,56 @@ func (b *Broker) breakerFor(op string) *fault.Breaker {
 	return br
 }
 
+// OpenBreakers returns the operations whose circuit is currently not
+// closed, sorted. Checkpointing records them so a restored platform starts
+// with those circuits tripped.
+func (b *Broker) OpenBreakers() []string {
+	if b.breakers == nil {
+		return nil
+	}
+	b.brkMu.Lock()
+	defer b.brkMu.Unlock()
+	var out []string
+	for op, br := range b.breakers {
+		if br.State() != fault.Closed {
+			out = append(out, op)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TripBreaker forces the circuit for op open, creating it on first use.
+// No-op when circuit breaking is disabled. Restore uses it to reinstate
+// breakers that were open when the checkpoint was cut.
+func (b *Broker) TripBreaker(op string) {
+	b.breakerFor(op).Trip()
+}
+
 // executeOnce is one attempt of one resource step: fault point, optional
 // timeout bound, and the adapter hop wrapped in its spans when tracing is
-// enabled.
+// enabled. A panicking adapter is recovered here — inside the exec closure,
+// so the recovery also covers the goroutine WithTimeout runs it on — and
+// classified as a permanent fault.PanicError, which the retryer refuses to
+// retry and the circuit breaker counts as a failure.
 func (b *Broker) executeOnce(cmd script.Command) error {
 	if err := b.injector.Inject(SiteStep); err != nil {
 		return err
 	}
-	exec := func() error {
+	exec := func() (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				b.mPanics.Inc()
+				err = fault.Recovered(SiteStep, r)
+			}
+		}()
 		if b.tracer == nil {
 			return b.resources.Execute(cmd)
 		}
 		step := b.tracer.Start(obs.SpanBrokerStep)
 		step.SetStr("op", cmd.Op)
 		res := b.tracer.Start(obs.SpanResourceExecute)
-		err := b.resources.Execute(cmd)
+		err = b.resources.Execute(cmd)
 		res.End()
 		step.End()
 		return err
@@ -446,7 +486,13 @@ func (b *Broker) executeOnce(cmd script.Command) error {
 // runtime's pump shards) process their events concurrently; the downstream
 // managers are individually locked. The first processing error is reported
 // to the caller that started the goroutine's drain.
-func (b *Broker) OnEvent(ev Event) error {
+//
+// A handler panic escaping the drain is recovered and returned as a
+// fault.PanicError: the goroutine's queue entry is cleaned up (leaving it
+// behind would silently swallow every later event on that goroutine ID) and
+// any re-entrant events still queued behind the poisoned one are dropped as
+// counted losses ("broker.events.reentrant.dropped").
+func (b *Broker) OnEvent(ev Event) (err error) {
 	if err := b.injector.Inject(SiteEvent); err != nil {
 		if errors.Is(err, fault.ErrDropped) {
 			return nil // injected event loss: silently discarded
@@ -465,6 +511,18 @@ func (b *Broker) OnEvent(ev Event) error {
 	}
 	b.evQueues[g] = []Event{ev}
 	b.evMu.Unlock()
+
+	defer func() {
+		if r := recover(); r != nil {
+			b.evMu.Lock()
+			dropped := len(b.evQueues[g])
+			delete(b.evQueues, g)
+			b.evMu.Unlock()
+			b.mReentrantDropped.Add(int64(dropped))
+			b.mPanics.Inc()
+			err = fault.Recovered(SiteEvent, r)
+		}
+	}()
 
 	var firstErr error
 	for {

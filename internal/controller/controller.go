@@ -138,6 +138,9 @@ type Controller struct {
 	mEvents   *obs.Counter
 	mDenials  *obs.Counter
 
+	mPanics           *obs.Counter
+	mReentrantDropped *obs.Counter
+
 	mu    sync.Mutex
 	stats Stats
 
@@ -181,6 +184,9 @@ func New(cfg Config, b BrokerAPI, notify func(broker.Event)) *Controller {
 		mScripts:  cfg.Metrics.Counter(obs.MScriptsExecuted),
 		mEvents:   cfg.Metrics.Counter(obs.MControllerEvents),
 		mDenials:  cfg.Metrics.Counter(obs.MPolicyDenials),
+
+		mPanics:           cfg.Metrics.Counter(obs.MPanicsRecovered),
+		mReentrantDropped: cfg.Metrics.Counter(obs.MControllerReentrantDropped),
 	}
 	for _, cl := range cfg.Classes {
 		c.classes[cl.Op] = cl.GoalDSC
@@ -222,6 +228,17 @@ func (c *Controller) Stats() Stats {
 	return s
 }
 
+// RestoreStats reinstates checkpointed activity counters on a freshly
+// built layer. Generated and CacheHits are live generator statistics and
+// are not restored (a fresh generator starts cold).
+func (c *Controller) RestoreStats(s Stats) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s.Generated = 0
+	s.CacheHits = 0
+	c.stats = s
+}
+
 // InvalidateIntentCache clears the Case-2 generation cache. Call it after
 // mutating the procedure repository.
 func (c *Controller) InvalidateIntentCache() {
@@ -247,8 +264,11 @@ func (c *Controller) Execute(s *script.Script) error {
 	return nil
 }
 
-// Process classifies and executes a single command.
-func (c *Controller) Process(cmd script.Command) error {
+// Process classifies and executes a single command. A panic escaping the
+// dispatch — a poisoned stub below the layer, a broken generator — is
+// recovered and classified as a fault.PanicError so one bad command cannot
+// kill the process.
+func (c *Controller) Process(cmd script.Command) (err error) {
 	c.mu.Lock()
 	c.stats.Commands++
 	c.mu.Unlock()
@@ -256,6 +276,12 @@ func (c *Controller) Process(cmd script.Command) error {
 	sp := c.tracer.Start(obs.SpanCtlCommand)
 	sp.SetStr("op", cmd.Op)
 	defer sp.End()
+	defer func() {
+		if r := recover(); r != nil {
+			c.mPanics.Inc()
+			err = fault.Recovered(SiteDispatch, r)
+		}
+	}()
 	if err := c.injector.Inject(SiteDispatch); err != nil {
 		return fmt.Errorf("controller %s: dispatch %q: %w", c.name, cmd.Op, err)
 	}
@@ -417,7 +443,13 @@ func (c *Controller) runIntent(cmd script.Command, scope expr.MapScope) error {
 // goroutine. An event raised by an EU mid-processing joins the raising
 // goroutine's queue instead of recursing into the machine; events arriving
 // on distinct goroutines are processed concurrently.
-func (c *Controller) OnEvent(ev broker.Event) error {
+//
+// A handler panic escaping the drain is recovered and returned as a
+// fault.PanicError: the goroutine's queue entry is cleaned up (a leaked
+// entry would silently swallow every later event on that goroutine ID) and
+// re-entrant events still queued behind the poisoned one are dropped as
+// counted losses ("controller.events.reentrant.dropped").
+func (c *Controller) OnEvent(ev broker.Event) (err error) {
 	g := obs.GoID()
 	c.evMu.Lock()
 	if q, ok := c.evQueues[g]; ok {
@@ -430,6 +462,18 @@ func (c *Controller) OnEvent(ev broker.Event) error {
 	}
 	c.evQueues[g] = []broker.Event{ev}
 	c.evMu.Unlock()
+
+	defer func() {
+		if r := recover(); r != nil {
+			c.evMu.Lock()
+			dropped := len(c.evQueues[g])
+			delete(c.evQueues, g)
+			c.evMu.Unlock()
+			c.mReentrantDropped.Add(int64(dropped))
+			c.mPanics.Inc()
+			err = fault.Recovered("controller.event", r)
+		}
+	}()
 
 	var firstErr error
 	for {

@@ -161,6 +161,38 @@ func Build(def Definition, opts ...runtime.Option) (*runtime.Platform, error) {
 	return p, nil
 }
 
+// Restore validates the definition and rebuilds a platform from a
+// runtime.Checkpoint snapshot, binding it to the definition's DSK. The
+// snapshot's middleware model replaces def.Middleware as the platform
+// structure (it is the model the checkpointed platform actually ran), but
+// the definition is still validated in full so the DSK the restored
+// platform binds to is known-consistent.
+func Restore(def Definition, snapshot []byte, opts ...runtime.Option) (*runtime.Platform, error) {
+	if err := def.Validate(); err != nil {
+		return nil, err
+	}
+	repo, err := def.buildRepository()
+	if err != nil {
+		return nil, fmt.Errorf("definition %s: %w", def.Name, err)
+	}
+	p, err := runtime.Restore(snapshot, runtime.Deps{
+		DSML:       def.DSML,
+		LTSes:      def.DSK.LTSes,
+		Adapters:   def.DSK.Adapters,
+		Repository: repo,
+		Scripts:    def.DSK.Scripts,
+		Clock:      def.Clock,
+		Tracer:     def.Obs.TracerOf(),
+		Metrics:    def.Obs.MetricsOf(),
+		Injector:   def.Injector,
+		Resilience: def.Resilience,
+	}, opts...)
+	if err != nil {
+		return nil, fmt.Errorf("definition %s: %w", def.Name, err)
+	}
+	return p, nil
+}
+
 // checkLTSConformance verifies that the model-change event patterns of an
 // LTS refer to classes and features the DSML actually declares, so that a
 // middleware model cannot silently encode semantics for a different

@@ -115,6 +115,33 @@ func New(opts ...Option) (*CVM, error) {
 
 // NewWithClock builds a CVM on the supplied clock.
 func NewWithClock(clock simtime.Clock, opts ...Option) (*CVM, error) {
+	vm, def, bo := assemble(clock, opts)
+	p, err := core.Build(def, bo.runtime...)
+	if err != nil {
+		return nil, fmt.Errorf("cvm: %w", err)
+	}
+	vm.Platform = p
+	return vm, nil
+}
+
+// Restore rebuilds a CVM from a runtime.Checkpoint snapshot on a fresh
+// virtual clock and simulated communication service: the snapshot's
+// middleware model is regenerated against the CML DSK and the checkpointed
+// state (runtime application model, LTS position, contexts, breakers, dead
+// letters) reinstated. The restored platform is not started.
+func Restore(snapshot []byte, opts ...Option) (*CVM, error) {
+	vm, def, bo := assemble(simtime.NewVirtual(), opts)
+	p, err := core.Restore(def, snapshot, bo.runtime...)
+	if err != nil {
+		return nil, fmt.Errorf("cvm: restore: %w", err)
+	}
+	vm.Platform = p
+	return vm, nil
+}
+
+// assemble wires the CVM shell (clock + simulated service) and the MD-DSM
+// definition that Build and Restore share.
+func assemble(clock simtime.Clock, opts []Option) (*CVM, core.Definition, *buildOptions) {
 	var bo buildOptions
 	for _, o := range opts {
 		o(&bo)
@@ -140,12 +167,7 @@ func NewWithClock(clock simtime.Clock, opts ...Option) (*CVM, error) {
 		Injector:   bo.injector,
 		Resilience: bo.resilience,
 	}
-	p, err := core.Build(def, bo.runtime...)
-	if err != nil {
-		return nil, fmt.Errorf("cvm: %w", err)
-	}
-	vm.Platform = p
-	return vm, nil
+	return vm, def, &bo
 }
 
 // NCBModel authors a broker-only middleware model: the NCB layer alone,

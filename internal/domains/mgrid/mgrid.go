@@ -304,6 +304,45 @@ func WithRuntime(opts ...runtime.Option) Option {
 // New builds an MGridVM on a virtual clock. Plant events are delivered
 // synchronously into the MHB.
 func New(opts ...Option) (*MGridVM, error) {
+	vm, def, bo := assemble(opts)
+	p, err := core.Build(def, bo.runtime...)
+	if err != nil {
+		return nil, fmt.Errorf("mgridvm: %w", err)
+	}
+	vm.Platform = p
+	// The armPolicy action carries the reserve threshold into the MHB's
+	// autonomic context; seed the telemetry variables so symptoms are
+	// observable from the start.
+	p.Broker.Context().Set("batteryCharge", 1e9)
+	p.Broker.Context().Set("reserveKWh", 0.0)
+	return vm, nil
+}
+
+// Restore rebuilds an MGridVM from a runtime.Checkpoint snapshot on a
+// fresh virtual clock and simulated plant. Checkpointed context values win
+// over the construction-time telemetry seeds: the seeds are applied only
+// for keys the snapshot does not carry. The restored platform is not
+// started.
+func Restore(snapshot []byte, opts ...Option) (*MGridVM, error) {
+	vm, def, bo := assemble(opts)
+	p, err := core.Restore(def, snapshot, bo.runtime...)
+	if err != nil {
+		return nil, fmt.Errorf("mgridvm: restore: %w", err)
+	}
+	vm.Platform = p
+	ctx := p.Broker.Context()
+	if _, ok := ctx.Get("batteryCharge"); !ok {
+		ctx.Set("batteryCharge", 1e9)
+	}
+	if _, ok := ctx.Get("reserveKWh"); !ok {
+		ctx.Set("reserveKWh", 0.0)
+	}
+	return vm, nil
+}
+
+// assemble wires the MGridVM shell (clock + simulated plant) and the
+// MD-DSM definition that Build and Restore share.
+func assemble(opts []Option) (*MGridVM, core.Definition, *buildOptions) {
 	var bo buildOptions
 	for _, o := range opts {
 		o(&bo)
@@ -330,17 +369,7 @@ func New(opts ...Option) (*MGridVM, error) {
 		Injector:   bo.injector,
 		Resilience: bo.resilience,
 	}
-	p, err := core.Build(def, bo.runtime...)
-	if err != nil {
-		return nil, fmt.Errorf("mgridvm: %w", err)
-	}
-	vm.Platform = p
-	// The armPolicy action carries the reserve threshold into the MHB's
-	// autonomic context; seed the telemetry variables so symptoms are
-	// observable from the start.
-	p.Broker.Context().Set("batteryCharge", 1e9)
-	p.Broker.Context().Set("reserveKWh", 0.0)
-	return vm, nil
+	return vm, def, &bo
 }
 
 // publishTelemetry copies the current plant telemetry into the MHB context.

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"github.com/mddsm/mddsm/internal/expr"
+	"github.com/mddsm/mddsm/internal/fault"
 	"github.com/mddsm/mddsm/internal/obs"
 	"github.com/mddsm/mddsm/internal/script"
 )
@@ -194,8 +195,9 @@ type Machine struct {
 	limits  Limits
 	funcs   map[string]expr.Func
 
-	tracer *obs.Tracer
-	mSteps *obs.Counter
+	tracer  *obs.Tracer
+	mSteps  *obs.Counter
+	mPanics *obs.Counter
 
 	depth atomic.Int64 // frames currently pushed across all in-flight runs
 }
@@ -225,17 +227,28 @@ func NewMachine(broker Broker, events EventSink, charger TimeCharger, limits Lim
 func (m *Machine) SetObs(t *obs.Tracer, mx *obs.Metrics) {
 	m.tracer = t
 	m.mSteps = mx.Counter(obs.MEUSteps)
+	m.mPanics = mx.Counter(obs.MPanicsRecovered)
 }
 
 // Run executes the root frame with the given initial variables. The scope
 // is shared down the call chain (the paper's EUs communicate through the
 // layer's runtime model, which the scope stands in for).
-func (m *Machine) Run(root *Frame, vars map[string]any) error {
+//
+// A panic escaping a statement — a poisoned expression function, a broken
+// resolver — is recovered and classified as a fault.PanicError; the frame
+// depth stays exact because push's own defers run during the unwind.
+func (m *Machine) Run(root *Frame, vars map[string]any) (err error) {
 	sp := m.tracer.Start(obs.SpanEURun)
 	if root != nil {
 		sp.SetStr("root", root.Label)
 	}
 	defer sp.End()
+	defer func() {
+		if r := recover(); r != nil {
+			m.mPanics.Inc()
+			err = fault.Recovered("eu.run", r)
+		}
+	}()
 	scope := make(expr.MapScope, len(vars)+4)
 	for k, v := range vars {
 		scope[k] = v

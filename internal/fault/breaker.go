@@ -164,6 +164,19 @@ func (b *Breaker) open() {
 	b.mOpen.Inc()
 }
 
+// Trip forces the circuit open, as when restoring a checkpoint taken while
+// the circuit was open: the restored platform must not hammer a resource
+// that was failing when the snapshot was cut. The cooldown restarts from
+// the trip. No-op on a nil breaker.
+func (b *Breaker) Trip() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.open()
+}
+
 // State returns the current circuit state (Closed for nil).
 func (b *Breaker) State() BreakerState {
 	if b == nil {

@@ -1,0 +1,47 @@
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+)
+
+// PanicError classifies a recovered panic: the supervision layer converts
+// panics caught at event-delivery boundaries (pump worker, Broker/Controller
+// event drains, EU runs, synthesis cycles) into this error type so a
+// poisoned handler degrades into an ordinary delivery failure instead of
+// killing the process.
+//
+// A PanicError is deliberately NOT transient: a handler that panicked on an
+// input will almost certainly panic on it again, so retrying would only
+// multiply the damage. Panicked deliveries go to the dead-letter queue,
+// where an operator (or Platform.Redeliver after the cause is fixed) decides
+// their fate.
+type PanicError struct {
+	// Site names the recovery boundary (e.g. "broker.step", "pump.deliver").
+	Site string
+	// Value is the value the handler panicked with.
+	Value any
+	// Stack is the panicking goroutine's stack, captured at recovery.
+	Stack []byte
+}
+
+// Recovered classifies the value of a recover() call at the named site,
+// capturing the panicking goroutine's stack.
+func Recovered(site string, value any) *PanicError {
+	buf := make([]byte, 8<<10)
+	buf = buf[:runtime.Stack(buf, false)]
+	return &PanicError{Site: site, Value: value, Stack: buf}
+}
+
+// Error implements error. The stack is kept out of the message (it is
+// available on the value for diagnostics) so wrapped errors stay readable.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("panic at %s: %v", e.Site, e.Value)
+}
+
+// IsPanic reports whether err classifies a recovered panic.
+func IsPanic(err error) bool {
+	var pe *PanicError
+	return errors.As(err, &pe)
+}

@@ -57,7 +57,30 @@ const (
 	MRemoteTimeouts   = "remote.timeouts"
 	MRemoteBadFrames  = "remote.frames.bad"
 	MRemoteSlowEvents = "remote.events.slowdrop"
+
+	// Supervision and recovery metrics (the self-healing layer: panic
+	// isolation, the dead-letter queue and the watchdog supervisor).
+	MEventsRejected     = "pump.events.rejected"
+	MEventsDeadLettered = "pump.events.deadlettered"
+	MDLQDepth           = "dlq.depth"
+	MDLQRedelivered     = "dlq.redelivered"
+	MDLQRequeued        = "dlq.requeued"
+	MPanicsRecovered    = "panic.recovered"
+
+	MBrokerReentrantDropped     = "broker.events.reentrant.dropped"
+	MControllerReentrantDropped = "controller.events.reentrant.dropped"
+
+	MSupervisorDegraded    = "supervisor.degraded"
+	MSupervisorQuarantined = "supervisor.quarantined"
+	MSupervisorRestarts    = "supervisor.restarts"
 )
+
+// SupervisorState derives the per-component health gauge name for the
+// watchdog supervisor (e.g. "supervisor.state.pump"): 0 healthy, 1
+// degraded, 2 quarantined.
+func SupervisorState(component string) string {
+	return "supervisor.state." + component
+}
 
 // ShardMetric derives the per-shard instrument name for one shard of the
 // sharded event pump (e.g. "pump.queue.depth.shard.3"). The aggregate

@@ -202,13 +202,16 @@ func TestPumpSurvivesEventFaults(t *testing.T) {
 			time.Sleep(time.Millisecond)
 		}
 	}
-	if got := m.Counter(obs.MDeliverFailures).Value(); got != 2 {
-		t.Errorf("pump.deliver.failures = %d, want 2", got)
+	if got := m.Counter(obs.MEventsDeadLettered).Value(); got != 2 {
+		t.Errorf("pump.events.deadlettered = %d, want 2", got)
+	}
+	if got := len(p.DeadLetters()); got != 2 {
+		t.Errorf("dead letters parked = %d, want 2", got)
 	}
 }
 
 // TestPumpPostDropFault verifies the pump.post fault point: a drop fault
-// rejects the post (counted as dropped) without wedging the pump.
+// rejects the post (counted as rejected) without wedging the pump.
 func TestPumpPostDropFault(t *testing.T) {
 	in := fault.NewInjector(1)
 	in.Arm(SitePumpPost, fault.Spec{Kind: fault.Drop, Limit: 1})
@@ -219,8 +222,8 @@ func TestPumpPostDropFault(t *testing.T) {
 	if p.PostEvent(broker.Event{Name: "streamFailed", Attrs: map[string]any{"stream": "stX"}}) {
 		t.Fatal("dropped post reported accepted")
 	}
-	if got := m.Counter(obs.MEventsDropped).Value(); got != 1 {
-		t.Errorf("pump.events.dropped = %d, want 1", got)
+	if got := m.Counter(obs.MEventsRejected).Value(); got != 1 {
+		t.Errorf("pump.events.rejected = %d, want 1", got)
 	}
 	if !p.PostEvent(broker.Event{Name: "streamFailed", Attrs: map[string]any{"stream": "stY"}}) {
 		t.Fatal("post after fault budget rejected")

@@ -9,10 +9,14 @@
 // not the platform.
 //
 // Shutdown is a graceful drain: Stop closes the intake (further posts are
-// counted drops), delivers everything already queued, and after a bounded
-// drain deadline (WithDrainTimeout) counts anything still queued as a
-// drop — so posted == delivered + deliver-failures + dropped holds across
-// the pump's whole lifetime.
+// counted rejections), delivers everything already queued, and after a
+// bounded drain deadline (WithDrainTimeout) counts anything still queued
+// as a drop. Rejections are intake refusals — the event was never
+// accepted; every accepted event is accounted exactly once, so
+//
+//	posted == delivered + deliver-failures + dead-lettered + dropped
+//
+// holds across the pump's whole lifetime.
 
 package runtime
 
@@ -23,6 +27,7 @@ import (
 	"time"
 
 	"github.com/mddsm/mddsm/internal/broker"
+	"github.com/mddsm/mddsm/internal/fault"
 	"github.com/mddsm/mddsm/internal/obs"
 )
 
@@ -53,6 +58,7 @@ type shard struct {
 	gDepth     *obs.Gauge
 	mDelivered *obs.Counter
 	mDropped   *obs.Counter
+	mRejected  *obs.Counter
 	hDeliver   *obs.Histogram
 }
 
@@ -66,6 +72,7 @@ func newPump(p *Platform, n, cap int) *pump {
 			gDepth:     p.metrics.Gauge(obs.ShardMetric(obs.MQueueDepth, i)),
 			mDelivered: p.metrics.Counter(obs.ShardMetric(obs.MEventsDelivered, i)),
 			mDropped:   p.metrics.Counter(obs.ShardMetric(obs.MEventsDropped, i)),
+			mRejected:  p.metrics.Counter(obs.ShardMetric(obs.MEventsRejected, i)),
 			hDeliver:   p.metrics.Histogram(obs.ShardMetric(obs.HPumpDeliver, i)),
 		}
 	}
@@ -109,9 +116,9 @@ func (pu *pump) depth() int64 {
 	return d
 }
 
-// post enqueues ev on its shard. It reports false — without counting —
-// when the pump is closed or the shard queue is full; the caller owns the
-// aggregate drop accounting.
+// post enqueues ev on its shard. It reports false — counting only the
+// per-shard rejection — when the pump is closed or the shard queue is
+// full; the caller owns the aggregate rejection accounting.
 func (pu *pump) post(ev broker.Event) bool {
 	pu.mu.RLock()
 	defer pu.mu.RUnlock()
@@ -126,7 +133,7 @@ func (pu *pump) post(ev broker.Event) bool {
 		pu.p.gDepth.Set(pu.depth())
 		return true
 	default:
-		sh.mDropped.Inc()
+		sh.mRejected.Inc()
 		return false
 	}
 }
@@ -148,9 +155,11 @@ func (pu *pump) run(sh *shard) {
 
 // deliver hands one dequeued event to the Broker layer, recording the
 // delivery span, latency and remaining depth. Delivered counts only
-// successes; a failed delivery counts exactly once, as a deliver-failure.
-// The pump degrades rather than dies: an asynchronous event has no caller
-// to report to, so the failure is counted and the next event delivered
+// successes; a failed or panicked delivery counts exactly once — as a
+// dead-lettered event when the DLQ takes it, as a terminal
+// deliver-failure otherwise. The pump degrades rather than dies: an
+// asynchronous event has no caller to report to, so the loss is
+// accounted, the supervisor notified, and the next event delivered
 // normally.
 func (pu *pump) deliver(sh *shard, ev broker.Event) {
 	p := pu.p
@@ -159,17 +168,23 @@ func (pu *pump) deliver(sh *shard, ev broker.Event) {
 	sp := p.tracer.Start(obs.SpanPumpDeliver)
 	sp.SetStr("event", ev.Name)
 	start := time.Now()
-	err := p.Broker.OnEvent(ev)
+	err := p.safeBrokerOnEvent(ev)
 	d := time.Since(start)
 	sh.hDeliver.Observe(d)
 	p.hDeliver.Observe(d)
 	sp.End()
 	if err != nil {
-		p.mDeliverFail.Inc()
+		p.deadLetter(ev, err)
+		if fault.IsPanic(err) {
+			p.sup.ReportPanic("pump")
+		} else {
+			p.sup.ReportFailure("pump")
+		}
 		return
 	}
 	sh.mDelivered.Inc()
 	p.mDelivered.Inc()
+	p.sup.ReportSuccess("pump")
 }
 
 // stop closes the intake and drains: queued events are delivered until the

@@ -76,7 +76,7 @@ type Deps struct {
 // configured.
 const (
 	// SitePumpPost fires on event submission to the pump; a fired fault
-	// drops the event (counted in pump.events.dropped).
+	// rejects the event at intake (counted in pump.events.rejected).
 	SitePumpPost = "pump.post"
 	// SiteMonitorProbe fires before each monitor probe; a fired fault
 	// skips the probe and counts a monitor.probe.failure.
@@ -101,18 +101,42 @@ type Platform struct {
 	extMu    sync.Mutex
 	external func(broker.Event)
 
+	// routeErrs carries upper-layer event-handling failures back to the
+	// delivery in flight, keyed by goroutine ID (routing is synchronous):
+	// the Broker's notify callback cannot return an error, yet a failed
+	// forward must fail the delivery so the event dead-letters.
+	routeMu   sync.Mutex
+	routeErrs map[uint64]error
+
 	tracer   *obs.Tracer
 	metrics  *obs.Metrics
 	injector *fault.Injector
 
-	mPosted      *obs.Counter
-	mDropped     *obs.Counter
-	mDelivered   *obs.Counter
-	mDeliverFail *obs.Counter
-	gDepth       *obs.Gauge
-	hDeliver     *obs.Histogram
+	// model is the validated middleware model the platform was built from,
+	// retained for checkpointing (models@runtime: the platform *is* this
+	// model).
+	model *metamodel.Model
+
+	mPosted       *obs.Counter
+	mDropped      *obs.Counter
+	mRejected     *obs.Counter
+	mDelivered    *obs.Counter
+	mDeliverFail  *obs.Counter
+	mDeadLettered *obs.Counter
+	mRedelivered  *obs.Counter
+	mRequeued     *obs.Counter
+	mPanics       *obs.Counter
+	gDepth        *obs.Gauge
+	gDLQDepth     *obs.Gauge
+	hDeliver      *obs.Histogram
+
+	dlqCap int
+	dlq    *dlq
+	supCfg SupervisorConfig
+	sup    *Supervisor
 
 	pumpMu       sync.Mutex
+	started      bool
 	pumpCap      int
 	pumpShards   int
 	shardKey     string
@@ -120,6 +144,7 @@ type Platform struct {
 	pump         *pump
 	monStop      chan struct{}
 	monDone      chan struct{}
+	monOpts      []MonitorOption
 }
 
 // Option customises platform construction.
@@ -170,6 +195,23 @@ func WithDrainTimeout(d time.Duration) Option {
 	}
 }
 
+// WithDLQCapacity bounds the dead-letter queue (default 256). Zero
+// disables dead-lettering entirely: failed deliveries then revert to
+// counted terminal losses ("pump.deliver.failures").
+func WithDLQCapacity(n int) Option {
+	return func(p *Platform) {
+		if n >= 0 {
+			p.dlqCap = n
+		}
+	}
+}
+
+// WithSupervisor tunes the watchdog supervisor's health thresholds and
+// restart backoff; the zero config's defaults apply otherwise.
+func WithSupervisor(cfg SupervisorConfig) Option {
+	return func(p *Platform) { p.supCfg = cfg }
+}
+
 // SetExternalEvents installs (or replaces) the external event observer
 // after construction; bridges use this to attach to running platforms.
 func (p *Platform) SetExternalEvents(fn func(broker.Event)) {
@@ -204,18 +246,31 @@ func Build(model *metamodel.Model, deps Deps, opts ...Option) (*Platform, error)
 		tracer:       deps.Tracer,
 		metrics:      deps.Metrics,
 		injector:     deps.Injector,
+		model:        work,
 		pumpCap:      256,
+		dlqCap:       256,
 		drainTimeout: 5 * time.Second,
+		routeErrs:    map[uint64]error{},
 	}
 	for _, o := range opts {
 		o(p)
 	}
 	p.mPosted = p.metrics.Counter(obs.MEventsPosted)
 	p.mDropped = p.metrics.Counter(obs.MEventsDropped)
+	p.mRejected = p.metrics.Counter(obs.MEventsRejected)
 	p.mDelivered = p.metrics.Counter(obs.MEventsDelivered)
 	p.mDeliverFail = p.metrics.Counter(obs.MDeliverFailures)
+	p.mDeadLettered = p.metrics.Counter(obs.MEventsDeadLettered)
+	p.mRedelivered = p.metrics.Counter(obs.MDLQRedelivered)
+	p.mRequeued = p.metrics.Counter(obs.MDLQRequeued)
+	p.mPanics = p.metrics.Counter(obs.MPanicsRecovered)
 	p.gDepth = p.metrics.Gauge(obs.MQueueDepth)
+	p.gDLQDepth = p.metrics.Gauge(obs.MDLQDepth)
 	p.hDeliver = p.metrics.Histogram(obs.HPumpDeliver)
+	p.dlq = newDLQ(p.dlqCap)
+	p.sup = newSupervisor(p.supCfg, p.metrics)
+	p.sup.register("pump", p.restartPump)
+	p.sup.register("monitor", p.restartMonitor)
 
 	var (
 		uiObj, synthObj, ctlObj, brkObj *metamodel.Object
@@ -271,12 +326,15 @@ func Build(model *metamodel.Model, deps Deps, opts ...Option) (*Platform, error)
 }
 
 // routeBrokerEvent forwards Broker events to the Controller or the external
-// sink.
+// sink. The notify callback cannot return an error, so an upper-layer
+// failure is stashed for the delivery in flight on this goroutine — the
+// pump (or DeliverEvent) picks it up and the event dead-letters instead of
+// counting delivered.
 func (p *Platform) routeBrokerEvent(ev broker.Event) {
 	if p.Controller != nil {
-		// Event-processing failures surface on the operation that caused
-		// them; an asynchronous event has no caller to report to.
-		_ = p.Controller.OnEvent(ev)
+		if err := p.Controller.OnEvent(ev); err != nil {
+			p.noteRouteError(err)
+		}
 		return
 	}
 	if ext := p.externalSink(); ext != nil {
@@ -289,11 +347,36 @@ func (p *Platform) routeBrokerEvent(ev broker.Event) {
 // platform has no Synthesis layer).
 func (p *Platform) routeControllerEvent(ev broker.Event) {
 	if p.Synthesis != nil {
-		_ = p.Synthesis.OnEvent(ev)
+		if err := p.Synthesis.OnEvent(ev); err != nil {
+			p.noteRouteError(err)
+		}
 	}
 	if ext := p.externalSink(); ext != nil {
 		ext(ev)
 	}
+}
+
+// noteRouteError records the first upper-layer event-handling failure of
+// the delivery in flight on this goroutine. Event routing is synchronous,
+// so the goroutine ID keys exactly one delivery at a time.
+func (p *Platform) noteRouteError(err error) {
+	id := obs.GoID()
+	p.routeMu.Lock()
+	if _, dup := p.routeErrs[id]; !dup {
+		p.routeErrs[id] = err
+	}
+	p.routeMu.Unlock()
+}
+
+// takeRouteError returns and clears this goroutine's stashed routing
+// failure, if any.
+func (p *Platform) takeRouteError() error {
+	id := obs.GoID()
+	p.routeMu.Lock()
+	err := p.routeErrs[id]
+	delete(p.routeErrs, id)
+	p.routeMu.Unlock()
+	return err
 }
 
 func (p *Platform) buildBroker(model *metamodel.Model, obj *metamodel.Object, deps Deps) error {
@@ -613,20 +696,32 @@ func (p *Platform) Execute(s *script.Script) error {
 
 // DeliverEvent injects a resource event synchronously into the Broker
 // layer (deterministic path used by tests and virtual-time experiments).
+// A failure anywhere up the layer stack fails the delivery.
 func (p *Platform) DeliverEvent(ev broker.Event) error {
-	return p.Broker.OnEvent(ev)
+	err := p.Broker.OnEvent(ev)
+	if rerr := p.takeRouteError(); err == nil {
+		err = rerr
+	}
+	return err
 }
 
 // Start launches the platform's event pump: PostEvent routes resource
 // events onto N shards (WithPumpShards, default GOMAXPROCS), each drained
 // by its own goroutine into the Broker layer. Events sharing a shard key
-// are delivered strictly in post order. Start is idempotent.
+// are delivered strictly in post order. Start also arms the watchdog
+// supervisor. Start is idempotent.
 func (p *Platform) Start() {
 	p.pumpMu.Lock()
-	defer p.pumpMu.Unlock()
-	if p.pump != nil {
-		return
+	p.started = true
+	if p.pump == nil {
+		p.startPumpLocked()
 	}
+	p.pumpMu.Unlock()
+	p.sup.start()
+}
+
+// startPumpLocked creates a fresh pump generation; pumpMu must be held.
+func (p *Platform) startPumpLocked() {
 	n := p.pumpShards
 	if n <= 0 {
 		n = goruntime.GOMAXPROCS(0)
@@ -635,39 +730,88 @@ func (p *Platform) Start() {
 }
 
 // PostEvent enqueues a resource event for asynchronous delivery. It
-// returns false — counting the drop in the pump.events.dropped metric —
-// when the pump is not running or the event's shard queue is full; it
-// never blocks the caller.
+// returns false — counting the refusal in the pump.events.rejected metric
+// — when the pump is not running or the event's shard queue is full; it
+// never blocks the caller. A rejected event was never accepted, so it does
+// not participate in the pump's delivery accounting.
 func (p *Platform) PostEvent(ev broker.Event) bool {
 	if p.injector.ShouldDrop(SitePumpPost) {
-		p.mDropped.Inc()
+		p.mRejected.Inc()
 		return false
 	}
 	p.pumpMu.Lock()
 	pu := p.pump
 	p.pumpMu.Unlock()
 	if pu == nil || !pu.post(ev) {
-		p.mDropped.Inc()
+		p.mRejected.Inc()
 		return false
 	}
 	return true
 }
 
-// Stop shuts any autonomic monitor down, then drains the event pump:
-// intake closes (further posts are counted drops), queued events are
-// delivered until the drain deadline (WithDrainTimeout), and anything
-// abandoned past it is a counted drop — no event leaves the pump
-// unaccounted. Stop is idempotent.
+// Stop shuts any autonomic monitor down, disarms the supervisor (waiting
+// out any in-flight restart), then drains the event pump: intake closes
+// (further posts are counted rejections), queued events are delivered
+// until the drain deadline (WithDrainTimeout), and anything abandoned past
+// it is a counted drop — no accepted event leaves the pump unaccounted.
+// Stop is idempotent.
 func (p *Platform) Stop() {
 	p.StopMonitor()
 	p.pumpMu.Lock()
+	p.started = false
 	pu := p.pump
 	p.pump = nil
 	p.pumpMu.Unlock()
+	// Disarm before draining the old pump: a concurrent supervisor restart
+	// that already detached the pump will stop it itself and, seeing
+	// started == false, will not install a successor.
+	p.sup.stop()
 	if pu == nil {
 		return
 	}
 	pu.stop()
+}
+
+// Supervisor exposes the platform's watchdog (health inspection in tests
+// and operator tooling).
+func (p *Platform) Supervisor() *Supervisor { return p.sup }
+
+// restartPump is the supervisor's restart hook for the event pump: it
+// detaches and drains the quarantined generation, then installs a fresh
+// one — unless the platform stopped in the meantime.
+func (p *Platform) restartPump() error {
+	p.pumpMu.Lock()
+	if !p.started {
+		p.pumpMu.Unlock()
+		return nil
+	}
+	old := p.pump
+	p.pump = nil
+	p.pumpMu.Unlock()
+	if old != nil {
+		old.stop()
+	}
+	p.pumpMu.Lock()
+	defer p.pumpMu.Unlock()
+	if p.started && p.pump == nil {
+		p.startPumpLocked()
+	}
+	return nil
+}
+
+// restartMonitor is the supervisor's restart hook for the autonomic
+// monitor: it bounces the loop with the options it was started with. A
+// deliberately stopped monitor (no saved options) stays stopped.
+func (p *Platform) restartMonitor() error {
+	p.pumpMu.Lock()
+	opts := p.monOpts
+	p.pumpMu.Unlock()
+	if opts == nil {
+		return nil
+	}
+	p.StopMonitor()
+	p.Monitor(opts...)
+	return nil
 }
 
 // monitorConfig collects the autonomic monitor's options.
@@ -714,8 +858,8 @@ func WithObs(t *obs.Tracer, m *obs.Metrics) MonitorOption {
 // already-running loop and waits for it to exit.
 func (p *Platform) Monitor(opts ...MonitorOption) (stop func()) {
 	p.pumpMu.Lock()
-	defer p.pumpMu.Unlock()
 	if p.monStop != nil {
+		p.pumpMu.Unlock()
 		return p.StopMonitor
 	}
 	cfg := monitorConfig{
@@ -729,6 +873,10 @@ func (p *Platform) Monitor(opts ...MonitorOption) (stop func()) {
 	ticks := cfg.metrics.Counter(obs.MMonitorTicks)
 	probeFail := cfg.metrics.Counter(obs.MProbeFailures)
 	evalFail := cfg.metrics.Counter(obs.MEvalFailures)
+	if opts == nil {
+		opts = []MonitorOption{} // non-nil: "started with defaults" ≠ "never started"
+	}
+	p.monOpts = opts
 	p.monStop = make(chan struct{})
 	p.monDone = make(chan struct{})
 	go func(stop, done chan struct{}) {
@@ -740,13 +888,27 @@ func (p *Platform) Monitor(opts ...MonitorOption) (stop func()) {
 			case <-ticker.C:
 				sp := cfg.tracer.Start(obs.SpanMonitorTick)
 				ticks.Inc()
-				if cfg.probe != nil && !p.runProbe(cfg.probe) {
-					probeFail.Inc()
+				healthy := true
+				if cfg.probe != nil {
+					if ran, panicked := p.runProbe(cfg.probe); !ran {
+						probeFail.Inc()
+						healthy = false
+						if panicked {
+							p.sup.ReportPanic("monitor")
+						} else {
+							p.sup.ReportFailure("monitor")
+						}
+					}
 				}
 				// Asynchronous evaluation failures have no caller; the
 				// next tick retries, so the failure is only counted.
 				if err := p.Broker.Autonomic().Evaluate(); err != nil {
 					evalFail.Inc()
+					healthy = false
+					p.sup.ReportFailure("monitor")
+				}
+				if healthy {
+					p.sup.ReportSuccess("monitor")
 				}
 				sp.End()
 			case <-stop:
@@ -754,24 +916,27 @@ func (p *Platform) Monitor(opts ...MonitorOption) (stop func()) {
 			}
 		}
 	}(p.monStop, p.monDone)
+	p.pumpMu.Unlock()
+	p.sup.start()
 	return p.StopMonitor
 }
 
 // runProbe executes a monitor probe in degraded mode: an injected
 // monitor.probe fault skips the probe, and a panicking probe is recovered
-// so a failing sensor cannot kill the monitor loop. It reports whether the
-// probe ran to completion.
-func (p *Platform) runProbe(probe func()) (ok bool) {
+// (and counted) so a failing sensor cannot kill the monitor loop. It
+// reports whether the probe ran to completion and whether it panicked.
+func (p *Platform) runProbe(probe func()) (ok, panicked bool) {
 	if p.injector.Inject(SiteMonitorProbe) != nil {
-		return false
+		return false, false
 	}
 	defer func() {
 		if r := recover(); r != nil {
-			ok = false
+			p.mPanics.Inc()
+			ok, panicked = false, true
 		}
 	}()
 	probe()
-	return true
+	return true, false
 }
 
 // StartMonitor launches the autonomic monitor with positional arguments.
@@ -782,12 +947,15 @@ func (p *Platform) StartMonitor(interval time.Duration, probe func()) {
 }
 
 // StopMonitor terminates the autonomic monitor and waits for it to exit.
-// It is idempotent and safe when no monitor is running.
+// It also forgets the monitor's saved options, so the supervisor will not
+// resurrect a deliberately stopped monitor. It is idempotent and safe when
+// no monitor is running.
 func (p *Platform) StopMonitor() {
 	p.pumpMu.Lock()
 	stop, done := p.monStop, p.monDone
 	p.monStop = nil
 	p.monDone = nil
+	p.monOpts = nil
 	p.pumpMu.Unlock()
 	if stop == nil {
 		return

@@ -710,15 +710,16 @@ func TestPostEventQueueFullDrops(t *testing.T) {
 	if got := m.CounterValue(obs.MEventsPosted); got != 2 {
 		t.Errorf("posted = %d, want 2", got)
 	}
-	if got := m.CounterValue(obs.MEventsDropped); got != 1 {
-		t.Errorf("dropped = %d, want 1", got)
+	if got := m.CounterValue(obs.MEventsRejected); got != 1 {
+		t.Errorf("rejected = %d, want 1", got)
 	}
-	// Stopped pump: a further post is a counted drop, still non-blocking.
+	// Stopped pump: a further post is a counted rejection, still
+	// non-blocking.
 	if p.PostEvent(ev("st4")) {
 		t.Error("post after Stop must report false")
 	}
-	if got := m.CounterValue(obs.MEventsDropped); got != 2 {
-		t.Errorf("dropped after stop = %d, want 2", got)
+	if got := m.CounterValue(obs.MEventsRejected); got != 2 {
+		t.Errorf("rejected after stop = %d, want 2", got)
 	}
 }
 
@@ -863,13 +864,17 @@ func assertPumpAccounting(t *testing.T, m *obs.Metrics, accepted, rejected int64
 	posted := m.CounterValue(obs.MEventsPosted)
 	delivered := m.CounterValue(obs.MEventsDelivered)
 	failures := m.CounterValue(obs.MDeliverFailures)
+	deadlettered := m.CounterValue(obs.MEventsDeadLettered)
 	dropped := m.CounterValue(obs.MEventsDropped)
 	if posted != accepted {
 		t.Errorf("posted = %d, want %d", posted, accepted)
 	}
-	if delivered+failures+dropped != accepted+rejected {
-		t.Errorf("delivered(%d) + failures(%d) + dropped(%d) != accepted(%d) + rejected(%d)",
-			delivered, failures, dropped, accepted, rejected)
+	if delivered+failures+deadlettered+dropped != accepted {
+		t.Errorf("delivered(%d) + failures(%d) + deadlettered(%d) + dropped(%d) != accepted(%d)",
+			delivered, failures, deadlettered, dropped, accepted)
+	}
+	if got := m.CounterValue(obs.MEventsRejected); got != rejected {
+		t.Errorf("rejected = %d, want %d", got, rejected)
 	}
 }
 
@@ -978,9 +983,12 @@ func TestDeliverFailureNotCountedDelivered(t *testing.T) {
 	}
 	p.Stop()
 	delivered := m.CounterValue(obs.MEventsDelivered)
-	failures := m.CounterValue(obs.MDeliverFailures)
-	if failures != 2 {
-		t.Fatalf("deliver failures = %d, want 2", failures)
+	deadlettered := m.CounterValue(obs.MEventsDeadLettered)
+	if deadlettered != 2 {
+		t.Fatalf("dead-lettered = %d, want 2", deadlettered)
+	}
+	if got := m.CounterValue(obs.MDeliverFailures); got != 0 {
+		t.Errorf("deliver failures = %d, want 0 (failed deliveries park in the DLQ)", got)
 	}
 	if delivered != 3 {
 		t.Errorf("delivered = %d, want 3 (failures must not count as delivered)", delivered)

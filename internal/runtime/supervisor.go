@@ -1,0 +1,319 @@
+// Watchdog supervisor: a per-component health state machine driven by the
+// panic and failure rates the delivery paths report. A component moves
+// healthy → degraded → quarantined as consecutive failures accumulate
+// (panics weigh heavier than plain failures); entering quarantine schedules
+// an automatic restart with jittered exponential backoff, executed through
+// the existing fault.Retryer so restart storms stay bounded and
+// reproducible. The supervised components are the platform's own moving
+// parts — the sharded event pump and the autonomic monitor — whose restart
+// hooks bounce them onto a fresh generation.
+
+package runtime
+
+import (
+	"sync"
+	"time"
+
+	"github.com/mddsm/mddsm/internal/fault"
+	"github.com/mddsm/mddsm/internal/obs"
+)
+
+// Health is a supervised component's state.
+type Health int
+
+// Health states, in order of escalation.
+const (
+	Healthy Health = iota
+	Degraded
+	Quarantined
+)
+
+// String names the health state.
+func (h Health) String() string {
+	switch h {
+	case Healthy:
+		return "healthy"
+	case Degraded:
+		return "degraded"
+	case Quarantined:
+		return "quarantined"
+	default:
+		return "invalid"
+	}
+}
+
+// SupervisorConfig tunes the watchdog. The zero value gets defaults.
+type SupervisorConfig struct {
+	// DegradeAfter is the consecutive-failure weight marking a component
+	// degraded (default 3).
+	DegradeAfter int
+	// QuarantineAfter is the consecutive-failure weight quarantining a
+	// component and scheduling its restart (default 6).
+	QuarantineAfter int
+	// PanicWeight is how many plain failures one recovered panic counts
+	// for (default 3): a panicking handler poisons faster than a failing
+	// one.
+	PanicWeight int
+	// Backoff paces restart attempts (jittered exponential, executed via
+	// fault.Retryer). The default is 3 attempts, 10ms base, 1s cap,
+	// multiplier 2, jitter 0.2. The pre-restart cooldown also grows with
+	// the component's restart count, so a component that keeps
+	// re-quarantining is bounced less and less eagerly.
+	Backoff fault.Policy
+	// RetrySeed seeds the backoff jitter (default 1) so restart schedules
+	// are reproducible.
+	RetrySeed int64
+}
+
+func (c SupervisorConfig) withDefaults() SupervisorConfig {
+	if c.DegradeAfter <= 0 {
+		c.DegradeAfter = 3
+	}
+	if c.QuarantineAfter <= c.DegradeAfter {
+		c.QuarantineAfter = c.DegradeAfter * 2
+	}
+	if c.PanicWeight <= 0 {
+		c.PanicWeight = 3
+	}
+	if c.Backoff.MaxAttempts <= 0 {
+		c.Backoff = fault.Policy{
+			MaxAttempts: 3,
+			BaseDelay:   10 * time.Millisecond,
+			MaxDelay:    time.Second,
+			Multiplier:  2,
+			Jitter:      0.2,
+		}
+	}
+	if c.RetrySeed == 0 {
+		c.RetrySeed = 1
+	}
+	return c
+}
+
+// component is one supervised unit: its health, failure streak, restart
+// hook and per-component state gauge.
+type component struct {
+	name     string
+	restart  func() error
+	state    Health
+	streak   int // weighted consecutive failures
+	restarts int // completed automatic restarts
+	gState   *obs.Gauge
+}
+
+// Supervisor is the platform's watchdog. All methods are safe on a nil
+// receiver and for concurrent use; reports arrive from pump workers and
+// the monitor loop.
+type Supervisor struct {
+	cfg     SupervisorConfig
+	metrics *obs.Metrics
+
+	mDegraded    *obs.Counter
+	mQuarantined *obs.Counter
+	mRestarts    *obs.Counter
+
+	mu      sync.Mutex
+	comps   map[string]*component
+	running bool
+	stopCh  chan struct{}
+	wg      sync.WaitGroup
+}
+
+func newSupervisor(cfg SupervisorConfig, metrics *obs.Metrics) *Supervisor {
+	return &Supervisor{
+		cfg:          cfg.withDefaults(),
+		metrics:      metrics,
+		mDegraded:    metrics.Counter(obs.MSupervisorDegraded),
+		mQuarantined: metrics.Counter(obs.MSupervisorQuarantined),
+		mRestarts:    metrics.Counter(obs.MSupervisorRestarts),
+		comps:        make(map[string]*component),
+	}
+}
+
+// register adds a supervised component with its restart hook.
+func (s *Supervisor) register(name string, restart func() error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.comps[name] = &component{
+		name:    name,
+		restart: restart,
+		gState:  s.metrics.Gauge(obs.SupervisorState(name)),
+	}
+}
+
+// start arms the watchdog: reports escalate and quarantines schedule
+// restarts until stop. Idempotent.
+func (s *Supervisor) start() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.running {
+		return
+	}
+	s.running = true
+	s.stopCh = make(chan struct{})
+}
+
+// stop disarms the watchdog and waits for any in-flight restart loop to
+// exit, so a stopped platform leaves no supervisor goroutines behind.
+// Idempotent.
+func (s *Supervisor) stop() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if !s.running {
+		s.mu.Unlock()
+		return
+	}
+	s.running = false
+	close(s.stopCh)
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// Health returns a component's current state (Healthy for unknown names
+// and nil supervisors).
+func (s *Supervisor) Health(name string) Health {
+	if s == nil {
+		return Healthy
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if c, ok := s.comps[name]; ok {
+		return c.state
+	}
+	return Healthy
+}
+
+// ReportSuccess records a successful unit of work: a non-quarantined
+// component heals back to Healthy. A quarantined component only leaves
+// quarantine through its restart.
+func (s *Supervisor) ReportSuccess(name string) { s.report(name, 0) }
+
+// ReportFailure records a failed unit of work.
+func (s *Supervisor) ReportFailure(name string) { s.report(name, 1) }
+
+// ReportPanic records a recovered panic, which weighs PanicWeight plain
+// failures.
+func (s *Supervisor) ReportPanic(name string) { s.report(name, s.panicWeight()) }
+
+func (s *Supervisor) panicWeight() int {
+	if s == nil {
+		return 0
+	}
+	return s.cfg.PanicWeight
+}
+
+// report drives the health state machine. weight 0 is a success.
+func (s *Supervisor) report(name string, weight int) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	c, ok := s.comps[name]
+	if !ok || !s.running || c.state == Quarantined {
+		// Unknown component, disarmed watchdog, or a restart already
+		// pending: nothing to escalate.
+		s.mu.Unlock()
+		return
+	}
+	if weight == 0 {
+		if c.state != Healthy || c.streak != 0 {
+			c.streak = 0
+			c.state = Healthy
+			c.gState.Set(int64(Healthy))
+		}
+		s.mu.Unlock()
+		return
+	}
+	c.streak += weight
+	switch {
+	case c.streak >= s.cfg.QuarantineAfter:
+		c.state = Quarantined
+		c.gState.Set(int64(Quarantined))
+		s.mQuarantined.Inc()
+		cooldown := s.cooldownLocked(c)
+		stopCh := s.stopCh
+		s.wg.Add(1)
+		go s.restartLoop(c, cooldown, stopCh)
+	case c.streak >= s.cfg.DegradeAfter && c.state == Healthy:
+		c.state = Degraded
+		c.gState.Set(int64(Degraded))
+		s.mDegraded.Inc()
+	}
+	s.mu.Unlock()
+}
+
+// cooldownLocked is the pre-restart wait, growing with the component's
+// restart count so repeat offenders are bounced progressively less eagerly
+// (capped at the backoff policy's MaxDelay).
+func (s *Supervisor) cooldownLocked(c *component) time.Duration {
+	d := s.cfg.Backoff.BaseDelay
+	for i := 0; i < c.restarts; i++ {
+		d = time.Duration(float64(d) * s.cfg.Backoff.Multiplier)
+		if max := s.cfg.Backoff.MaxDelay; max > 0 && d > max {
+			return max
+		}
+	}
+	return d
+}
+
+// restartLoop bounces one quarantined component: cooldown, then restart
+// attempts paced by the fault.Retryer's jittered backoff. Sleeps are
+// interruptible by stop, so a stopping platform never waits out a backoff
+// schedule. On success the component re-enters service as Healthy.
+func (s *Supervisor) restartLoop(c *component, cooldown time.Duration, stopCh chan struct{}) {
+	defer s.wg.Done()
+	if !s.sleep(cooldown, stopCh) {
+		return
+	}
+	retryer := fault.NewRetryer(s.cfg.Backoff,
+		fault.RetrySleep(func(d time.Duration) { s.sleep(d, stopCh) }),
+		fault.RetrySeed(s.cfg.RetrySeed),
+		fault.RetryMetrics(s.metrics),
+	)
+	var aborted bool
+	err := retryer.Do(func() error {
+		select {
+		case <-stopCh:
+			aborted = true
+			return nil
+		default:
+		}
+		return c.restart()
+	})
+	if aborted {
+		return // stopping: the component stays quarantined, nothing ran
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err != nil {
+		// Restart kept failing: the component stays quarantined; the next
+		// failure report cannot re-escalate (quarantined reports are
+		// ignored), so surface the stuck state through the gauge only.
+		return
+	}
+	c.restarts++
+	c.streak = 0
+	c.state = Healthy
+	c.gState.Set(int64(Healthy))
+	s.mRestarts.Inc()
+}
+
+// sleep waits d, returning false when stop interrupts the wait.
+func (s *Supervisor) sleep(d time.Duration, stopCh chan struct{}) bool {
+	if d <= 0 {
+		return true
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-stopCh:
+		return false
+	}
+}

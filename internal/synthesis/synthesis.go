@@ -21,6 +21,7 @@ import (
 
 	"github.com/mddsm/mddsm/internal/broker"
 	"github.com/mddsm/mddsm/internal/expr"
+	"github.com/mddsm/mddsm/internal/fault"
 	"github.com/mddsm/mddsm/internal/lts"
 	"github.com/mddsm/mddsm/internal/metamodel"
 	"github.com/mddsm/mddsm/internal/obs"
@@ -62,6 +63,7 @@ type Synthesis struct {
 	tracer   *obs.Tracer
 	mSubmits *obs.Counter
 	mEvents  *obs.Counter
+	mPanics  *obs.Counter
 
 	mu      sync.Mutex // guards current, instance, seq
 	current *metamodel.Model
@@ -101,6 +103,7 @@ func New(cfg Config, dispatch Dispatch, observe ModelObserver) (*Synthesis, erro
 		tracer:   cfg.Tracer,
 		mSubmits: cfg.Metrics.Counter(obs.MSynthesisSubmits),
 		mEvents:  cfg.Metrics.Counter(obs.MSynthesisEvents),
+		mPanics:  cfg.Metrics.Counter(obs.MPanicsRecovered),
 	}
 	s.opCond = sync.NewCond(&s.opMu)
 	return s, nil
@@ -153,6 +156,41 @@ func (s *Synthesis) State() string {
 	return s.instance.State()
 }
 
+// Seq returns the submission sequence number (checkpointing).
+func (s *Synthesis) Seq() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.seq
+}
+
+// RestoreState reinstates a checkpointed layer state — the committed
+// runtime model, the submission sequence number and the LTS position —
+// without dispatching any scripts: the resources a restored platform
+// attaches to are assumed to already realise the model (or to be
+// re-provisioned out of band). The model must conform to the DSML and the
+// LTS state must be one the instance's definition declares.
+func (s *Synthesis) RestoreState(m *metamodel.Model, seq int, ltsState string) error {
+	candidate := m.Clone()
+	if err := candidate.Validate(s.dsml); err != nil {
+		return fmt.Errorf("synthesis %s: restored model does not conform to %s: %w",
+			s.name, s.dsml.Name, err)
+	}
+	s.mu.Lock()
+	if err := s.instance.Restore(ltsState); err != nil {
+		s.mu.Unlock()
+		return fmt.Errorf("synthesis %s: restore: %w", s.name, err)
+	}
+	s.current = candidate
+	if seq > s.seq {
+		s.seq = seq
+	}
+	s.mu.Unlock()
+	if s.observe != nil {
+		s.observe(candidate.Clone())
+	}
+	return nil
+}
+
 // Submit runs one synthesis cycle for a new user model: conformance check,
 // model comparison, change interpretation, dispatch and commit. It returns
 // the dispatched script (possibly empty when the model is unchanged).
@@ -169,9 +207,21 @@ func (s *Synthesis) Submit(newModel *metamodel.Model) (*script.Script, error) {
 	return s.doSubmit(newModel)
 }
 
-func (s *Synthesis) doSubmit(newModel *metamodel.Model) (*script.Script, error) {
+func (s *Synthesis) doSubmit(newModel *metamodel.Model) (out *script.Script, err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+
+	// A panic escaping interpretation or dispatch keeps the submission
+	// atomic: the LTS rolls back to its pre-cycle state, the runtime model
+	// stays untouched, and the caller gets a classified error.
+	savedState := s.instance.State()
+	defer func() {
+		if r := recover(); r != nil {
+			s.restore(savedState)
+			s.mPanics.Inc()
+			out, err = nil, fmt.Errorf("synthesis %s: %w", s.name, fault.Recovered("synthesis.submit", r))
+		}
+	}()
 
 	candidate := newModel.Clone()
 	if err := candidate.Validate(s.dsml); err != nil {
@@ -181,9 +231,7 @@ func (s *Synthesis) doSubmit(newModel *metamodel.Model) (*script.Script, error) 
 
 	changes := metamodel.DiffWithContainment(s.current, candidate, s.dsml)
 	s.seq++
-	out := script.New(s.name + "-" + strconv.Itoa(s.seq))
-	savedState := s.instance.State()
-
+	out = script.New(s.name + "-" + strconv.Itoa(s.seq))
 	if err := s.interpret(changes, candidate, out); err != nil {
 		s.restore(savedState)
 		return nil, fmt.Errorf("synthesis %s: %w", s.name, err)
@@ -313,7 +361,7 @@ func (s *Synthesis) OnEvent(ev broker.Event) error {
 	return err
 }
 
-func (s *Synthesis) processEvent(ev broker.Event) error {
+func (s *Synthesis) processEvent(ev broker.Event) (err error) {
 	s.mEvents.Inc()
 	sp := s.tracer.Start(obs.SpanSynthEvent)
 	sp.SetStr("event", ev.Name)
@@ -326,6 +374,14 @@ func (s *Synthesis) processEvent(ev broker.Event) error {
 	}
 	scope["event"] = ev.Name
 	savedState := s.instance.State()
+	defer func() {
+		if r := recover(); r != nil {
+			s.restore(savedState)
+			s.mPanics.Inc()
+			err = fmt.Errorf("synthesis %s: event %s: %w", s.name, ev.Name,
+				fault.Recovered("synthesis.event", r))
+		}
+	}()
 	cmds, fired, err := s.instance.Step("event:"+ev.Name, scope)
 	if err != nil {
 		return fmt.Errorf("synthesis %s: event %s: %w", s.name, ev.Name, err)

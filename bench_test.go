@@ -7,6 +7,8 @@ package mddsm_test
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	goruntime "runtime"
 	"testing"
 	"time"
@@ -15,11 +17,13 @@ import (
 	"github.com/mddsm/mddsm/internal/broker"
 	"github.com/mddsm/mddsm/internal/controller"
 	"github.com/mddsm/mddsm/internal/domains/cml"
+	"github.com/mddsm/mddsm/internal/domains/mgrid"
 	"github.com/mddsm/mddsm/internal/dsc"
 	"github.com/mddsm/mddsm/internal/eu"
 	"github.com/mddsm/mddsm/internal/experiments"
 	"github.com/mddsm/mddsm/internal/expr"
 	"github.com/mddsm/mddsm/internal/intent"
+	"github.com/mddsm/mddsm/internal/metamodel"
 	"github.com/mddsm/mddsm/internal/mwmeta"
 	"github.com/mddsm/mddsm/internal/obs"
 	"github.com/mddsm/mddsm/internal/policy"
@@ -270,6 +274,117 @@ func BenchmarkModelSubmission(b *testing.B) {
 		if _, err := edit.Submit(); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// benchModel loads a bundled example model from testdata.
+func benchModel(b *testing.B, name string) *metamodel.Model {
+	b.Helper()
+	data, err := os.ReadFile(filepath.Join("testdata", name))
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := metamodel.UnmarshalModel(data)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m
+}
+
+// validationFixtures pairs each bundled example model with its DSML. The
+// models are validated once up front so the timed loops measure steady-state
+// re-validation (idempotent — defaults already applied, values normalised),
+// not first-touch default materialisation.
+func validationFixtures(b *testing.B) []struct {
+	name string
+	mm   *metamodel.Metamodel
+	m    *metamodel.Model
+} {
+	b.Helper()
+	fixtures := []struct {
+		name string
+		mm   *metamodel.Metamodel
+		m    *metamodel.Model
+	}{
+		{"cml-session", cml.Metamodel(), benchModel(b, "session.json")},
+		{"mgrid-home", mgrid.Metamodel(), benchModel(b, "home.json")},
+	}
+	for _, f := range fixtures {
+		if err := f.m.ValidateInterpreted(f.mm); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return fixtures
+}
+
+// BenchmarkValidateInterpreted times the reference conformance walk on the
+// bundled example models (the baseline the compiled validator must beat).
+func BenchmarkValidateInterpreted(b *testing.B) {
+	for _, f := range validationFixtures(b) {
+		b.Run(f.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := f.m.ValidateInterpreted(f.mm); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkValidateCompiled times the same walk through the compiled
+// metamodel form (flattened inheritance, enum membership sets, direct
+// normalise slots). Acceptance: ≥ 2× faster than the interpreted walk.
+func BenchmarkValidateCompiled(b *testing.B) {
+	for _, f := range validationFixtures(b) {
+		b.Run(f.name, func(b *testing.B) {
+			cm, err := f.mm.Compiled()
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := cm.Validate(f.m); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSubmitCached measures the full CVM submission round trip with the
+// validation cache on (unchanged resubmissions replay their conformance
+// check) versus off (every submission re-walks the model).
+func BenchmarkSubmitCached(b *testing.B) {
+	for _, cached := range []bool{true, false} {
+		name := "cache-on"
+		opts := []cml.Option{}
+		if !cached {
+			name = "cache-off"
+			opts = append(opts, cml.WithRuntime(mdruntime.WithValidationCache(nil)))
+		}
+		b.Run(name, func(b *testing.B) {
+			vm, err := cml.New(opts...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			base := vm.Platform.UI.NewDraft()
+			base.MustAdd("alice", "Person").SetAttr("name", "Alice")
+			base.MustAdd("s1", "Session").SetRef("participants", "alice").SetRef("streams", "a1")
+			base.MustAdd("a1", "Stream").SetAttr("media", "audio").SetAttr("session", "s1")
+			if _, err := base.Submit(); err != nil {
+				b.Fatal(err)
+			}
+			m := vm.Platform.UI.RuntimeModel()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := vm.Platform.SubmitModel(m); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -1,10 +1,12 @@
 // Command mddsm-bench regenerates the paper's evaluation results (§VII)
 // as printed reports. Without flags it runs every experiment; -e selects
-// one (e1..e6, or "pump" for the sharded event-pump throughput report).
+// one (e1..e6, "pump" for the sharded event-pump throughput report, or
+// "validate" for the compiled-vs-interpreted conformance comparison).
 //
 // Usage:
 //
-//	mddsm-bench [-e e1|e2|e3|e4|e5|e6|pump] [-iters N] [-root DIR]
+//	mddsm-bench [-e e1|e2|e3|e4|e5|e6|pump|validate] [-iters N] [-root DIR]
+//	mddsm-bench -e validate -json BENCH_validate.json
 package main
 
 import (
@@ -13,6 +15,7 @@ import (
 	"os"
 
 	"github.com/mddsm/mddsm/internal/experiments"
+	"github.com/mddsm/mddsm/internal/metamodel"
 )
 
 func main() {
@@ -28,9 +31,18 @@ func run(args []string) error {
 	withObs := fs.Bool("obs", false, "print per-phase span counts for an instrumented run instead of the experiments")
 	faults := fs.String("faults", "", `with -obs: inject faults "seed=N,site:kind[:p=..][:d=..][:n=..],..." into the instrumented run`)
 	iters := fs.Int("iters", 50, "iterations per scenario for timing experiments (e2)")
-	root := fs.String("root", "", "repository root for source-size accounting (e5); auto-detected when empty")
+	root := fs.String("root", "", "repository root for source-size accounting (e5) and bundled models (validate); auto-detected when empty")
+	jsonOut := fs.String("json", "", `with -e validate: write the machine-readable report to this path (e.g. BENCH_validate.json)`)
+	valMode := fs.String("validate-mode", "", "force the conformance validator: compiled or interpreted (default compiled with interpreted fallback)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *valMode != "" {
+		mode, err := metamodel.ParseValidationMode(*valMode)
+		if err != nil {
+			return err
+		}
+		metamodel.SetValidationMode(mode)
 	}
 
 	w := os.Stdout
@@ -43,35 +55,47 @@ func run(args []string) error {
 	if *withObs {
 		return experiments.ReportObs(w)
 	}
-	runE5 := func() error {
-		dir := *root
-		if dir == "" {
-			var err error
-			dir, err = experiments.FindRepoRoot(".")
-			if err != nil {
-				return fmt.Errorf("e5 needs the repository sources; pass -root: %w", err)
-			}
+	repoRoot := func(why string) (string, error) {
+		if *root != "" {
+			return *root, nil
 		}
-		return experiments.ReportE5(w, dir)
+		dir, err := experiments.FindRepoRoot(".")
+		if err != nil {
+			return "", fmt.Errorf("%s; pass -root: %w", why, err)
+		}
+		return dir, nil
 	}
 
 	all := map[string]func() error{
-		"e1":   func() error { return experiments.ReportE1(w) },
-		"e2":   func() error { return experiments.ReportE2(w, *iters) },
-		"e3":   func() error { return experiments.ReportE3(w) },
-		"e4":   func() error { return experiments.ReportE4(w) },
-		"e5":   runE5,
+		"e1": func() error { return experiments.ReportE1(w) },
+		"e2": func() error { return experiments.ReportE2(w, *iters) },
+		"e3": func() error { return experiments.ReportE3(w) },
+		"e4": func() error { return experiments.ReportE4(w) },
+		"e5": func() error {
+			dir, err := repoRoot("e5 needs the repository sources")
+			if err != nil {
+				return err
+			}
+			return experiments.ReportE5(w, dir)
+		},
 		"e6":   func() error { return experiments.ReportE6(w) },
 		"pump": func() error { return experiments.ReportPump(w) },
+		"validate": func() error {
+			dir, err := repoRoot("validate needs the bundled testdata models")
+			if err != nil {
+				return err
+			}
+			return experiments.ReportValidate(w, dir, *jsonOut)
+		},
 	}
 	if *exp != "" {
 		fn, ok := all[*exp]
 		if !ok {
-			return fmt.Errorf("unknown experiment %q (want e1..e6 or pump)", *exp)
+			return fmt.Errorf("unknown experiment %q (want e1..e6, pump or validate)", *exp)
 		}
 		return fn()
 	}
-	for _, name := range []string{"e1", "e2", "e3", "e4", "e5", "e6", "pump"} {
+	for _, name := range []string{"e1", "e2", "e3", "e4", "e5", "e6", "pump", "validate"} {
 		if err := all[name](); err != nil {
 			return fmt.Errorf("%s: %w", name, err)
 		}

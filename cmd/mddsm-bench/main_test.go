@@ -1,8 +1,14 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"github.com/mddsm/mddsm/internal/experiments"
+	"github.com/mddsm/mddsm/internal/metamodel"
 )
 
 func TestRunSingleExperiments(t *testing.T) {
@@ -18,6 +24,40 @@ func TestRunSingleExperiments(t *testing.T) {
 	}
 	if err := run([]string{"-e", "e2", "-iters", "2"}); err != nil {
 		t.Errorf("experiment e2: %v", err)
+	}
+}
+
+func TestRunValidateReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs timing loops")
+	}
+	out := filepath.Join(t.TempDir(), "BENCH_validate.json")
+	if err := run([]string{"-e", "validate", "-root", "../..", "-json", out}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep experiments.ValidateReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Models) != 2 {
+		t.Fatalf("report covers %d models, want 2", len(rep.Models))
+	}
+	for _, m := range rep.Models {
+		if m.Speedup <= 0 || m.CompiledNsOp <= 0 || m.InterpretedNsOp <= 0 {
+			t.Errorf("%s: degenerate timings: %+v", m.Model, m)
+		}
+	}
+	// The validator mode override parses and rejects like the run CLI.
+	defer metamodel.SetValidationMode(metamodel.ModeCompiled)
+	if err := run([]string{"-e", "validate", "-root", "../..", "-validate-mode", "interpreted"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-e", "validate", "-validate-mode", "wat"}); err == nil {
+		t.Error("bad -validate-mode must fail")
 	}
 }
 

@@ -47,8 +47,17 @@ func run(args []string) error {
 	pumpShards := fs.Int("pump-shards", 0, "event-pump shards (0 = GOMAXPROCS); same-source events stay ordered per shard key")
 	snapshotPath := fs.String("snapshot", "", "checkpoint the platform state to this file after the run")
 	restorePath := fs.String("restore", "", "rebuild the platform from this checkpoint instead of building it fresh")
+	valMode := fs.String("validate-mode", "", "conformance validator: compiled or interpreted (default compiled with interpreted fallback)")
+	valCache := fs.Int("validate-cache", metamodel.DefaultValidationCacheSize, "validation cache capacity in models; 0 disables memoised conformance checks")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *valMode != "" {
+		mode, err := metamodel.ParseValidationMode(*valMode)
+		if err != nil {
+			return err
+		}
+		metamodel.SetValidationMode(mode)
 	}
 	if *modelPath == "" && *restorePath == "" {
 		return fmt.Errorf("need -model (or -restore)")
@@ -74,6 +83,28 @@ func run(args []string) error {
 	var o *obs.Obs
 	if *withObs {
 		o = obs.New()
+	}
+
+	// Resolve the validation cache: shared by default, private when a
+	// custom capacity is requested, off at capacity 0.
+	var (
+		vcache    *metamodel.ValidationCache
+		vcacheSet bool
+	)
+	switch {
+	case *valCache == 0:
+		vcacheSet = true // vcache stays nil: memoisation off
+	case *valCache != metamodel.DefaultValidationCacheSize:
+		vcache = metamodel.NewValidationCache(*valCache)
+		vcacheSet = true
+	default:
+		vcache = metamodel.SharedValidationCache()
+	}
+	if o != nil {
+		metamodel.BindMetrics(o.MetricsOf())
+		if vcache != nil {
+			vcache.BindMetrics(o.MetricsOf())
+		}
 	}
 
 	var inj *fault.Injector
@@ -104,6 +135,9 @@ func run(args []string) error {
 		if *pumpShards > 0 {
 			opts = append(opts, cml.WithRuntime(runtime.WithPumpShards(*pumpShards)))
 		}
+		if vcacheSet {
+			opts = append(opts, cml.WithRuntime(runtime.WithValidationCache(vcache)))
+		}
 		var (
 			vm  *cml.CVM
 			err error
@@ -128,6 +162,9 @@ func run(args []string) error {
 		}
 		if *pumpShards > 0 {
 			opts = append(opts, mgrid.WithRuntime(runtime.WithPumpShards(*pumpShards)))
+		}
+		if vcacheSet {
+			opts = append(opts, mgrid.WithRuntime(runtime.WithValidationCache(vcache)))
 		}
 		var (
 			vm  *mgrid.MGridVM

@@ -5,6 +5,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"github.com/mddsm/mddsm/internal/metamodel"
 )
 
 func data(t *testing.T, name string) string {
@@ -36,6 +38,23 @@ func TestRunObs(t *testing.T) {
 		if err := run(c); err != nil {
 			t.Errorf("%v: %v", c, err)
 		}
+	}
+}
+
+func TestRunValidateFlags(t *testing.T) {
+	defer metamodel.SetValidationMode(metamodel.ModeCompiled)
+	for _, c := range [][]string{
+		{"-domain", "cvm", "-model", data(t, "session.json"), "-validate-mode", "interpreted"},
+		{"-domain", "cvm", "-model", data(t, "session.json"), "-validate-cache", "0"},
+		{"-domain", "mgridvm", "-model", data(t, "home.json"), "-validate-cache", "8", "-obs"},
+	} {
+		if err := run(c); err != nil {
+			t.Errorf("%v: %v", c, err)
+		}
+	}
+	if err := run([]string{"-domain", "cvm", "-model", data(t, "session.json"),
+		"-validate-mode", "wat"}); err == nil {
+		t.Error("bad -validate-mode must fail")
 	}
 }
 

@@ -1,0 +1,200 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"github.com/mddsm/mddsm/internal/domains/cml"
+	"github.com/mddsm/mddsm/internal/domains/mgrid"
+	"github.com/mddsm/mddsm/internal/metamodel"
+)
+
+// The validation benchmark-regression report: compiled versus interpreted
+// conformance checking on the bundled example models, plus the validation
+// cache's hit/miss economics. mddsm-bench prints the table and, with -json,
+// writes the machine-readable record (BENCH_validate.json) that CI and
+// EXPERIMENTS.md track across revisions.
+
+// ValidateModelResult is one model's timing row.
+type ValidateModelResult struct {
+	Model           string  `json:"model"`
+	Objects         int     `json:"objects"`
+	InterpretedNsOp float64 `json:"interpreted_ns_per_op"`
+	CompiledNsOp    float64 `json:"compiled_ns_per_op"`
+	Speedup         float64 `json:"speedup"`
+	CompileNs       int64   `json:"compile_ns"`
+}
+
+// ValidateCacheResult reports the cache round-trip costs on the session
+// model: a miss pays one full validation plus the canonical hashing and a
+// defensive clone; a hit pays only hashing and the clone.
+type ValidateCacheResult struct {
+	MissNsOp float64 `json:"miss_ns_per_op"`
+	HitNsOp  float64 `json:"hit_ns_per_op"`
+}
+
+// ValidateReport is the full machine-readable record.
+type ValidateReport struct {
+	Models []ValidateModelResult `json:"models"`
+	Cache  ValidateCacheResult   `json:"cache"`
+}
+
+// timePerOp measures fn's steady-state cost: it scales the iteration count
+// until one run lasts at least ~10ms, then takes the best of five such
+// runs (the minimum filters scheduler noise the way benchstat's min does).
+func timePerOp(fn func() error) (float64, error) {
+	measure := func(n int) (time.Duration, error) {
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			if err := fn(); err != nil {
+				return 0, err
+			}
+		}
+		return time.Since(start), nil
+	}
+	n := 64
+	var d time.Duration
+	for {
+		var err error
+		if d, err = measure(n); err != nil {
+			return 0, err
+		}
+		if d >= 10*time.Millisecond || n >= 1<<20 {
+			break
+		}
+		n *= 4
+	}
+	best := d
+	for round := 0; round < 4; round++ {
+		d, err := measure(n)
+		if err != nil {
+			return 0, err
+		}
+		if d < best {
+			best = d
+		}
+	}
+	return float64(best.Nanoseconds()) / float64(n), nil
+}
+
+// loadExample reads one bundled example model from root/testdata.
+func loadExample(root, name string) (*metamodel.Model, error) {
+	data, err := os.ReadFile(filepath.Join(root, "testdata", name))
+	if err != nil {
+		return nil, err
+	}
+	return metamodel.UnmarshalModel(data)
+}
+
+// MeasureValidate runs the compiled-vs-interpreted comparison on the
+// bundled example models plus the cache measurement. root is the repository
+// root (for testdata); FindRepoRoot locates it.
+func MeasureValidate(root string) (*ValidateReport, error) {
+	fixtures := []struct {
+		name string
+		file string
+		mm   *metamodel.Metamodel
+	}{
+		{"cml-session", "session.json", cml.Metamodel()},
+		{"mgrid-home", "home.json", mgrid.Metamodel()},
+	}
+	rep := &ValidateReport{}
+	for _, f := range fixtures {
+		m, err := loadExample(root, f.file)
+		if err != nil {
+			return nil, err
+		}
+		// Pre-validate so the timed loops measure steady-state
+		// re-validation, not first-touch default materialisation.
+		if err := m.ValidateInterpreted(f.mm); err != nil {
+			return nil, fmt.Errorf("%s: %w", f.name, err)
+		}
+		compileStart := time.Now()
+		cm, err := metamodel.Compile(f.mm)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", f.name, err)
+		}
+		compileNs := time.Since(compileStart).Nanoseconds()
+		interp, err := timePerOp(func() error { return m.ValidateInterpreted(f.mm) })
+		if err != nil {
+			return nil, err
+		}
+		compiled, err := timePerOp(func() error { return cm.Validate(m) })
+		if err != nil {
+			return nil, err
+		}
+		rep.Models = append(rep.Models, ValidateModelResult{
+			Model:           f.name,
+			Objects:         len(m.IDs()),
+			InterpretedNsOp: interp,
+			CompiledNsOp:    compiled,
+			Speedup:         interp / compiled,
+			CompileNs:       compileNs,
+		})
+	}
+
+	// Cache economics on the session model: a hit replays the memoised
+	// validation (hash + clone), a miss performs it (hash + walk + clones).
+	m, err := loadExample(root, "session.json")
+	if err != nil {
+		return nil, err
+	}
+	mm := cml.Metamodel()
+	hitCache := metamodel.NewValidationCache(16)
+	if _, err := hitCache.Validate(mm, m); err != nil {
+		return nil, err
+	}
+	hit, err := timePerOp(func() error { _, err := hitCache.Validate(mm, m); return err })
+	if err != nil {
+		return nil, err
+	}
+	miss, err := timePerOp(func() error {
+		_, err := metamodel.NewValidationCache(16).Validate(mm, m)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	rep.Cache = ValidateCacheResult{MissNsOp: miss, HitNsOp: hit}
+	return rep, nil
+}
+
+// ReportValidate prints the validation benchmark table and, when jsonPath
+// is non-empty, writes the machine-readable record there.
+func ReportValidate(w io.Writer, root, jsonPath string) error {
+	rep, err := MeasureValidate(root)
+	if err != nil {
+		return err
+	}
+	t := &Table{
+		Title:   "Validate — compiled vs interpreted conformance (bundled models)",
+		Columns: []string{"model", "objects", "interpreted", "compiled", "speedup", "compile (once)"},
+	}
+	for _, m := range rep.Models {
+		t.AddRow(m.Model, fmt.Sprintf("%d", m.Objects),
+			fmt.Sprintf("%.0f ns/op", m.InterpretedNsOp),
+			fmt.Sprintf("%.0f ns/op", m.CompiledNsOp),
+			fmt.Sprintf("%.2fx", m.Speedup),
+			fmt.Sprintf("%d ns", m.CompileNs))
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("validation cache: hit %.0f ns/op, miss %.0f ns/op (session model)",
+			rep.Cache.HitNsOp, rep.Cache.MissNsOp),
+		"compiled and interpreted validators are differentially tested for observational equivalence")
+	t.Print(w)
+	if jsonPath != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %s\n\n", jsonPath)
+	}
+	return nil
+}

@@ -1,0 +1,165 @@
+// Canonical byte encodings of metamodels and models. The validation cache
+// keys entries by a hash of these encodings and compares the full bytes on
+// lookup, so a hash collision can never return the wrong cached result. The
+// encoding length-prefixes every string, making it unambiguous, and lists
+// model objects in insertion order — two models with the same content but
+// different object order are deliberately distinct (validation output order
+// and downstream diffs depend on insertion order).
+package metamodel
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// canonSlot caches a metamodel's canonical encoding for one structural
+// version.
+type canonSlot struct {
+	version uint64
+	data    []byte
+}
+
+// fnv64 hashes byte slices with FNV-1a.
+func fnv64(parts ...[]byte) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, p := range parts {
+		for _, c := range p {
+			h ^= uint64(c)
+			h *= prime64
+		}
+	}
+	return h
+}
+
+func appendCanonString(b []byte, s string) []byte {
+	b = strconv.AppendInt(b, int64(len(s)), 10)
+	b = append(b, ':')
+	return append(b, s...)
+}
+
+func appendCanonInt(b []byte, n int64) []byte {
+	b = strconv.AppendInt(b, n, 10)
+	return append(b, ';')
+}
+
+func appendCanonBool(b []byte, v bool) []byte {
+	if v {
+		return append(b, '1')
+	}
+	return append(b, '0')
+}
+
+// appendCanonValue encodes an attribute value (canonical or raw) with a
+// type tag so values of different types never alias.
+func appendCanonValue(b []byte, v any) []byte {
+	switch x := v.(type) {
+	case nil:
+		return append(b, 'z')
+	case string:
+		b = append(b, 's')
+		return appendCanonString(b, x)
+	case int64:
+		b = append(b, 'i')
+		return appendCanonInt(b, x)
+	case int:
+		b = append(b, 'i')
+		return appendCanonInt(b, int64(x))
+	case float64:
+		b = append(b, 'f')
+		b = strconv.AppendFloat(b, x, 'g', -1, 64)
+		return append(b, ';')
+	case bool:
+		b = append(b, 'b')
+		return appendCanonBool(b, x)
+	default:
+		// Unvalidated models may carry arbitrary values; fall back to a
+		// formatted representation (still type-tagged by %T).
+		b = append(b, '?')
+		return appendCanonString(b, fmt.Sprintf("%T:%v", v, v))
+	}
+}
+
+// canonical returns the metamodel's canonical encoding, cached per
+// structural version.
+func (m *Metamodel) canonical() []byte {
+	if s := m.canon.Load(); s != nil && s.version == m.version {
+		return s.data
+	}
+	b := appendCanonString(nil, m.Name)
+	for _, en := range m.EnumNames() {
+		e := m.enums[en]
+		b = append(b, 'E')
+		b = appendCanonString(b, e.Name)
+		b = appendCanonInt(b, int64(len(e.Literals)))
+		for _, l := range e.Literals {
+			b = appendCanonString(b, l)
+		}
+	}
+	for _, cn := range m.ClassNames() {
+		c := m.classes[cn]
+		b = append(b, 'C')
+		b = appendCanonString(b, c.Name)
+		b = appendCanonBool(b, c.Abstract)
+		b = appendCanonString(b, c.Super)
+		b = appendCanonInt(b, int64(len(c.Attributes)))
+		for _, a := range c.Attributes {
+			b = appendCanonString(b, a.Name)
+			b = appendCanonInt(b, int64(a.Kind))
+			b = appendCanonString(b, a.EnumType)
+			b = appendCanonBool(b, a.Required)
+			b = appendCanonValue(b, a.Default)
+		}
+		b = appendCanonInt(b, int64(len(c.References)))
+		for _, r := range c.References {
+			b = appendCanonString(b, r.Name)
+			b = appendCanonString(b, r.Target)
+			b = appendCanonBool(b, r.Containment)
+			b = appendCanonBool(b, r.Many)
+			b = appendCanonBool(b, r.Required)
+		}
+	}
+	m.canon.Store(&canonSlot{version: m.version, data: b})
+	return b
+}
+
+// Fingerprint returns a content hash of the metamodel's structure. Two
+// independently built metamodels with identical content fingerprint
+// identically, so caches keyed by it survive rebuilt metamodel instances.
+func (m *Metamodel) Fingerprint() uint64 { return fnv64(m.canonical()) }
+
+// appendCanonical appends the model's canonical encoding: metamodel name,
+// then each object in insertion order with sorted attribute names and
+// sorted non-empty reference names.
+func (m *Model) appendCanonical(b []byte) []byte {
+	b = appendCanonString(b, m.MetamodelName)
+	for _, id := range m.order {
+		o := m.objects[id]
+		b = append(b, 'O')
+		b = appendCanonString(b, id)
+		b = appendCanonString(b, o.Class)
+		for _, name := range o.AttrNames() {
+			b = append(b, 'a')
+			b = appendCanonString(b, name)
+			b = appendCanonValue(b, o.attrs[name])
+		}
+		for _, name := range o.RefNames() {
+			b = append(b, 'r')
+			b = appendCanonString(b, name)
+			targets := o.refs[name]
+			b = appendCanonInt(b, int64(len(targets)))
+			for _, t := range targets {
+				b = appendCanonString(b, t)
+			}
+		}
+	}
+	return b
+}
+
+// ContentHash returns a content hash of the model (objects in insertion
+// order, attributes and references by name). It is the key the validation
+// cache buckets by.
+func (m *Model) ContentHash() uint64 { return fnv64(m.appendCanonical(nil)) }

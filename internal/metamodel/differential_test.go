@@ -1,0 +1,278 @@
+package metamodel
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// Differential tests: the compiled validator must be observationally
+// identical to the interpreted reference walk — same accept/reject verdict,
+// same problem multiset, same normalising mutations — on arbitrary
+// metamodels and arbitrary (conforming and non-conforming) models.
+//
+// Problem lists are compared as sorted multisets because the interpreted
+// walk itself reports problems in nondeterministic order where it iterates
+// feature maps (required-attribute and required-reference checks).
+
+// genMetamodel builds a random well-formed metamodel: a handful of enums,
+// classes with single inheritance (some abstract), attributes of every kind
+// (some required, some defaulted) and references (some containment, some
+// many, some required). Feature names are globally unique so inheritance
+// chains never collide.
+func genMetamodel(rng *rand.Rand) *Metamodel {
+	mm := New(fmt.Sprintf("dmm%d", rng.Intn(1000)))
+	nEnums := 1 + rng.Intn(3)
+	enums := make([]string, nEnums)
+	for i := range enums {
+		name := fmt.Sprintf("E%d", i)
+		lits := make([]string, 1+rng.Intn(4))
+		for j := range lits {
+			lits[j] = fmt.Sprintf("lit%d", j)
+		}
+		mm.MustAddEnum(&Enum{Name: name, Literals: lits})
+		enums[i] = name
+	}
+	nClasses := 2 + rng.Intn(6)
+	classes := make([]string, 0, nClasses)
+	for i := 0; i < nClasses; i++ {
+		name := fmt.Sprintf("C%d", i)
+		c := &Class{Name: name, Abstract: rng.Intn(6) == 0}
+		if len(classes) > 0 && rng.Intn(2) == 0 {
+			c.Super = classes[rng.Intn(len(classes))]
+		}
+		for a := rng.Intn(4); a > 0; a-- {
+			attr := Attribute{
+				Name:     fmt.Sprintf("a%d_%d", i, a),
+				Kind:     Kind(1 + rng.Intn(5)),
+				Required: rng.Intn(4) == 0,
+			}
+			if attr.Kind == KindEnum {
+				attr.EnumType = enums[rng.Intn(len(enums))]
+			}
+			if rng.Intn(3) == 0 {
+				attr.Default = defaultFor(rng, mm, attr)
+			}
+			c.Attributes = append(c.Attributes, attr)
+		}
+		for r := rng.Intn(3); r > 0; r-- {
+			c.References = append(c.References, Reference{
+				Name:        fmt.Sprintf("r%d_%d", i, r),
+				Target:      fmt.Sprintf("C%d", rng.Intn(nClasses)),
+				Containment: rng.Intn(4) == 0,
+				Many:        rng.Intn(2) == 0,
+				Required:    rng.Intn(5) == 0,
+			})
+		}
+		mm.MustAddClass(c)
+		classes = append(classes, name)
+	}
+	return mm
+}
+
+// defaultFor draws a valid default value for the attribute.
+func defaultFor(rng *rand.Rand, mm *Metamodel, a Attribute) any {
+	switch a.Kind {
+	case KindString:
+		return fmt.Sprintf("d%d", rng.Intn(10))
+	case KindInt:
+		return rng.Intn(100)
+	case KindFloat:
+		return float64(rng.Intn(100)) / 4
+	case KindBool:
+		return rng.Intn(2) == 0
+	case KindEnum:
+		e := mm.Enum(a.EnumType)
+		return e.Literals[rng.Intn(len(e.Literals))]
+	}
+	return nil
+}
+
+// genInstance builds a random model against mm — deliberately sometimes
+// non-conforming. Objects draw mostly concrete known classes but
+// occasionally abstract or unknown ones; attribute values are mostly
+// type-correct but sometimes of the wrong kind, unknown, or invalid enum
+// literals; references go to random targets including dangling IDs, wrong
+// classes, cardinality violations, double containment and containment
+// cycles. Both validators must agree on every one of these.
+func genInstance(rng *rand.Rand, mm *Metamodel, size int) *Model {
+	m := NewModel(mm.Name)
+	names := mm.ClassNames()
+	ids := make([]string, 0, size)
+	for i := 0; i < size; i++ {
+		id := fmt.Sprintf("o%d", i)
+		class := names[rng.Intn(len(names))]
+		switch rng.Intn(12) {
+		case 0:
+			class = "Ghost" // unknown class
+		}
+		o := m.NewObject(id, class)
+		ids = append(ids, id)
+		for _, a := range mm.AllAttributes(class) {
+			switch rng.Intn(6) {
+			case 0: // leave unset (exercises defaults / required)
+			case 1: // wrong-kind value
+				o.SetAttr(a.Name, wrongValue(rng, a.Kind))
+			default:
+				if a.Kind == KindEnum && rng.Intn(4) == 0 {
+					o.SetAttr(a.Name, "not-a-literal")
+				} else {
+					o.SetAttr(a.Name, defaultFor(rng, mm, a))
+				}
+			}
+		}
+		if rng.Intn(8) == 0 {
+			o.SetAttr(fmt.Sprintf("zz%d", rng.Intn(3)), "unknown attribute")
+		}
+	}
+	// Second pass: wire references between the created objects (types not
+	// guaranteed to conform) plus occasional dangling targets.
+	for _, id := range ids {
+		o := m.Get(id)
+		for _, r := range mm.AllReferences(o.Class) {
+			n := rng.Intn(3)
+			if r.Required && rng.Intn(3) > 0 {
+				n = 1 + rng.Intn(2)
+			}
+			for ; n > 0; n-- {
+				if rng.Intn(10) == 0 {
+					o.AddRef(r.Name, fmt.Sprintf("ghost%d", rng.Intn(5)))
+				} else {
+					o.AddRef(r.Name, ids[rng.Intn(len(ids))])
+				}
+			}
+		}
+		if rng.Intn(10) == 0 {
+			o.SetRef("zzref", ids[rng.Intn(len(ids))])
+		}
+	}
+	return m
+}
+
+// wrongValue draws a value of a kind other than k.
+func wrongValue(rng *rand.Rand, k Kind) any {
+	candidates := []any{"str", int64(7), 3.5, true, nil}
+	for {
+		v := candidates[rng.Intn(len(candidates))]
+		if _, err := NormalizeValue(k, v); err != nil {
+			return v
+		}
+	}
+}
+
+// assertSameVerdict validates two clones of m — one compiled, one
+// interpreted — and requires identical verdicts, problem multisets and
+// post-validation model states.
+func assertSameVerdict(t *testing.T, label string, mm *Metamodel, cm *CompiledMetamodel, m *Model) {
+	t.Helper()
+	a, b := m.Clone(), m.Clone()
+	errC := cm.Validate(a)
+	errI := b.ValidateInterpreted(mm)
+	if (errC == nil) != (errI == nil) {
+		t.Fatalf("%s: verdicts diverge: compiled=%v interpreted=%v", label, errC, errI)
+	}
+	pc, pi := problemSet(t, errC), problemSet(t, errI)
+	if !equalStringSets(pc, pi) {
+		t.Fatalf("%s: problem sets diverge:\ncompiled:    %v\ninterpreted: %v", label, pc, pi)
+	}
+	// Both walks apply the same normalising mutations, valid or not.
+	if !Equal(a, b) {
+		t.Fatalf("%s: post-validation models diverge; diff: %s", label, Diff(a, b))
+	}
+}
+
+// TestDifferentialCompiledVsInterpreted is the main differential sweep:
+// ≥500 random metamodel/model pairs, conforming and non-conforming.
+func TestDifferentialCompiledVsInterpreted(t *testing.T) {
+	pairs := 0
+	for seed := int64(0); seed < 300; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		mm := genMetamodel(rng)
+		if err := mm.Validate(); err != nil {
+			t.Fatalf("seed %d: generator produced malformed metamodel: %v", seed, err)
+		}
+		cm, err := mm.Compiled()
+		if err != nil {
+			t.Fatalf("seed %d: compile: %v", seed, err)
+		}
+		for k := 0; k < 2; k++ {
+			m := genInstance(rng, mm, 2+rng.Intn(10))
+			assertSameVerdict(t, fmt.Sprintf("seed %d pair %d", seed, k), mm, cm, m)
+			pairs++
+		}
+	}
+	if pairs < 500 {
+		t.Fatalf("only %d differential pairs generated, want >= 500", pairs)
+	}
+}
+
+// TestDifferentialPropModels replays the existing property-test generators
+// (valid models of propMM) through both validators, plus mutated broken
+// variants.
+func TestDifferentialPropModels(t *testing.T) {
+	mm := propMM(t)
+	cm, err := mm.Compiled()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(0); seed < 150; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		m := genModel(rng, 2+rng.Intn(12))
+		assertSameVerdict(t, fmt.Sprintf("seed %d valid", seed), mm, cm, m)
+
+		broken := m.Clone()
+		breakModel(rng, broken)
+		assertSameVerdict(t, fmt.Sprintf("seed %d broken", seed), mm, cm, broken)
+	}
+}
+
+// breakModel injects a random conformance violation into a valid propMM
+// instance.
+func breakModel(rng *rand.Rand, m *Model) {
+	ids := m.IDs()
+	if len(ids) == 0 {
+		m.NewObject("ghostling", "Nope")
+		return
+	}
+	o := m.Get(ids[rng.Intn(len(ids))])
+	switch rng.Intn(6) {
+	case 0:
+		o.SetAttr("name", int64(3)) // wrong kind (or unknown attr on Tag)
+	case 1:
+		o.SetAttr("mystery", "value") // unknown attribute
+	case 2:
+		o.SetRef("links", "no-such-object") // dangling (unknown ref on Tag)
+	case 3:
+		m.NewObject(fmt.Sprintf("x%d", rng.Intn(1000)), "Missing") // unknown class
+	case 4:
+		o.SetAttr("weight", 1.5) // non-integral int
+	case 5:
+		o.SetRef("tags", ids[rng.Intn(len(ids))]) // likely wrong target class
+	}
+}
+
+// TestDifferentialValidationIdempotent: validating an already-validated
+// model is a no-op for both validators (the fixed point the validation
+// cache relies on).
+func TestDifferentialValidationIdempotent(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		mm := genMetamodel(rng)
+		cm, err := mm.Compiled()
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := genInstance(rng, mm, 2+rng.Intn(8))
+		first := m.Clone()
+		if err := cm.Validate(first); err != nil {
+			continue // only successful validations are cached / replayed
+		}
+		second := first.Clone()
+		if err := cm.Validate(second); err != nil {
+			t.Fatalf("seed %d: revalidation of a valid model failed: %v", seed, err)
+		}
+		if !Equal(first, second) {
+			t.Fatalf("seed %d: revalidation changed the model; diff: %s", seed, Diff(first, second))
+		}
+	}
+}

@@ -13,6 +13,7 @@ package metamodel
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 )
 
 // Kind enumerates attribute value kinds.
@@ -109,10 +110,19 @@ func (e *Enum) Has(lit string) bool {
 }
 
 // Metamodel is a named collection of classes and enums.
+//
+// A Metamodel must not be mutated (AddClass/AddEnum) concurrently with use;
+// the version counter below relies on the same discipline as the maps.
 type Metamodel struct {
 	Name    string
 	classes map[string]*Class
 	enums   map[string]*Enum
+
+	// version counts structural mutations so the lazily compiled form and
+	// the canonical encoding can detect staleness and rebuild.
+	version  uint64
+	compiled atomic.Pointer[compileSlot]
+	canon    atomic.Pointer[canonSlot]
 }
 
 // New returns an empty metamodel.
@@ -133,6 +143,7 @@ func (m *Metamodel) AddClass(c *Class) error {
 		return fmt.Errorf("metamodel %s: duplicate class %q", m.Name, c.Name)
 	}
 	m.classes[c.Name] = c
+	m.version++
 	return nil
 }
 
@@ -154,6 +165,7 @@ func (m *Metamodel) AddEnum(e *Enum) error {
 		return fmt.Errorf("metamodel %s: duplicate enum %q", m.Name, e.Name)
 	}
 	m.enums[e.Name] = e
+	m.version++
 	return nil
 }
 

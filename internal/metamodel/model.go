@@ -299,7 +299,34 @@ func (m *Model) ResolveOne(o *Object, ref string) *Object {
 // for unset attributes with a default), required features present,
 // cardinality respected, reference targets present and type-conformant,
 // single containment and containment acyclicity.
+//
+// By default it dispatches through mm's compiled form (see Compile), which
+// is semantically identical to the interpreted reference walk but skips the
+// per-object inheritance-chain resolution. When the metamodel itself does
+// not compile (it is malformed), or when SetValidationMode forces
+// ModeInterpreted, the interpreted walk runs instead.
 func (m *Model) Validate(mm *Metamodel) error {
+	if GetValidationMode() == ModeCompiled {
+		if cm, err := mm.Compiled(); err == nil {
+			noteFast()
+			return cm.Validate(m)
+		}
+		noteFallback()
+		return m.validateInterpreted(mm)
+	}
+	noteInterpreted()
+	return m.validateInterpreted(mm)
+}
+
+// ValidateInterpreted runs the interpreted reference validator regardless
+// of the process-wide validation mode. The differential tests use it to pin
+// the compiled validator's behaviour; it remains the semantic ground truth.
+func (m *Model) ValidateInterpreted(mm *Metamodel) error {
+	noteInterpreted()
+	return m.validateInterpreted(mm)
+}
+
+func (m *Model) validateInterpreted(mm *Metamodel) error {
 	var errs errorList
 	container := make(map[string]string) // contained ID -> container ID
 	for _, id := range m.order {

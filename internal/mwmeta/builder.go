@@ -35,9 +35,11 @@ func (b *Builder) id(prefix string) string {
 // Model returns the underlying middleware model.
 func (b *Builder) Model() *metamodel.Model { return b.model }
 
-// Validate checks the authored model against the middleware metamodel.
+// Validate checks the authored model against the middleware metamodel. The
+// check goes through the process-wide validation cache, so the runtime
+// factory's conformance check of the same authored content is a cache hit.
 func (b *Builder) Validate() error {
-	if err := b.model.Clone().Validate(MM()); err != nil {
+	if _, err := metamodel.SharedValidationCache().Validate(MM(), b.model); err != nil {
 		return fmt.Errorf("middleware model: %w", err)
 	}
 	return nil

@@ -73,6 +73,18 @@ const (
 	MSupervisorDegraded    = "supervisor.degraded"
 	MSupervisorQuarantined = "supervisor.quarantined"
 	MSupervisorRestarts    = "supervisor.restarts"
+
+	// Conformance-validation metrics (the metamodel compile fast path and
+	// the content-hash validation cache).
+	MValidateFast         = "validate.fast"
+	MValidateInterpreted  = "validate.interpreted"
+	MValidateFallback     = "validate.fallback"
+	MValidateCacheHits    = "validate.cache.hits"
+	MValidateCacheMisses  = "validate.cache.misses"
+	MValidateCacheEvicted = "validate.cache.evictions"
+	MMetamodelCompiles    = "metamodel.compiles"
+	MMetamodelCompileErr  = "metamodel.compile.failures"
+	HMetamodelCompile     = "metamodel.compile.latency"
 )
 
 // SupervisorState derives the per-component health gauge name for the

@@ -112,6 +112,12 @@ type Platform struct {
 	metrics  *obs.Metrics
 	injector *fault.Injector
 
+	// vcache memoises conformance validations across the platform's
+	// layers (runtime build, UI checks, synthesis submit/restore) so the
+	// same model content is validated once, not once per layer.
+	vcache    *metamodel.ValidationCache
+	vcacheSet bool
+
 	// model is the validated middleware model the platform was built from,
 	// retained for checkpointing (models@runtime: the platform *is* this
 	// model).
@@ -212,6 +218,17 @@ func WithSupervisor(cfg SupervisorConfig) Option {
 	return func(p *Platform) { p.supCfg = cfg }
 }
 
+// WithValidationCache sets the platform's conformance-validation cache.
+// The default is the process-wide shared cache (so layers and platforms
+// dedupe validations of identical content against each other); pass nil to
+// disable validation memoisation for this platform.
+func WithValidationCache(c *metamodel.ValidationCache) Option {
+	return func(p *Platform) {
+		p.vcache = c
+		p.vcacheSet = true
+	}
+}
+
 // SetExternalEvents installs (or replaces) the external event observer
 // after construction; bridges use this to attach to running platforms.
 func (p *Platform) SetExternalEvents(fn func(broker.Event)) {
@@ -227,26 +244,17 @@ func (p *Platform) externalSink() func(broker.Event) {
 }
 
 // Build validates the middleware model against the middleware metamodel,
-// checks cross-layer consistency, and instantiates the platform.
+// checks cross-layer consistency, and instantiates the platform. The
+// validation goes through the platform's validation cache (options are
+// applied first so WithValidationCache can redirect or disable it): when
+// the same middleware content was validated before — by a previous Build,
+// by core.Definition.Validate, or by a builder's own check — the cached
+// validated model is reused instead of re-walking conformance.
 func Build(model *metamodel.Model, deps Deps, opts ...Option) (*Platform, error) {
-	mm := mwmeta.MM()
-	work := model.Clone() // Validate applies defaults; keep caller's model intact.
-	if err := work.Validate(mm); err != nil {
-		return nil, fmt.Errorf("runtime: middleware model does not conform: %w", err)
-	}
-	platforms := work.ObjectsOf(mwmeta.ClassPlatform)
-	if len(platforms) != 1 {
-		return nil, fmt.Errorf("runtime: middleware model must declare exactly one Platform, got %d", len(platforms))
-	}
-	root := platforms[0]
-
 	p := &Platform{
-		Name:         root.StringAttr("name"),
-		Domain:       root.StringAttr("domain"),
 		tracer:       deps.Tracer,
 		metrics:      deps.Metrics,
 		injector:     deps.Injector,
-		model:        work,
 		pumpCap:      256,
 		dlqCap:       256,
 		drainTimeout: 5 * time.Second,
@@ -255,6 +263,23 @@ func Build(model *metamodel.Model, deps Deps, opts ...Option) (*Platform, error)
 	for _, o := range opts {
 		o(p)
 	}
+	if !p.vcacheSet {
+		p.vcache = metamodel.SharedValidationCache()
+	}
+	// The cache validates a clone (Validate applies defaults; the caller's
+	// model stays intact) or replays a previously validated one.
+	work, err := p.vcache.Validate(mwmeta.MM(), model)
+	if err != nil {
+		return nil, fmt.Errorf("runtime: middleware model does not conform: %w", err)
+	}
+	platforms := work.ObjectsOf(mwmeta.ClassPlatform)
+	if len(platforms) != 1 {
+		return nil, fmt.Errorf("runtime: middleware model must declare exactly one Platform, got %d", len(platforms))
+	}
+	root := platforms[0]
+	p.Name = root.StringAttr("name")
+	p.Domain = root.StringAttr("domain")
+	p.model = work
 	p.mPosted = p.metrics.Counter(obs.MEventsPosted)
 	p.mDropped = p.metrics.Counter(obs.MEventsDropped)
 	p.mRejected = p.metrics.Counter(obs.MEventsRejected)
@@ -515,7 +540,7 @@ func (p *Platform) buildSynthesis(obj *metamodel.Object, deps Deps) error {
 	s, err := synthesis.New(
 		synthesis.Config{
 			Name: obj.StringAttr("name"), DSML: deps.DSML, LTS: def,
-			Tracer: p.tracer, Metrics: p.metrics,
+			Tracer: p.tracer, Metrics: p.metrics, Cache: p.vcache,
 		},
 		p.Controller.Execute,
 		func(m *metamodel.Model) {
@@ -533,7 +558,7 @@ func (p *Platform) buildSynthesis(obj *metamodel.Object, deps Deps) error {
 
 func (p *Platform) buildUI(obj *metamodel.Object, deps Deps) error {
 	u, err := ui.New(obj.StringAttr("name"), deps.DSML, p.Synthesis.Submit,
-		ui.WithObs(p.tracer, p.metrics))
+		ui.WithObs(p.tracer, p.metrics), ui.WithValidationCache(p.vcache))
 	if err != nil {
 		return fmt.Errorf("runtime: %w", err)
 	}

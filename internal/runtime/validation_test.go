@@ -1,0 +1,205 @@
+package runtime
+
+import (
+	"testing"
+
+	"github.com/mddsm/mddsm/internal/broker"
+	"github.com/mddsm/mddsm/internal/lts"
+	"github.com/mddsm/mddsm/internal/metamodel"
+	"github.com/mddsm/mddsm/internal/obs"
+)
+
+// buildCached is buildFull with a private validation cache, so the tests
+// below can count exactly how many full conformance walks the platform
+// performs (misses) versus how many it replays (hits).
+func buildCached(t testing.TB, c *metamodel.ValidationCache) (*Platform, *rec) {
+	t.Helper()
+	r := &rec{}
+	p, err := Build(fullModel(t), Deps{
+		DSML:       toyDSML(t),
+		LTSes:      map[string]*lts.LTS{"sem": toyLTS()},
+		Adapters:   map[string]broker.Adapter{"main": r},
+		Repository: toyRepo(t),
+	}, WithValidationCache(c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, r
+}
+
+// TestBuildValidatesMiddlewareOnce: the regression test for the
+// double-validation bug. Building a platform walks the middleware model's
+// conformance exactly once; rebuilding from the same content replays the
+// cached validation instead of re-walking.
+func TestBuildValidatesMiddlewareOnce(t *testing.T) {
+	c := metamodel.NewValidationCache(32)
+	reg := obs.NewMetrics()
+	c.BindMetrics(reg)
+
+	buildCached(t, c)
+	if hits, misses, _ := c.Stats(); hits != 0 || misses != 1 {
+		t.Fatalf("first build: %d hits / %d misses, want 0/1 (middleware validated once)", hits, misses)
+	}
+	buildCached(t, c)
+	if hits, misses, _ := c.Stats(); hits != 1 || misses != 1 {
+		t.Fatalf("second build: %d hits / %d misses, want 1/1 (validation replayed)", hits, misses)
+	}
+	if reg.CounterValue(obs.MValidateCacheMisses) != 1 {
+		t.Errorf("obs miss counter = %d, want 1", reg.CounterValue(obs.MValidateCacheMisses))
+	}
+}
+
+// TestSubmitDedupesValidation: an application model's conformance is
+// checked once per content across the UI and Synthesis layers, and a
+// resubmission of unchanged content skips re-validation entirely.
+func TestSubmitDedupesValidation(t *testing.T) {
+	c := metamodel.NewValidationCache(32)
+	p, _ := buildCached(t, c)
+	_, misses0, _ := c.Stats()
+
+	m := metamodel.NewModel("toy-dsml")
+	m.NewObject("s1", "Session")
+	m.NewObject("st1", "Stream").SetAttr("media", "audio")
+	m.Get("s1").AddRef("streams", "st1")
+
+	if _, err := p.SubmitModel(m); err != nil {
+		t.Fatal(err)
+	}
+	hits1, misses1, _ := c.Stats()
+	if misses1 != misses0+1 || hits1 != 0 {
+		t.Fatalf("first submit: %d hits / %d new misses, want 0 hits / 1 miss", hits1, misses1-misses0)
+	}
+
+	// Resubmitting identical content: a cache hit, no re-validation.
+	if _, err := p.SubmitModel(m.Clone()); err != nil {
+		t.Fatal(err)
+	}
+	hits2, misses2, _ := c.Stats()
+	if misses2 != misses1 || hits2 != hits1+1 {
+		t.Fatalf("resubmit: stats %d/%d -> %d/%d, want one hit and no new miss",
+			hits1, misses1, hits2, misses2)
+	}
+}
+
+// TestSubmitWovenValidatesOnce: SubmitWoven checks the woven model at the
+// UI boundary and the Synthesis layer then reuses that validation — one
+// miss and one hit, not two full walks of the same content.
+func TestSubmitWovenValidatesOnce(t *testing.T) {
+	c := metamodel.NewValidationCache(32)
+	p, _ := buildCached(t, c)
+	_, misses0, _ := c.Stats()
+
+	concern := metamodel.NewModel("toy-dsml")
+	concern.NewObject("s1", "Session")
+	concern.NewObject("st1", "Stream").SetAttr("media", "video")
+	concern.Get("s1").AddRef("streams", "st1")
+
+	if _, err := p.UI.SubmitWoven(concern); err != nil {
+		t.Fatal(err)
+	}
+	hits, misses, _ := c.Stats()
+	if misses != misses0+1 {
+		t.Errorf("woven submit caused %d validation walks, want 1", misses-misses0)
+	}
+	if hits != 1 {
+		t.Errorf("woven submit: %d cache hits, want 1 (synthesis reusing the UI check)", hits)
+	}
+
+	// A non-conforming woven model is still rejected at the UI boundary.
+	bad := metamodel.NewModel("toy-dsml")
+	bad.NewObject("st2", "Stream") // required media unset
+	if _, err := p.UI.SubmitWoven(bad); err == nil {
+		t.Fatal("non-conforming woven model accepted")
+	}
+}
+
+// TestDraftValidateWarmsSubmit: an explicit Draft.Validate memoises its
+// check, so the subsequent Submit's synthesis-side validation is a hit.
+func TestDraftValidateWarmsSubmit(t *testing.T) {
+	c := metamodel.NewValidationCache(32)
+	p, _ := buildCached(t, c)
+	_, misses0, _ := c.Stats()
+
+	d := p.UI.NewDraft()
+	s := d.MustAdd("s1", "Session")
+	d.MustAdd("st1", "Stream").SetAttr("media", "audio")
+	s.AddRef("streams", "st1")
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Submit(); err != nil {
+		t.Fatal(err)
+	}
+	hits, misses, _ := c.Stats()
+	if misses != misses0+1 || hits != 1 {
+		t.Fatalf("draft validate+submit: %d hits / %d new misses, want 1 hit / 1 miss",
+			hits, misses-misses0)
+	}
+}
+
+// TestRestoreReplaysValidation: restoring the same checkpoint twice
+// validates its models once — the second restore replays both the
+// middleware and the application validation from cache.
+func TestRestoreReplaysValidation(t *testing.T) {
+	c := metamodel.NewValidationCache(32)
+	p, r := buildCached(t, c)
+
+	m := metamodel.NewModel("toy-dsml")
+	m.NewObject("s1", "Session")
+	m.NewObject("st1", "Stream").SetAttr("media", "audio")
+	m.Get("s1").AddRef("streams", "st1")
+	if _, err := p.SubmitModel(m); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := p.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	deps := Deps{
+		DSML:       toyDSML(t),
+		LTSes:      map[string]*lts.LTS{"sem": toyLTS()},
+		Adapters:   map[string]broker.Adapter{"main": r},
+		Repository: toyRepo(t),
+	}
+	if _, err := Restore(snap, deps, WithValidationCache(c)); err != nil {
+		t.Fatal(err)
+	}
+	hits1, misses1, _ := c.Stats()
+	if _, err := Restore(snap, deps, WithValidationCache(c)); err != nil {
+		t.Fatal(err)
+	}
+	hits2, misses2, _ := c.Stats()
+	if misses2 != misses1 {
+		t.Errorf("second restore re-validated: %d new misses", misses2-misses1)
+	}
+	if hits2 <= hits1 {
+		t.Errorf("second restore produced no cache hits (%d -> %d)", hits1, hits2)
+	}
+}
+
+// TestDisabledCacheStillValidates: WithValidationCache(nil) turns off
+// memoisation without weakening conformance checking.
+func TestDisabledCacheStillValidates(t *testing.T) {
+	r := &rec{}
+	deps := Deps{
+		DSML:       toyDSML(t),
+		LTSes:      map[string]*lts.LTS{"sem": toyLTS()},
+		Adapters:   map[string]broker.Adapter{"main": r},
+		Repository: toyRepo(t),
+	}
+	p, err := Build(fullModel(t), deps, WithValidationCache(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := metamodel.NewModel("toy-dsml")
+	bad.NewObject("st1", "Stream") // required media unset
+	if _, err := p.SubmitModel(bad); err == nil {
+		t.Fatal("invalid model accepted with caching disabled")
+	}
+	good := metamodel.NewModel("toy-dsml")
+	good.NewObject("s1", "Session")
+	if _, err := p.SubmitModel(good); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -46,6 +46,10 @@ type Config struct {
 	// Tracer and Metrics observe the layer; both may be nil (disabled).
 	Tracer  *obs.Tracer
 	Metrics *obs.Metrics
+	// Cache memoises conformance validations by content hash; nil disables
+	// memoisation. The runtime shares one cache across its layers so a
+	// model validated at the UI boundary is not re-validated here.
+	Cache *metamodel.ValidationCache
 }
 
 // Synthesis is the live Synthesis layer. Top-level operations (Submit and
@@ -56,6 +60,7 @@ type Config struct {
 type Synthesis struct {
 	name     string
 	dsml     *metamodel.Metamodel
+	vcache   *metamodel.ValidationCache
 	instance *lts.Instance
 	dispatch Dispatch
 	observe  ModelObserver
@@ -96,6 +101,7 @@ func New(cfg Config, dispatch Dispatch, observe ModelObserver) (*Synthesis, erro
 	s := &Synthesis{
 		name:     cfg.Name,
 		dsml:     cfg.DSML,
+		vcache:   cfg.Cache,
 		instance: lts.NewInstance(cfg.LTS),
 		dispatch: dispatch,
 		observe:  observe,
@@ -170,8 +176,8 @@ func (s *Synthesis) Seq() int {
 // re-provisioned out of band). The model must conform to the DSML and the
 // LTS state must be one the instance's definition declares.
 func (s *Synthesis) RestoreState(m *metamodel.Model, seq int, ltsState string) error {
-	candidate := m.Clone()
-	if err := candidate.Validate(s.dsml); err != nil {
+	candidate, err := s.vcache.Validate(s.dsml, m)
+	if err != nil {
 		return fmt.Errorf("synthesis %s: restored model does not conform to %s: %w",
 			s.name, s.dsml.Name, err)
 	}
@@ -223,10 +229,10 @@ func (s *Synthesis) doSubmit(newModel *metamodel.Model) (out *script.Script, err
 		}
 	}()
 
-	candidate := newModel.Clone()
-	if err := candidate.Validate(s.dsml); err != nil {
+	candidate, cerr := s.vcache.Validate(s.dsml, newModel)
+	if cerr != nil {
 		return nil, fmt.Errorf("synthesis %s: model does not conform to %s: %w",
-			s.name, s.dsml.Name, err)
+			s.name, s.dsml.Name, cerr)
 	}
 
 	changes := metamodel.DiffWithContainment(s.current, candidate, s.dsml)

@@ -24,6 +24,7 @@ type SubmitFunc func(*metamodel.Model) (*script.Script, error)
 type UI struct {
 	name   string
 	dsml   *metamodel.Metamodel
+	vcache *metamodel.ValidationCache
 	submit SubmitFunc
 
 	tracer   *obs.Tracer
@@ -44,6 +45,14 @@ func WithObs(t *obs.Tracer, m *obs.Metrics) Option {
 		u.tracer = t
 		u.mSubmits = m.Counter(obs.MUISubmits)
 	}
+}
+
+// WithValidationCache shares a conformance-validation cache with the layer.
+// Draft validation and woven-model checks then warm the same cache the
+// Synthesis layer reads, so a model validated here is not re-validated on
+// submission. A nil cache (the default) validates without memoisation.
+func WithValidationCache(c *metamodel.ValidationCache) Option {
+	return func(u *UI) { u.vcache = c }
 }
 
 // New builds a UI layer for a DSML. submit is normally the Synthesis
@@ -134,7 +143,7 @@ func (u *UI) SubmitWoven(concerns ...*metamodel.Model) (*script.Script, error) {
 	if err != nil {
 		return nil, fmt.Errorf("ui %s: weave: %w", u.name, err)
 	}
-	if err := woven.Clone().Validate(u.dsml); err != nil {
+	if _, err := u.vcache.Validate(u.dsml, woven); err != nil {
 		return nil, fmt.Errorf("ui %s: woven model does not conform: %w", u.name, err)
 	}
 	return u.Submit(woven)
@@ -197,8 +206,11 @@ func (d *Draft) Remove(id string) error {
 func (d *Draft) Model() *metamodel.Model { return d.model }
 
 // Validate checks draft conformance against the DSML without submitting.
+// With a shared validation cache the result is memoised, so a subsequent
+// Submit of the unmodified draft skips re-validation in Synthesis.
 func (d *Draft) Validate() error {
-	return d.model.Clone().Validate(d.ui.dsml)
+	_, err := d.ui.vcache.Validate(d.ui.dsml, d.model)
+	return err
 }
 
 // Submit sends the draft to the Synthesis layer and returns the control

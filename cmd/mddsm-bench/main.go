@@ -14,8 +14,8 @@ import (
 	"fmt"
 	"os"
 
+	"github.com/mddsm/mddsm/internal/cliutil"
 	"github.com/mddsm/mddsm/internal/experiments"
-	"github.com/mddsm/mddsm/internal/metamodel"
 )
 
 func main() {
@@ -27,32 +27,26 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("mddsm-bench", flag.ContinueOnError)
-	exp := fs.String("e", "", "experiment to run (e1..e6, pump); empty runs all")
-	withObs := fs.Bool("obs", false, "print per-phase span counts for an instrumented run instead of the experiments")
-	faults := fs.String("faults", "", `with -obs: inject faults "seed=N,site:kind[:p=..][:d=..][:n=..],..." into the instrumented run`)
+	exp := fs.String("e", "", "experiment to run (e1..e6, pump, validate, serve); empty runs all")
 	iters := fs.Int("iters", 50, "iterations per scenario for timing experiments (e2)")
 	root := fs.String("root", "", "repository root for source-size accounting (e5) and bundled models (validate); auto-detected when empty")
-	jsonOut := fs.String("json", "", `with -e validate: write the machine-readable report to this path (e.g. BENCH_validate.json)`)
-	valMode := fs.String("validate-mode", "", "force the conformance validator: compiled or interpreted (default compiled with interpreted fallback)")
+	jsonOut := fs.String("json", "", `with -e validate/serve: write the machine-readable report to this path (e.g. BENCH_validate.json)`)
+	common := cliutil.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *valMode != "" {
-		mode, err := metamodel.ParseValidationMode(*valMode)
-		if err != nil {
-			return err
-		}
-		metamodel.SetValidationMode(mode)
+	if err := common.ApplyValidationMode(); err != nil {
+		return err
 	}
 
 	w := os.Stdout
-	if *faults != "" {
-		if !*withObs {
+	if common.Faults != "" {
+		if !common.Obs {
 			return fmt.Errorf("-faults requires -obs")
 		}
-		return experiments.ReportObsFaults(w, *faults)
+		return experiments.ReportObsFaults(w, common.Faults)
 	}
-	if *withObs {
+	if common.Obs {
 		return experiments.ReportObs(w)
 	}
 	repoRoot := func(why string) (string, error) {
@@ -78,8 +72,9 @@ func run(args []string) error {
 			}
 			return experiments.ReportE5(w, dir)
 		},
-		"e6":   func() error { return experiments.ReportE6(w) },
-		"pump": func() error { return experiments.ReportPump(w) },
+		"e6":    func() error { return experiments.ReportE6(w) },
+		"pump":  func() error { return experiments.ReportPump(w) },
+		"serve": func() error { return experiments.ReportServe(w, *jsonOut) },
 		"validate": func() error {
 			dir, err := repoRoot("validate needs the bundled testdata models")
 			if err != nil {
@@ -91,11 +86,11 @@ func run(args []string) error {
 	if *exp != "" {
 		fn, ok := all[*exp]
 		if !ok {
-			return fmt.Errorf("unknown experiment %q (want e1..e6, pump or validate)", *exp)
+			return fmt.Errorf("unknown experiment %q (want e1..e6, pump, validate or serve)", *exp)
 		}
 		return fn()
 	}
-	for _, name := range []string{"e1", "e2", "e3", "e4", "e5", "e6", "pump", "validate"} {
+	for _, name := range []string{"e1", "e2", "e3", "e4", "e5", "e6", "pump", "validate", "serve"} {
 		if err := all[name](); err != nil {
 			return fmt.Errorf("%s: %w", name, err)
 		}

@@ -4,26 +4,27 @@
 //
 // Usage:
 //
-//	mddsm-run -domain cvm      -model session.json
-//	mddsm-run -domain mgridvm  -model home.json
-//	mddsm-run -domain cvm      -model session.json -snapshot state.json
-//	mddsm-run -domain cvm      -restore state.json [-model next.json]
+//	mddsm-run -domain cml      -model session.json
+//	mddsm-run -domain mgrid    -model home.json
+//	mddsm-run -domain cml      -model session.json -snapshot state.json
+//	mddsm-run -domain cml      -restore state.json [-model next.json]
 //
 // -snapshot checkpoints the platform's models@runtime state after the run;
 // -restore rebuilds the platform from such a checkpoint instead of
 // building it fresh (a -model is then optional and submitted on top of the
-// restored state). The two single-process domains (cvm, mgridvm) are
-// runnable from model files; the distributed platforms (2svm, csvm) are
-// demonstrated by the examples/ programs.
+// restored state). Any bundle in the domains registry is runnable; the
+// legacy spellings cvm and mgridvm are accepted for cml and mgrid.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
-	"github.com/mddsm/mddsm/internal/domains/cml"
-	"github.com/mddsm/mddsm/internal/domains/mgrid"
+	"github.com/mddsm/mddsm/internal/cliutil"
+	"github.com/mddsm/mddsm/internal/domains"
+	_ "github.com/mddsm/mddsm/internal/domains/all"
 	"github.com/mddsm/mddsm/internal/fault"
 	"github.com/mddsm/mddsm/internal/metamodel"
 	"github.com/mddsm/mddsm/internal/obs"
@@ -38,26 +39,18 @@ func main() {
 	}
 }
 
+// legacyNames maps the pre-registry domain spellings onto bundle names.
+var legacyNames = map[string]string{"cvm": "cml", "mgridvm": "mgrid"}
+
 func run(args []string) error {
 	fs := flag.NewFlagSet("mddsm-run", flag.ContinueOnError)
-	domain := fs.String("domain", "cvm", "platform to run: cvm or mgridvm")
+	domain := fs.String("domain", "cml", "domain bundle to run: "+strings.Join(domains.Names(), ", "))
 	modelPath := fs.String("model", "", "application model JSON")
-	withObs := fs.Bool("obs", false, "instrument the platform and print an observability snapshot")
-	faults := fs.String("faults", "", `inject faults: "seed=N,site:kind[:p=0.5][:d=10ms][:n=3],..." (see internal/fault)`)
-	pumpShards := fs.Int("pump-shards", 0, "event-pump shards (0 = GOMAXPROCS); same-source events stay ordered per shard key")
 	snapshotPath := fs.String("snapshot", "", "checkpoint the platform state to this file after the run")
 	restorePath := fs.String("restore", "", "rebuild the platform from this checkpoint instead of building it fresh")
-	valMode := fs.String("validate-mode", "", "conformance validator: compiled or interpreted (default compiled with interpreted fallback)")
-	valCache := fs.Int("validate-cache", metamodel.DefaultValidationCacheSize, "validation cache capacity in models; 0 disables memoised conformance checks")
+	common := cliutil.Register(fs).RegisterPump(fs).RegisterValidateCache(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
-	}
-	if *valMode != "" {
-		mode, err := metamodel.ParseValidationMode(*valMode)
-		if err != nil {
-			return err
-		}
-		metamodel.SetValidationMode(mode)
 	}
 	if *modelPath == "" && *restorePath == "" {
 		return fmt.Errorf("need -model (or -restore)")
@@ -80,115 +73,33 @@ func run(args []string) error {
 		}
 	}
 
-	var o *obs.Obs
-	if *withObs {
-		o = obs.New()
+	o, inj, rcfg, err := common.Resolve()
+	if err != nil {
+		return err
+	}
+	cfg := domains.Config{Runtime: rcfg, Obs: o, Injector: inj}
+	if inj != nil {
+		cfg.Resilience = fault.DefaultResilience()
 	}
 
-	// Resolve the validation cache: shared by default, private when a
-	// custom capacity is requested, off at capacity 0.
-	var (
-		vcache    *metamodel.ValidationCache
-		vcacheSet bool
-	)
-	switch {
-	case *valCache == 0:
-		vcacheSet = true // vcache stays nil: memoisation off
-	case *valCache != metamodel.DefaultValidationCacheSize:
-		vcache = metamodel.NewValidationCache(*valCache)
-		vcacheSet = true
-	default:
-		vcache = metamodel.SharedValidationCache()
+	bundle := *domain
+	if canonical, ok := legacyNames[bundle]; ok {
+		bundle = canonical
 	}
-	if o != nil {
-		metamodel.BindMetrics(o.MetricsOf())
-		if vcache != nil {
-			vcache.BindMetrics(o.MetricsOf())
-		}
+	var inst *domains.Instance
+	if snap != nil {
+		inst, err = domains.Restore(bundle, snap, cfg)
+	} else {
+		inst, err = domains.New(bundle, cfg)
 	}
-
-	var inj *fault.Injector
-	if *faults != "" {
-		var err error
-		inj, err = fault.Parse(*faults)
-		if err != nil {
-			return fmt.Errorf("-faults: %w", err)
-		}
-		if o != nil {
-			inj.BindMetrics(o.MetricsOf())
-		}
+	if err != nil {
+		return err
 	}
-
-	var (
-		plat    *runtime.Platform
-		traceFn func() string
-	)
-	switch *domain {
-	case "cvm":
-		var opts []cml.Option
-		if o != nil {
-			opts = append(opts, cml.WithObs(o))
-		}
-		if inj != nil {
-			opts = append(opts, cml.WithFault(inj), cml.WithResilience(fault.DefaultResilience()))
-		}
-		if *pumpShards > 0 {
-			opts = append(opts, cml.WithRuntime(runtime.WithPumpShards(*pumpShards)))
-		}
-		if vcacheSet {
-			opts = append(opts, cml.WithRuntime(runtime.WithValidationCache(vcache)))
-		}
-		var (
-			vm  *cml.CVM
-			err error
-		)
-		if snap != nil {
-			vm, err = cml.Restore(snap, opts...)
-		} else {
-			vm, err = cml.New(opts...)
-		}
-		if err != nil {
-			return err
-		}
-		plat = vm.Platform
-		traceFn = func() string { return vm.Service.Trace().String() }
-	case "mgridvm":
-		var opts []mgrid.Option
-		if o != nil {
-			opts = append(opts, mgrid.WithObs(o))
-		}
-		if inj != nil {
-			opts = append(opts, mgrid.WithFault(inj), mgrid.WithResilience(fault.DefaultResilience()))
-		}
-		if *pumpShards > 0 {
-			opts = append(opts, mgrid.WithRuntime(runtime.WithPumpShards(*pumpShards)))
-		}
-		if vcacheSet {
-			opts = append(opts, mgrid.WithRuntime(runtime.WithValidationCache(vcache)))
-		}
-		var (
-			vm  *mgrid.MGridVM
-			err error
-		)
-		if snap != nil {
-			vm, err = mgrid.Restore(snap, opts...)
-		} else {
-			vm, err = mgrid.New(opts...)
-		}
-		if err != nil {
-			return err
-		}
-		plat = vm.Platform
-		traceFn = func() string { return vm.Plant.Trace().String() }
-	default:
-		return fmt.Errorf("unknown domain %q (want cvm or mgridvm)", *domain)
-	}
+	plat := inst.Platform
 
 	var out *script.Script
 	if m != nil {
-		var err error
-		out, err = plat.SubmitModel(m)
-		if err != nil {
+		if out, err = plat.SubmitModel(m); err != nil {
 			return err
 		}
 	}
@@ -203,7 +114,7 @@ func run(args []string) error {
 		fmt.Printf("# checkpoint written to %s (%d bytes)\n", *snapshotPath, len(data))
 	}
 
-	report(plat, out, traceFn(), o, inj)
+	report(plat, out, inst.Trace(), o, inj)
 	return nil
 }
 

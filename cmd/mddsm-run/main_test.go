@@ -63,7 +63,7 @@ func TestRunErrors(t *testing.T) {
 		t.Error("missing -model must fail")
 	}
 	if err := run([]string{"-domain", "nope", "-model", data(t, "session.json")}); err == nil ||
-		!strings.Contains(err.Error(), "unknown domain") {
+		!strings.Contains(err.Error(), "unknown bundle") {
 		t.Errorf("unknown domain: %v", err)
 	}
 	if err := run([]string{"-domain", "cvm", "-model", "missing.json"}); err == nil {

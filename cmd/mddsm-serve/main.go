@@ -1,0 +1,92 @@
+// Command mddsm-serve is the multi-tenant MD-DSM platform daemon: one
+// process hosting a platform per tenant, each keyed by a registered domain
+// bundle, multiplexed over the newline-JSON wire of internal/remote.
+//
+// Usage:
+//
+//	mddsm-serve -addr 127.0.0.1:7433 -max-resident 64 -event-rate 1000
+//
+// Clients drive tenants through control verbs (create, evict, stat,
+// snapshot, submit, tenants, obs) and tenant-stamped command/event frames;
+// see remote.Client.Control and remote.Client.Session. Past -max-resident
+// live platforms the least-recently-used tenant is checkpointed and
+// parked; the next frame naming it restores it transparently. SIGINT and
+// SIGTERM drain every resident platform before exit.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"github.com/mddsm/mddsm/internal/cliutil"
+	_ "github.com/mddsm/mddsm/internal/domains/all"
+	"github.com/mddsm/mddsm/internal/remote"
+	"github.com/mddsm/mddsm/internal/serve"
+)
+
+func main() {
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, syscall.SIGINT, syscall.SIGTERM)
+	if err := run(os.Args[1:], nil, stop); err != nil {
+		fmt.Fprintln(os.Stderr, "mddsm-serve:", err)
+		os.Exit(1)
+	}
+}
+
+// run starts the daemon and blocks until a signal arrives, then drains.
+// ready (optional) receives the bound address once listening; tests use it
+// to connect and to shut down via the stop channel.
+func run(args []string, ready func(addr string), stop <-chan os.Signal) error {
+	fs := flag.NewFlagSet("mddsm-serve", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:7433", "listen address")
+	maxResident := fs.Int("max-resident", serve.DefaultMaxResident,
+		"max simultaneously live tenant platforms; the overflow is checkpointed and parked")
+	eventRate := fs.Float64("event-rate", 0, "per-tenant sustained events/second (0 = unlimited)")
+	eventBurst := fs.Int("event-burst", 0, "per-tenant event burst size (default 1 when -event-rate is set)")
+	common := cliutil.Register(fs).RegisterPump(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	o, inj, rcfg, err := common.Resolve()
+	if err != nil {
+		return err
+	}
+
+	s := serve.NewServer(serve.Config{
+		MaxResident: *maxResident,
+		Quota: serve.Quota{
+			Runtime:    rcfg,
+			EventRate:  *eventRate,
+			EventBurst: *eventBurst,
+		},
+		Obs: o,
+	})
+	var ropts []remote.Option
+	if inj != nil {
+		ropts = append(ropts, remote.WithInjector(inj))
+	}
+	if o != nil {
+		ropts = append(ropts, remote.WithMetrics(o.MetricsOf()))
+	}
+	srv, err := remote.NewRouterServer(s, *addr, ropts...)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("mddsm-serve: listening on %s (max-resident %d)\n", srv.Addr(), *maxResident)
+	if ready != nil {
+		ready(srv.Addr())
+	}
+
+	<-stop
+	fmt.Println("mddsm-serve: draining")
+	srv.Close() // stop accepting and drop connections first
+	s.Close()   // then drain every resident platform
+	if o != nil {
+		fmt.Println("# observability snapshot")
+		fmt.Println(o.Snapshot())
+	}
+	return nil
+}

@@ -1,0 +1,70 @@
+package main
+
+import (
+	"os"
+	"syscall"
+	"testing"
+	"time"
+
+	"github.com/mddsm/mddsm/internal/broker"
+	"github.com/mddsm/mddsm/internal/remote"
+)
+
+// TestDaemonLifecycle boots the daemon on an ephemeral port, provisions a
+// tenant over the wire, posts an event, and shuts down via the signal
+// channel (the SIGTERM drain path).
+func TestDaemonLifecycle(t *testing.T) {
+	stop := make(chan os.Signal, 1)
+	addrCh := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-addr", "127.0.0.1:0", "-max-resident", "2", "-obs"},
+			func(addr string) { addrCh <- addr }, stop)
+	}()
+	var addr string
+	select {
+	case addr = <-addrCh:
+	case err := <-done:
+		t.Fatalf("daemon exited early: %v", err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("daemon never came up")
+	}
+
+	c, err := remote.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Control("create", "acme", map[string]any{"bundle": "mgrid"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Session("acme").PostEvent(broker.Event{Name: "telemetry", Attrs: map[string]any{}}); err != nil {
+		t.Fatal(err)
+	}
+	attrs, err := c.Control("stat", "acme", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if attrs["resident"] != true {
+		t.Errorf("stat = %v", attrs)
+	}
+
+	stop <- syscall.SIGTERM
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("drain: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not drain")
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	if err := run([]string{"-addr", "not-an-address"}, nil, nil); err == nil {
+		t.Error("bad address must fail")
+	}
+	if err := run([]string{"-validate-mode", "wat"}, nil, nil); err == nil {
+		t.Error("bad validate mode must fail")
+	}
+}

@@ -1,0 +1,131 @@
+// Package cliutil is the shared flag surface of the mddsm commands.
+// mddsm-run and mddsm-bench used to re-declare the same flags (-obs,
+// -faults, -validate-mode, -pump-shards, -validate-cache) with drifting
+// help strings and copy-pasted resolution logic; mddsm-serve would have
+// been the third copy. The flags register here once, and Resolve turns
+// them into the runtime objects every command needs: the observability
+// bundle, the fault injector (metrics bound), and a runtime.Config with
+// the validation cache and pump sharding folded in.
+package cliutil
+
+import (
+	"flag"
+	"fmt"
+
+	"github.com/mddsm/mddsm/internal/fault"
+	"github.com/mddsm/mddsm/internal/metamodel"
+	"github.com/mddsm/mddsm/internal/obs"
+	"github.com/mddsm/mddsm/internal/runtime"
+)
+
+// Common holds the shared flag values. Zero-value fields mean "flag not
+// registered or not set".
+type Common struct {
+	// Obs arms instrumentation (-obs).
+	Obs bool
+	// Faults is the fault-injection schedule (-faults).
+	Faults string
+	// ValidateMode forces the conformance validator (-validate-mode).
+	ValidateMode string
+	// PumpShards is the event-pump shard count (-pump-shards, 0 =
+	// GOMAXPROCS).
+	PumpShards int
+	// ValidateCache is the validation cache capacity (-validate-cache);
+	// see RegisterValidateCache for the default/0 semantics.
+	ValidateCache int
+
+	pumpRegistered  bool
+	cacheRegistered bool
+}
+
+// Register installs the flags every command shares: -obs, -faults and
+// -validate-mode.
+func Register(fs *flag.FlagSet) *Common {
+	c := &Common{}
+	fs.BoolVar(&c.Obs, "obs", false, "instrument the run and print an observability snapshot")
+	fs.StringVar(&c.Faults, "faults", "", `inject faults: "seed=N,site:kind[:p=0.5][:d=10ms][:n=3],..." (see internal/fault)`)
+	fs.StringVar(&c.ValidateMode, "validate-mode", "", "conformance validator: compiled or interpreted (default compiled with interpreted fallback)")
+	return c
+}
+
+// RegisterPump additionally installs -pump-shards.
+func (c *Common) RegisterPump(fs *flag.FlagSet) *Common {
+	fs.IntVar(&c.PumpShards, "pump-shards", 0, "event-pump shards (0 = GOMAXPROCS); same-source events stay ordered per shard key")
+	c.pumpRegistered = true
+	return c
+}
+
+// RegisterValidateCache additionally installs -validate-cache.
+func (c *Common) RegisterValidateCache(fs *flag.FlagSet) *Common {
+	fs.IntVar(&c.ValidateCache, "validate-cache", metamodel.DefaultValidationCacheSize,
+		"validation cache capacity in models; 0 disables memoised conformance checks")
+	c.cacheRegistered = true
+	return c
+}
+
+// ApplyValidationMode parses -validate-mode and installs it process-wide;
+// it is a no-op when the flag is empty.
+func (c *Common) ApplyValidationMode() error {
+	if c.ValidateMode == "" {
+		return nil
+	}
+	mode, err := metamodel.ParseValidationMode(c.ValidateMode)
+	if err != nil {
+		return err
+	}
+	metamodel.SetValidationMode(mode)
+	return nil
+}
+
+// Resolve turns the parsed flags into their runtime objects:
+//
+//   - the observability bundle (nil without -obs), with the metamodel
+//     compile metrics bound;
+//   - the fault injector (nil without -faults), its metrics bound to the
+//     obs bundle when both are armed;
+//   - a runtime.Config carrying -pump-shards and the -validate-cache
+//     resolution (shared cache by default, private at a custom capacity,
+//     disabled at 0), cache metrics bound likewise.
+//
+// Resolve also applies -validate-mode; call it once after flag parsing.
+func (c *Common) Resolve() (*obs.Obs, *fault.Injector, runtime.Config, error) {
+	rcfg := runtime.Config{}
+	if err := c.ApplyValidationMode(); err != nil {
+		return nil, nil, rcfg, err
+	}
+	var o *obs.Obs
+	if c.Obs {
+		o = obs.New()
+		metamodel.BindMetrics(o.MetricsOf())
+	}
+
+	if c.pumpRegistered {
+		rcfg.PumpShards = c.PumpShards
+	}
+	if c.cacheRegistered {
+		switch {
+		case c.ValidateCache == 0:
+			rcfg.DisableValidationCache = true
+		case c.ValidateCache != metamodel.DefaultValidationCacheSize:
+			rcfg.ValidationCache = metamodel.NewValidationCache(c.ValidateCache)
+		default:
+			rcfg.ValidationCache = metamodel.SharedValidationCache()
+		}
+	}
+	if o != nil && rcfg.ValidationCache != nil {
+		rcfg.ValidationCache.BindMetrics(o.MetricsOf())
+	}
+
+	var inj *fault.Injector
+	if c.Faults != "" {
+		var err error
+		inj, err = fault.Parse(c.Faults)
+		if err != nil {
+			return nil, nil, rcfg, fmt.Errorf("-faults: %w", err)
+		}
+		if o != nil {
+			inj.BindMetrics(o.MetricsOf())
+		}
+	}
+	return o, inj, rcfg, nil
+}

@@ -1,0 +1,12 @@
+// Package all registers every built-in domain bundle with the domains
+// registry. Import it for the side effect:
+//
+//	import _ "github.com/mddsm/mddsm/internal/domains/all"
+package all
+
+import (
+	_ "github.com/mddsm/mddsm/internal/domains/cml"
+	_ "github.com/mddsm/mddsm/internal/domains/csense"
+	_ "github.com/mddsm/mddsm/internal/domains/mgrid"
+	_ "github.com/mddsm/mddsm/internal/domains/smartspace"
+)

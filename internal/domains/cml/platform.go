@@ -124,20 +124,9 @@ func NewWithClock(clock simtime.Clock, opts ...Option) (*CVM, error) {
 	return vm, nil
 }
 
-// Restore rebuilds a CVM from a runtime.Checkpoint snapshot on a fresh
-// virtual clock and simulated communication service: the snapshot's
-// middleware model is regenerated against the CML DSK and the checkpointed
-// state (runtime application model, LTS position, contexts, breakers, dead
-// letters) reinstated. The restored platform is not started.
-func Restore(snapshot []byte, opts ...Option) (*CVM, error) {
-	vm, def, bo := assemble(simtime.NewVirtual(), opts)
-	p, err := core.Restore(def, snapshot, bo.runtime...)
-	if err != nil {
-		return nil, fmt.Errorf("cvm: restore: %w", err)
-	}
-	vm.Platform = p
-	return vm, nil
-}
+// Restoring a CVM from a runtime.Checkpoint snapshot goes through the
+// bundle registry: domains.Restore("cml", snapshot, cfg) — the single
+// registry-driven restore path that replaced the per-domain copies.
 
 // assemble wires the CVM shell (clock + simulated service) and the MD-DSM
 // definition that Build and Restore share.

@@ -1,0 +1,186 @@
+// Package domains is the registry of installable domain bundles — the
+// paper's domain-specific platforms (§IV) packaged as named, uniformly
+// constructible units. Each concrete domain (cml, mgrid, smartspace,
+// csense) registers a Bundle in its init, so hosts that provision
+// platforms dynamically — mddsm-serve's tenant table, the CLIs — resolve
+// them by name instead of hard-coding one switch per domain.
+//
+// The package also unifies the checkpoint/restore entry points: where
+// cml.Restore and mgrid.Restore used to copy-paste the
+// assemble→core.Restore→reseed dance, domains.Restore(bundle, snapshot,
+// cfg) is the single registry-driven path (domains.New is its
+// construction twin). Import github.com/mddsm/mddsm/internal/domains/all
+// for the side effect of registering every built-in bundle.
+package domains
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/mddsm/mddsm/internal/core"
+	"github.com/mddsm/mddsm/internal/fault"
+	"github.com/mddsm/mddsm/internal/obs"
+	"github.com/mddsm/mddsm/internal/runtime"
+)
+
+// Config carries everything a bundle needs to build (or restore) one
+// platform instance: the unified runtime tuning profile plus the
+// cross-cutting observability, fault-injection and resilience hooks that
+// used to be one functional option each per domain package.
+type Config struct {
+	// Runtime is the platform tuning profile (zero fields mean the
+	// runtime defaults; see runtime.Defaults).
+	Runtime runtime.Config
+	// Obs instruments every layer of the instance (nil disables).
+	Obs *obs.Obs
+	// Injector arms the instance's fault points (nil disables).
+	Injector *fault.Injector
+	// Resilience configures retry/timeout/circuit-breaking across the
+	// instance's layers (zero disables).
+	Resilience fault.Resilience
+}
+
+// Instance is one provisioned domain platform plus the simulated shell it
+// is wired to (service, plant, hub, fleet — whatever the domain drives).
+type Instance struct {
+	// Bundle names the bundle this instance came from.
+	Bundle string
+	// Platform is the live MD-DSM platform (not started; call
+	// Platform.Start as after runtime.Build).
+	Platform *runtime.Platform
+	// Trace renders the instance's resource trace (never nil; bundles
+	// without a meaningful trace return "").
+	Trace func() string
+
+	// definition is the assembled MD-DSM definition; attach binds the
+	// built platform back into the shell's feedback loop.
+	definition core.Definition
+	attach     func(p *runtime.Platform, restored bool)
+}
+
+// Bundle is one registered domain: a name, a one-line description and the
+// assembly function producing a fresh shell + definition pair.
+type Bundle struct {
+	// Name keys the bundle in the registry ("cml", "mgrid", ...).
+	Name string
+	// Doc is a one-line description for listings.
+	Doc string
+	// Assemble builds a fresh instance shell: Definition populated,
+	// Platform left nil (New and Restore fill it through core).
+	Assemble func(cfg Config) (*Instance, error)
+}
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Bundle{}
+)
+
+// Register installs a bundle; it panics on a duplicate or empty name
+// (registration is an init-time programming act, not a runtime input).
+func Register(b Bundle) {
+	if b.Name == "" || b.Assemble == nil {
+		panic("domains: Register needs a name and an Assemble func")
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[b.Name]; dup {
+		panic(fmt.Sprintf("domains: bundle %q registered twice", b.Name))
+	}
+	registry[b.Name] = b
+}
+
+// Lookup resolves a registered bundle by name.
+func Lookup(name string) (Bundle, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	b, ok := registry[name]
+	return b, ok
+}
+
+// Names lists the registered bundles, sorted.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// assemble resolves the bundle and builds its shell, stamping the
+// bundle name into the instance.
+func assemble(bundle string, cfg Config) (*Instance, error) {
+	b, ok := Lookup(bundle)
+	if !ok {
+		return nil, fmt.Errorf("domains: unknown bundle %q (registered: %v)", bundle, Names())
+	}
+	inst, err := b.Assemble(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("domains: assemble %s: %w", bundle, err)
+	}
+	inst.Bundle = bundle
+	if inst.Trace == nil {
+		inst.Trace = func() string { return "" }
+	}
+	return inst, nil
+}
+
+// New provisions a fresh platform instance of the named bundle.
+func New(bundle string, cfg Config) (*Instance, error) {
+	inst, err := assemble(bundle, cfg)
+	if err != nil {
+		return nil, err
+	}
+	p, err := core.Build(inst.definition, runtime.WithConfig(cfg.Runtime))
+	if err != nil {
+		return nil, fmt.Errorf("domains: build %s: %w", bundle, err)
+	}
+	inst.bind(p, false)
+	return inst, nil
+}
+
+// Restore rebuilds an instance of the named bundle from a
+// runtime.Checkpoint snapshot: the bundle's shell and DSK are assembled
+// fresh, the snapshot's middleware model and layer state are reinstated
+// through core.Restore, and the shell's feedback loop is re-attached. It
+// replaces the per-domain Restore copies (cml.Restore, mgrid.Restore).
+// The restored platform is not started.
+func Restore(bundle string, snapshot []byte, cfg Config) (*Instance, error) {
+	inst, err := assemble(bundle, cfg)
+	if err != nil {
+		return nil, err
+	}
+	p, err := core.Restore(inst.definition, snapshot, runtime.WithConfig(cfg.Runtime))
+	if err != nil {
+		return nil, fmt.Errorf("domains: restore %s: %w", bundle, err)
+	}
+	inst.bind(p, true)
+	return inst, nil
+}
+
+// bind installs the built platform into the instance and runs the
+// bundle's attach hook (shell feedback wiring, context seeding).
+func (inst *Instance) bind(p *runtime.Platform, restored bool) {
+	inst.Platform = p
+	if inst.attach != nil {
+		inst.attach(p, restored)
+	}
+}
+
+// NewInstance builds the Instance a Bundle.Assemble returns. It lives
+// here (rather than exposing the struct fields) so the definition and
+// attach hook stay write-once.
+func NewInstance(def core.Definition, trace func() string, attach func(p *runtime.Platform, restored bool)) *Instance {
+	return &Instance{definition: def, Trace: trace, attach: attach}
+}
+
+// Close stops the instance's platform (drain included). It is safe on an
+// instance whose platform was never started.
+func (inst *Instance) Close() {
+	if inst.Platform != nil {
+		inst.Platform.Stop()
+	}
+}

@@ -1,0 +1,139 @@
+package domains_test
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/mddsm/mddsm/internal/broker"
+	"github.com/mddsm/mddsm/internal/domains"
+	_ "github.com/mddsm/mddsm/internal/domains/all"
+	"github.com/mddsm/mddsm/internal/metamodel"
+	"github.com/mddsm/mddsm/internal/runtime"
+)
+
+func TestRegistryHasBuiltinBundles(t *testing.T) {
+	want := []string{"cml", "csense", "mgrid", "smartspace"}
+	if got := domains.Names(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Names() = %v, want %v", got, want)
+	}
+	for _, name := range want {
+		b, ok := domains.Lookup(name)
+		if !ok {
+			t.Fatalf("Lookup(%q) missing", name)
+		}
+		if b.Doc == "" {
+			t.Errorf("bundle %q has no doc line", name)
+		}
+	}
+}
+
+func TestNewRejectsUnknownBundle(t *testing.T) {
+	if _, err := domains.New("nope", domains.Config{}); err == nil {
+		t.Fatal("New(nope) succeeded, want error")
+	}
+	if _, err := domains.Restore("nope", nil, domains.Config{}); err == nil {
+		t.Fatal("Restore(nope) succeeded, want error")
+	}
+}
+
+// TestEveryBundleBuilds provisions each registered bundle fresh and checks
+// the instance invariants hold: live platform, non-nil trace.
+func TestEveryBundleBuilds(t *testing.T) {
+	for _, name := range domains.Names() {
+		inst, err := domains.New(name, domains.Config{})
+		if err != nil {
+			t.Fatalf("New(%s): %v", name, err)
+		}
+		if inst.Platform == nil {
+			t.Fatalf("New(%s): nil platform", name)
+		}
+		if inst.Bundle != name {
+			t.Errorf("New(%s): Bundle = %q", name, inst.Bundle)
+		}
+		_ = inst.Trace() // must not panic
+		inst.Close()
+	}
+}
+
+// cmlSession drafts the canonical two-party audio session model against a
+// cml instance.
+func cmlSession(t *testing.T, inst *domains.Instance) *metamodel.Model {
+	t.Helper()
+	d := inst.Platform.UI.NewDraft()
+	d.MustAdd("alice", "Person").SetAttr("name", "Alice")
+	d.MustAdd("bob", "Person").SetAttr("name", "Bob")
+	d.MustAdd("s1", "Session").
+		SetRef("participants", "alice", "bob").
+		SetRef("streams", "a1")
+	d.MustAdd("a1", "Stream").
+		SetAttr("media", "audio").
+		SetAttr("bandwidth", 64).
+		SetAttr("session", "s1")
+	return d.Model()
+}
+
+// TestRestoreRoundtripDiffEqual is the unified restore path's contract: a
+// platform checkpointed, restored through domains.Restore and checkpointed
+// again produces equivalent snapshots (modulo the live generator counters
+// runtime.SnapshotsEquivalent documents).
+func TestRestoreRoundtripDiffEqual(t *testing.T) {
+	inst, err := domains.New("cml", domains.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inst.Close()
+	if _, err := inst.Platform.SubmitModel(cmlSession(t, inst)); err != nil {
+		t.Fatal(err)
+	}
+	inst.Platform.Broker.Context().Set("securityLevel", 2.0)
+
+	snap, err := inst.Platform.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := domains.Restore("cml", snap, domains.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer restored.Close()
+	snap2, err := restored.Platform.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	same, err := runtime.SnapshotsEquivalent(snap, snap2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !same {
+		t.Fatalf("restore roundtrip drifted:\n first=%s\nsecond=%s", snap, snap2)
+	}
+	if got := restored.Platform.Synthesis.State(); got != inst.Platform.Synthesis.State() {
+		t.Errorf("restored LTS state = %q, want %q", got, inst.Platform.Synthesis.State())
+	}
+}
+
+// TestRestoreReattachesShell checks the attach hook runs on restore: a
+// restored mgrid instance keeps delivering shell events into the platform
+// and reseeds its default context.
+func TestRestoreReattachesShell(t *testing.T) {
+	inst, err := domains.New("mgrid", domains.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inst.Close()
+	snap, err := inst.Platform.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := domains.Restore("mgrid", snap, domains.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer restored.Close()
+	if _, ok := restored.Platform.Broker.Context().Get("batteryCharge"); !ok {
+		t.Error("restored mgrid lost its batteryCharge context seed")
+	}
+	if err := restored.Platform.DeliverEvent(broker.Event{Name: "telemetry", Attrs: map[string]any{}}); err != nil {
+		t.Errorf("restored platform rejects events: %v", err)
+	}
+}

@@ -318,27 +318,12 @@ func New(opts ...Option) (*MGridVM, error) {
 	return vm, nil
 }
 
-// Restore rebuilds an MGridVM from a runtime.Checkpoint snapshot on a
-// fresh virtual clock and simulated plant. Checkpointed context values win
-// over the construction-time telemetry seeds: the seeds are applied only
-// for keys the snapshot does not carry. The restored platform is not
-// started.
-func Restore(snapshot []byte, opts ...Option) (*MGridVM, error) {
-	vm, def, bo := assemble(opts)
-	p, err := core.Restore(def, snapshot, bo.runtime...)
-	if err != nil {
-		return nil, fmt.Errorf("mgridvm: restore: %w", err)
-	}
-	vm.Platform = p
-	ctx := p.Broker.Context()
-	if _, ok := ctx.Get("batteryCharge"); !ok {
-		ctx.Set("batteryCharge", 1e9)
-	}
-	if _, ok := ctx.Get("reserveKWh"); !ok {
-		ctx.Set("reserveKWh", 0.0)
-	}
-	return vm, nil
-}
+// Restoring an MGridVM from a runtime.Checkpoint snapshot goes through
+// the bundle registry: domains.Restore("mgrid", snapshot, cfg) — the
+// single registry-driven restore path that replaced the per-domain
+// copies. Checkpointed context values win over the construction-time
+// telemetry seeds: the seeds fill only the keys the snapshot does not
+// carry.
 
 // assemble wires the MGridVM shell (clock + simulated plant) and the
 // MD-DSM definition that Build and Restore share.
@@ -395,7 +380,7 @@ func (vm *MGridVM) SyncTelemetry() error {
 // plant telemetry every interval. Stop it with vm.Platform.Stop (or
 // StopMonitor).
 func (vm *MGridVM) StartMonitoring(interval time.Duration) {
-	vm.Platform.StartMonitor(interval, vm.publishTelemetry)
+	vm.Platform.Monitor(runtime.WithInterval(interval), runtime.WithProbe(vm.publishTelemetry))
 }
 
 // SetReserve arms the autonomic battery reserve at the given kWh.

@@ -85,6 +85,14 @@ const (
 	MMetamodelCompiles    = "metamodel.compiles"
 	MMetamodelCompileErr  = "metamodel.compile.failures"
 	HMetamodelCompile     = "metamodel.compile.latency"
+
+	// Multi-tenant platform-server metrics (internal/serve).
+	MServeTenantsResident = "serve.tenants.resident"
+	MServeTenantsParked   = "serve.tenants.parked"
+	MServeCreated         = "serve.tenants.created"
+	MServeEvictions       = "serve.evictions"
+	MServeRehydrations    = "serve.rehydrations"
+	MServeThrottled       = "serve.events.throttled"
 )
 
 // SupervisorState derives the per-component health gauge name for the

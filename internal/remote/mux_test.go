@@ -1,0 +1,193 @@
+package remote
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/mddsm/mddsm/internal/broker"
+	"github.com/mddsm/mddsm/internal/script"
+)
+
+// muxRouter is a two-tenant router with a toy control surface: it records
+// which verbs arrived and refuses unknown tenants.
+type muxRouter struct {
+	eps   map[string]Endpoint
+	verbs []string
+}
+
+func (m *muxRouter) Route(tenant string) (Endpoint, error) {
+	ep, ok := m.eps[tenant]
+	if !ok {
+		return nil, fmt.Errorf("no tenant %q", tenant)
+	}
+	return ep, nil
+}
+
+func (m *muxRouter) Control(verb, tenant string, args map[string]any) (map[string]any, error) {
+	m.verbs = append(m.verbs, verb+"/"+tenant)
+	switch verb {
+	case "stat":
+		return map[string]any{"tenant": tenant, "resident": true}, nil
+	default:
+		return nil, fmt.Errorf("unknown verb %q", verb)
+	}
+}
+
+// muxEndpoint records commands and events per tenant.
+type muxEndpoint struct {
+	name   string
+	cmds   []string
+	events []string
+}
+
+func (e *muxEndpoint) Execute(s *script.Script) error {
+	for _, c := range s.Commands {
+		e.cmds = append(e.cmds, c.Op)
+	}
+	return nil
+}
+
+func (e *muxEndpoint) DeliverEvent(ev broker.Event) error {
+	e.events = append(e.events, ev.Name)
+	return nil
+}
+
+func startMux(t *testing.T) (*Server, *muxRouter) {
+	t.Helper()
+	r := &muxRouter{eps: map[string]Endpoint{
+		"a": &muxEndpoint{name: "a"},
+		"b": &muxEndpoint{name: "b"},
+	}}
+	srv, err := NewRouterServer(r, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	return srv, r
+}
+
+// TestSessionRouting checks frames land on the endpoint their tenant names
+// and unknown tenants are rejected without poisoning the connection.
+func TestSessionRouting(t *testing.T) {
+	srv, r := startMux(t)
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	sa, sb := c.Session("a"), c.Session("b")
+	if err := sa.Call(script.NewCommand("opA", "t")); err != nil {
+		t.Fatal(err)
+	}
+	if err := sb.PostEvent(broker.Event{Name: "evB"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Session("ghost").Call(script.NewCommand("x", "t")); err == nil ||
+		!strings.Contains(err.Error(), "no tenant") {
+		t.Fatalf("ghost tenant: %v", err)
+	}
+	// The connection survives the rejection.
+	if err := sa.PostEvent(broker.Event{Name: "evA"}); err != nil {
+		t.Fatal(err)
+	}
+
+	a := r.eps["a"].(*muxEndpoint)
+	b := r.eps["b"].(*muxEndpoint)
+	if len(a.cmds) != 1 || a.cmds[0] != "opA" || len(a.events) != 1 {
+		t.Errorf("tenant a saw cmds=%v events=%v", a.cmds, a.events)
+	}
+	if len(b.cmds) != 0 || len(b.events) != 1 || b.events[0] != "evB" {
+		t.Errorf("tenant b saw cmds=%v events=%v", b.cmds, b.events)
+	}
+}
+
+// TestControlVerbs round-trips an admin verb and its attribute payload.
+func TestControlVerbs(t *testing.T) {
+	srv, _ := startMux(t)
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	attrs, err := c.Control("stat", "a", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if attrs["tenant"] != "a" || attrs["resident"] != true {
+		t.Errorf("stat attrs = %v", attrs)
+	}
+	if _, err := c.Control("nope", "a", nil); err == nil {
+		t.Error("unknown verb must fail")
+	}
+}
+
+// TestControlWithoutSurface pins the single-endpoint server's behaviour:
+// no Control implementation, so control frames are rejected but commands
+// still route (tenant ignored).
+func TestControlWithoutSurface(t *testing.T) {
+	r := &rec{}
+	srv, _ := startServer(t, r)
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Control("stat", "a", nil); err == nil ||
+		!strings.Contains(err.Error(), "no control surface") {
+		t.Fatalf("control on plain server: %v", err)
+	}
+	if err := c.Session("anything").Call(script.NewCommand("setProp", "object:x")); err != nil {
+		t.Fatalf("tenant-stamped command on plain server: %v", err)
+	}
+}
+
+// TestTenantSubscription checks PublishTenantEvent fans out by filter:
+// tenant subscribers see their tenant only, wildcard subscribers see all.
+func TestTenantSubscription(t *testing.T) {
+	srv, _ := startMux(t)
+
+	ca, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ca.Close()
+	subA, err := ca.Session("a").Subscribe()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cw, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cw.Close()
+	subW, err := cw.Subscribe()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	srv.PublishTenantEvent("a", broker.Event{Name: "forA"})
+	srv.PublishTenantEvent("b", broker.Event{Name: "forB"})
+
+	recv := func(ch <-chan broker.Event) []string {
+		var got []string
+		for {
+			select {
+			case ev := <-ch:
+				got = append(got, ev.Name)
+			case <-time.After(200 * time.Millisecond):
+				return got
+			}
+		}
+	}
+	if got := recv(subA); len(got) != 1 || got[0] != "forA" {
+		t.Errorf("tenant-a subscriber got %v, want [forA]", got)
+	}
+	if got := recv(subW); len(got) != 2 {
+		t.Errorf("wildcard subscriber got %v, want both events", got)
+	}
+}

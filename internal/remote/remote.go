@@ -58,9 +58,13 @@ const (
 // unbounded input.
 const MaxFrame = 1 << 20
 
-// message is the wire envelope.
+// message is the wire envelope. Tenant scopes a frame to one tenant on a
+// multiplexed server (empty on single-platform wires, so the original
+// protocol is the zero value). "control" frames carry administrative verbs
+// in Op/Args and return their payload in the result's Attrs.
 type message struct {
 	Type   string         `json:"type"`
+	Tenant string         `json:"tenant,omitempty"`
 	Op     string         `json:"op,omitempty"`
 	Target string         `json:"target,omitempty"`
 	Args   map[string]any `json:"args,omitempty"`
@@ -179,10 +183,36 @@ type Endpoint interface {
 	DeliverEvent(ev broker.Event) error
 }
 
-// Server exposes an endpoint on a listener. Create with NewServer, stop
-// with Close (which also waits for connection goroutines).
+// Router resolves the tenant named in a frame to the endpoint serving it.
+// A multiplexed server (NewRouterServer) consults it on every command and
+// event frame, so routing decisions — including lazily rehydrating an
+// evicted tenant — happen per frame, not per connection.
+type Router interface {
+	Route(tenant string) (Endpoint, error)
+}
+
+// Control handles the administrative verbs of a multiplexed server
+// (create, evict, stat, ...). The verb vocabulary is the host's; the wire
+// just carries verb + tenant + args one way and an attribute map back. A
+// Router that also implements Control gets "control" frames dispatched to
+// it; otherwise they are rejected.
+type Control interface {
+	Control(verb, tenant string, args map[string]any) (map[string]any, error)
+}
+
+// subscriber is one subscribed connection and its tenant filter ("" means
+// every event).
+type subscriber struct {
+	enc    *json.Encoder
+	tenant string
+}
+
+// Server exposes one endpoint — or a Router's worth of tenants — on a
+// listener. Create with NewServer or NewRouterServer, stop with Close
+// (which also waits for connection goroutines).
 type Server struct {
-	endpoint Endpoint
+	router   Router
+	control  Control
 	listener net.Listener
 	opts     options
 
@@ -190,14 +220,27 @@ type Server struct {
 	mSlowSubs  *obs.Counter
 
 	mu    sync.Mutex
-	subs  map[net.Conn]*json.Encoder
+	subs  map[net.Conn]*subscriber
 	conns map[net.Conn]bool
 	done  chan struct{}
 	wg    sync.WaitGroup
 }
 
+// singleRouter serves one endpoint to every tenant name (the pre-multiplex
+// behaviour: the tenant field is ignored).
+type singleRouter struct{ ep Endpoint }
+
+func (r singleRouter) Route(string) (Endpoint, error) { return r.ep, nil }
+
 // NewServer starts serving the endpoint on addr (e.g. "127.0.0.1:0").
 func NewServer(endpoint Endpoint, addr string, opts ...Option) (*Server, error) {
+	return NewRouterServer(singleRouter{endpoint}, addr, opts...)
+}
+
+// NewRouterServer starts a multiplexed server on addr: command and event
+// frames are routed per tenant, and — when the router also implements
+// Control — "control" frames carry the host's administrative verbs.
+func NewRouterServer(router Router, addr string, opts ...Option) (*Server, error) {
 	o := defaultOptions()
 	for _, f := range opts {
 		f(&o)
@@ -207,14 +250,17 @@ func NewServer(endpoint Endpoint, addr string, opts ...Option) (*Server, error) 
 		return nil, fmt.Errorf("remote server: %w", err)
 	}
 	s := &Server{
-		endpoint:   endpoint,
+		router:     router,
 		listener:   ln,
 		opts:       o,
 		mBadFrames: o.metrics.Counter(obs.MRemoteBadFrames),
 		mSlowSubs:  o.metrics.Counter(obs.MRemoteSlowEvents),
-		subs:       make(map[net.Conn]*json.Encoder),
+		subs:       make(map[net.Conn]*subscriber),
 		conns:      make(map[net.Conn]bool),
 		done:       make(chan struct{}),
+	}
+	if ctl, ok := router.(Control); ok {
+		s.control = ctl
 	}
 	s.wg.Add(1)
 	go s.acceptLoop()
@@ -242,20 +288,33 @@ func (s *Server) Close() {
 	s.wg.Wait()
 }
 
-// PublishEvent pushes an event to every subscribed client. Wire it to the
-// platform's external event observer to stream top-of-stack events out.
-// Each subscriber write is bounded by the server's IO timeout, so one
-// never-reading subscriber cannot wedge the publisher: it is counted and
-// dropped instead.
+// PublishEvent pushes an event to every subscribed client regardless of
+// tenant filter. Wire it to the platform's external event observer to
+// stream top-of-stack events out. Each subscriber write is bounded by the
+// server's IO timeout, so one never-reading subscriber cannot wedge the
+// publisher: it is counted and dropped instead.
 func (s *Server) PublishEvent(ev broker.Event) {
-	msg := message{Type: "event", Name: ev.Name, Attrs: ev.Attrs}
+	s.publish(message{Type: "event", Name: ev.Name, Attrs: ev.Attrs}, false)
+}
+
+// PublishTenantEvent pushes one tenant's top-of-stack event to the
+// subscribers watching that tenant (and to wildcard subscribers, who
+// subscribed with no tenant).
+func (s *Server) PublishTenantEvent(tenant string, ev broker.Event) {
+	s.publish(message{Type: "event", Tenant: tenant, Name: ev.Name, Attrs: ev.Attrs}, true)
+}
+
+func (s *Server) publish(msg message, filter bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	for conn, enc := range s.subs {
+	for conn, sub := range s.subs {
+		if filter && sub.tenant != "" && sub.tenant != msg.Tenant {
+			continue
+		}
 		if d := s.opts.ioTimeout; d > 0 {
 			_ = conn.SetWriteDeadline(time.Now().Add(d))
 		}
-		if err := enc.Encode(msg); err != nil {
+		if err := sub.enc.Encode(msg); err != nil {
 			s.mSlowSubs.Inc()
 			delete(s.subs, conn)
 			_ = conn.Close()
@@ -311,22 +370,49 @@ func (s *Server) serve(conn net.Conn) {
 		} else {
 			switch msg.Type {
 			case "command":
+				ep, err := s.router.Route(msg.Tenant)
+				if err != nil {
+					reply.OK = false
+					reply.Error = err.Error()
+					break
+				}
 				cmd := script.NewCommand(msg.Op, msg.Target)
 				for k, v := range msg.Args {
 					cmd = cmd.WithArg(k, v)
 				}
-				if err := s.endpoint.Execute(script.New("remote").Append(cmd)); err != nil {
+				if err := ep.Execute(script.New("remote").Append(cmd)); err != nil {
 					reply.OK = false
 					reply.Error = err.Error()
 				}
 			case "event":
-				if err := s.endpoint.DeliverEvent(broker.Event{Name: msg.Name, Attrs: msg.Attrs}); err != nil {
+				ep, err := s.router.Route(msg.Tenant)
+				if err != nil {
+					reply.OK = false
+					reply.Error = err.Error()
+					break
+				}
+				if err := ep.DeliverEvent(broker.Event{Name: msg.Name, Attrs: msg.Attrs}); err != nil {
 					reply.OK = false
 					reply.Error = err.Error()
 				}
+			case "control":
+				if s.control == nil {
+					reply.OK = false
+					reply.Error = "server has no control surface"
+					break
+				}
+				attrs, err := s.control.Control(msg.Op, msg.Tenant, msg.Args)
+				if err != nil {
+					reply.OK = false
+					reply.Error = err.Error()
+					break
+				}
+				reply.Attrs = attrs
 			case "subscribe":
+				// One subscription per connection; a repeat subscribe
+				// retargets the tenant filter.
 				s.mu.Lock()
-				s.subs[conn] = enc
+				s.subs[conn] = &subscriber{enc: enc, tenant: msg.Tenant}
 				s.mu.Unlock()
 			default:
 				reply.OK = false
@@ -453,22 +539,22 @@ func (c *Client) receiveLoop(br *bufio.Reader) {
 // roundTrip sends a message and waits for its result, bounded by the IO
 // timeout. A timed-out round trip closes the connection: the request/
 // response pairing can no longer be trusted.
-func (c *Client) roundTrip(msg message) error {
+func (c *Client) roundTrip(msg message) (message, error) {
 	c.sendMu.Lock()
 	defer c.sendMu.Unlock()
 	select {
 	case <-c.closed:
-		return c.readErr
+		return message{}, c.readErr
 	default:
 	}
 	if err := c.opts.injector.Inject(SiteSend); err != nil {
-		return fmt.Errorf("remote client: send: %w", err)
+		return message{}, fmt.Errorf("remote client: send: %w", err)
 	}
 	if d := c.opts.ioTimeout; d > 0 {
 		_ = c.conn.SetWriteDeadline(time.Now().Add(d))
 	}
 	if err := c.enc.Encode(msg); err != nil {
-		return fault.Transient(fmt.Errorf("remote client: send: %w", err))
+		return message{}, fault.Transient(fmt.Errorf("remote client: send: %w", err))
 	}
 	var timeout <-chan time.Time
 	if d := c.opts.ioTimeout; d > 0 {
@@ -479,15 +565,15 @@ func (c *Client) roundTrip(msg message) error {
 	select {
 	case reply := <-c.results:
 		if !reply.OK {
-			return &CallError{Msg: reply.Error}
+			return reply, &CallError{Msg: reply.Error}
 		}
-		return nil
+		return reply, nil
 	case <-timeout:
 		c.mTimeouts.Inc()
 		c.Close()
-		return fmt.Errorf("remote client: round trip: %w after %v", fault.ErrTimeout, c.opts.ioTimeout)
+		return message{}, fmt.Errorf("remote client: round trip: %w after %v", fault.ErrTimeout, c.opts.ioTimeout)
 	case <-c.closed:
-		return c.readErr
+		return message{}, c.readErr
 	}
 }
 
@@ -495,22 +581,71 @@ func (c *Client) roundTrip(msg message) error {
 // implements the bridge.Dispatch shape, so a remote platform can be a
 // bridge target.
 func (c *Client) Call(cmd script.Command) error {
-	return c.roundTrip(message{Type: "command", Op: cmd.Op, Target: cmd.Target, Args: cmd.Args})
+	_, err := c.roundTrip(message{Type: "command", Op: cmd.Op, Target: cmd.Target, Args: cmd.Args})
+	return err
 }
 
 // PostEvent injects an event into the remote platform's Broker layer.
 func (c *Client) PostEvent(ev broker.Event) error {
-	return c.roundTrip(message{Type: "event", Name: ev.Name, Attrs: ev.Attrs})
+	_, err := c.roundTrip(message{Type: "event", Name: ev.Name, Attrs: ev.Attrs})
+	return err
 }
 
 // Subscribe asks the server to stream top-of-stack events and returns the
 // channel they arrive on. The channel closes when the connection dies or
 // Close is called. Subscribing more than once returns the same channel.
 func (c *Client) Subscribe() (<-chan broker.Event, error) {
-	if err := c.roundTrip(message{Type: "subscribe"}); err != nil {
+	if _, err := c.roundTrip(message{Type: "subscribe"}); err != nil {
 		return nil, err
 	}
 	return c.events, nil
+}
+
+// Control sends an administrative verb to a multiplexed server and returns
+// the attribute map the host's Control handler produced. Verbs are
+// host-defined (mddsm-serve: create, evict, stat, snapshot, tenants, ...).
+func (c *Client) Control(verb, tenant string, args map[string]any) (map[string]any, error) {
+	reply, err := c.roundTrip(message{Type: "control", Op: verb, Tenant: tenant, Args: args})
+	if err != nil {
+		return nil, err
+	}
+	return reply.Attrs, nil
+}
+
+// Session scopes a client to one tenant of a multiplexed server: the same
+// wire verbs, each frame stamped with the tenant name. Sessions share the
+// client's connection (and its one-outstanding-request discipline), so any
+// number of them can multiplex over a single Dial.
+type Session struct {
+	c      *Client
+	tenant string
+}
+
+// Session returns a handle scoped to the named tenant.
+func (c *Client) Session(tenant string) *Session {
+	return &Session{c: c, tenant: tenant}
+}
+
+// Call dispatches one command to the tenant's Controller.
+func (s *Session) Call(cmd script.Command) error {
+	_, err := s.c.roundTrip(message{Type: "command", Tenant: s.tenant, Op: cmd.Op, Target: cmd.Target, Args: cmd.Args})
+	return err
+}
+
+// PostEvent injects an event into the tenant's Broker layer.
+func (s *Session) PostEvent(ev broker.Event) error {
+	_, err := s.c.roundTrip(message{Type: "event", Tenant: s.tenant, Name: ev.Name, Attrs: ev.Attrs})
+	return err
+}
+
+// Subscribe retargets the connection's event stream to this tenant's
+// top-of-stack events and returns the shared channel. One connection holds
+// one subscription; the latest Subscribe wins.
+func (s *Session) Subscribe() (<-chan broker.Event, error) {
+	if _, err := s.c.roundTrip(message{Type: "subscribe", Tenant: s.tenant}); err != nil {
+		return nil, err
+	}
+	return s.c.events, nil
 }
 
 // ---------------------------------------------------------------------------

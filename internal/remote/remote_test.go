@@ -269,7 +269,7 @@ func TestUnknownMessageType(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c.Close()
-	if err := c.roundTrip(message{Type: "bogus"}); err == nil ||
+	if _, err := c.roundTrip(message{Type: "bogus"}); err == nil ||
 		!strings.Contains(err.Error(), "unknown message type") {
 		t.Errorf("got %v", err)
 	}

@@ -64,7 +64,7 @@ type shard struct {
 
 // newPump builds and launches a pump with n shards of cap events each.
 func newPump(p *Platform, n, cap int) *pump {
-	pu := &pump{p: p, keyAttr: p.shardKey, drain: p.drainTimeout}
+	pu := &pump{p: p, keyAttr: p.cfg.ShardKey, drain: p.cfg.DrainTimeout}
 	pu.shards = make([]*shard, n)
 	for i := range pu.shards {
 		pu.shards[i] = &shard{

@@ -112,11 +112,15 @@ type Platform struct {
 	metrics  *obs.Metrics
 	injector *fault.Injector
 
-	// vcache memoises conformance validations across the platform's
-	// layers (runtime build, UI checks, synthesis submit/restore) so the
-	// same model content is validated once, not once per layer.
-	vcache    *metamodel.ValidationCache
-	vcacheSet bool
+	// cfg is the platform's resolved configuration (Defaults folded with
+	// WithConfig and the single-field options).
+	cfg Config
+
+	// vcache is the resolved conformance-validation cache (derived from
+	// cfg): it memoises validations across the platform's layers (runtime
+	// build, UI checks, synthesis submit/restore) so the same model
+	// content is validated once, not once per layer.
+	vcache *metamodel.ValidationCache
 
 	// model is the validated middleware model the platform was built from,
 	// retained for checkpointing (models@runtime: the platform *is* this
@@ -136,29 +140,24 @@ type Platform struct {
 	gDLQDepth     *obs.Gauge
 	hDeliver      *obs.Histogram
 
-	dlqCap int
-	dlq    *dlq
-	supCfg SupervisorConfig
-	sup    *Supervisor
+	dlq *dlq
+	sup *Supervisor
 
-	pumpMu       sync.Mutex
-	started      bool
-	pumpCap      int
-	pumpShards   int
-	shardKey     string
-	drainTimeout time.Duration
-	pump         *pump
-	monStop      chan struct{}
-	monDone      chan struct{}
-	monOpts      []MonitorOption
+	pumpMu  sync.Mutex
+	started bool
+	pump    *pump
+	monStop chan struct{}
+	monDone chan struct{}
+	monOpts []MonitorOption
 }
 
-// Option customises platform construction.
+// Option customises platform construction. Every option is a thin wrapper
+// over one Config field; WithConfig sets them all at once.
 type Option func(*Platform)
 
 // WithExternalEvents routes events escaping the topmost layer to fn.
 func WithExternalEvents(fn func(broker.Event)) Option {
-	return func(p *Platform) { p.external = fn }
+	return func(p *Platform) { p.cfg.ExternalEvents = fn }
 }
 
 // WithPumpQueue sets each pump shard's queue capacity (default 256).
@@ -167,7 +166,7 @@ func WithExternalEvents(fn func(broker.Event)) Option {
 func WithPumpQueue(n int) Option {
 	return func(p *Platform) {
 		if n > 0 {
-			p.pumpCap = n
+			p.cfg.PumpQueue = n
 		}
 	}
 }
@@ -179,7 +178,7 @@ func WithPumpQueue(n int) Option {
 func WithPumpShards(n int) Option {
 	return func(p *Platform) {
 		if n > 0 {
-			p.pumpShards = n
+			p.cfg.PumpShards = n
 		}
 	}
 }
@@ -188,7 +187,7 @@ func WithPumpShards(n int) Option {
 // carrying the attribute are routed by its value; events without it (and
 // the default, attr == "") fall back to a hash of the event name.
 func WithShardKey(attr string) Option {
-	return func(p *Platform) { p.shardKey = attr }
+	return func(p *Platform) { p.cfg.ShardKey = attr }
 }
 
 // WithDrainTimeout bounds Stop's graceful drain (default 5s): events
@@ -196,7 +195,7 @@ func WithShardKey(attr string) Option {
 func WithDrainTimeout(d time.Duration) Option {
 	return func(p *Platform) {
 		if d > 0 {
-			p.drainTimeout = d
+			p.cfg.DrainTimeout = d
 		}
 	}
 }
@@ -206,8 +205,11 @@ func WithDrainTimeout(d time.Duration) Option {
 // counted terminal losses ("pump.deliver.failures").
 func WithDLQCapacity(n int) Option {
 	return func(p *Platform) {
-		if n >= 0 {
-			p.dlqCap = n
+		switch {
+		case n > 0:
+			p.cfg.DLQCapacity = n
+		case n == 0:
+			p.cfg.DLQCapacity = DLQDisabled
 		}
 	}
 }
@@ -215,7 +217,7 @@ func WithDLQCapacity(n int) Option {
 // WithSupervisor tunes the watchdog supervisor's health thresholds and
 // restart backoff; the zero config's defaults apply otherwise.
 func WithSupervisor(cfg SupervisorConfig) Option {
-	return func(p *Platform) { p.supCfg = cfg }
+	return func(p *Platform) { p.cfg.Supervisor = cfg }
 }
 
 // WithValidationCache sets the platform's conformance-validation cache.
@@ -224,8 +226,8 @@ func WithSupervisor(cfg SupervisorConfig) Option {
 // disable validation memoisation for this platform.
 func WithValidationCache(c *metamodel.ValidationCache) Option {
 	return func(p *Platform) {
-		p.vcache = c
-		p.vcacheSet = true
+		p.cfg.ValidationCache = c
+		p.cfg.DisableValidationCache = c == nil
 	}
 }
 
@@ -252,18 +254,25 @@ func (p *Platform) externalSink() func(broker.Event) {
 // validated model is reused instead of re-walking conformance.
 func Build(model *metamodel.Model, deps Deps, opts ...Option) (*Platform, error) {
 	p := &Platform{
-		tracer:       deps.Tracer,
-		metrics:      deps.Metrics,
-		injector:     deps.Injector,
-		pumpCap:      256,
-		dlqCap:       256,
-		drainTimeout: 5 * time.Second,
-		routeErrs:    map[uint64]error{},
+		tracer:    deps.Tracer,
+		metrics:   deps.Metrics,
+		injector:  deps.Injector,
+		routeErrs: map[uint64]error{},
 	}
 	for _, o := range opts {
 		o(p)
 	}
-	if !p.vcacheSet {
+	if err := p.cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("runtime: %w", err)
+	}
+	p.cfg = p.cfg.withDefaults()
+	p.external = p.cfg.ExternalEvents
+	switch {
+	case p.cfg.DisableValidationCache:
+		p.vcache = nil
+	case p.cfg.ValidationCache != nil:
+		p.vcache = p.cfg.ValidationCache
+	default:
 		p.vcache = metamodel.SharedValidationCache()
 	}
 	// The cache validates a clone (Validate applies defaults; the caller's
@@ -292,8 +301,8 @@ func Build(model *metamodel.Model, deps Deps, opts ...Option) (*Platform, error)
 	p.gDepth = p.metrics.Gauge(obs.MQueueDepth)
 	p.gDLQDepth = p.metrics.Gauge(obs.MDLQDepth)
 	p.hDeliver = p.metrics.Histogram(obs.HPumpDeliver)
-	p.dlq = newDLQ(p.dlqCap)
-	p.sup = newSupervisor(p.supCfg, p.metrics)
+	p.dlq = newDLQ(p.cfg.dlqCapacity())
+	p.sup = newSupervisor(p.cfg.Supervisor, p.metrics)
 	p.sup.register("pump", p.restartPump)
 	p.sup.register("monitor", p.restartMonitor)
 
@@ -747,11 +756,11 @@ func (p *Platform) Start() {
 
 // startPumpLocked creates a fresh pump generation; pumpMu must be held.
 func (p *Platform) startPumpLocked() {
-	n := p.pumpShards
+	n := p.cfg.PumpShards
 	if n <= 0 {
 		n = goruntime.GOMAXPROCS(0)
 	}
-	p.pump = newPump(p, n, p.pumpCap)
+	p.pump = newPump(p, n, p.cfg.PumpQueue)
 }
 
 // PostEvent enqueues a resource event for asynchronous delivery. It
@@ -888,7 +897,7 @@ func (p *Platform) Monitor(opts ...MonitorOption) (stop func()) {
 		return p.StopMonitor
 	}
 	cfg := monitorConfig{
-		interval: time.Second,
+		interval: p.cfg.MonitorInterval,
 		tracer:   p.tracer,
 		metrics:  p.metrics,
 	}
@@ -962,13 +971,6 @@ func (p *Platform) runProbe(probe func()) (ok, panicked bool) {
 	}()
 	probe()
 	return true, false
-}
-
-// StartMonitor launches the autonomic monitor with positional arguments.
-//
-// Deprecated: use Monitor(WithInterval(interval), WithProbe(probe)).
-func (p *Platform) StartMonitor(interval time.Duration, probe func()) {
-	p.Monitor(WithInterval(interval), WithProbe(probe))
 }
 
 // StopMonitor terminates the autonomic monitor and waits for it to exit.

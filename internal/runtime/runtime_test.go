@@ -535,11 +535,11 @@ func TestAutonomicMonitorLoop(t *testing.T) {
 		t.Fatal(err)
 	}
 	pressure := 0
-	p.StartMonitor(2*time.Millisecond, func() {
+	p.Monitor(WithInterval(2*time.Millisecond), WithProbe(func() {
 		pressure += 6
 		p.Broker.Context().Set("pressure", pressure)
-	})
-	p.StartMonitor(time.Hour, nil) // idempotent
+	}))
+	p.Monitor(WithInterval(time.Hour)) // idempotent
 	defer p.Stop()
 
 	deadline := time.After(2 * time.Second)

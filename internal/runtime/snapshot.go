@@ -122,6 +122,35 @@ func (p *Platform) Checkpoint() ([]byte, error) {
 	return out, nil
 }
 
+// SnapshotsEquivalent reports whether two Checkpoint snapshots describe
+// the same models@runtime state. The Controller's Generated and CacheHits
+// counters are excluded from the comparison: they are live generator
+// statistics that RestoreStats documents as starting cold after a restore,
+// so they legitimately differ across a checkpoint/restore roundtrip even
+// when every piece of restored state is identical.
+func SnapshotsEquivalent(a, b []byte) (bool, error) {
+	canon := func(data []byte) ([]byte, error) {
+		var doc snapshotDoc
+		if err := json.Unmarshal(data, &doc); err != nil {
+			return nil, fmt.Errorf("runtime: snapshot compare: %w", err)
+		}
+		if doc.Controller != nil {
+			doc.Controller.Stats.Generated = 0
+			doc.Controller.Stats.CacheHits = 0
+		}
+		return json.Marshal(doc)
+	}
+	ca, err := canon(a)
+	if err != nil {
+		return false, err
+	}
+	cb, err := canon(b)
+	if err != nil {
+		return false, err
+	}
+	return string(ca) == string(cb), nil
+}
+
 // Restore rebuilds a platform from a Checkpoint snapshot: the snapshot's
 // middleware model is re-validated and run through the same factory as
 // Build (bound to the given DSK deps), then the checkpointed layer state is

@@ -1,0 +1,539 @@
+// Package serve is the multi-tenant platform server behind mddsm-serve:
+// one process provisioning an MD-DSM platform per tenant, keyed by a
+// registered domain bundle, multiplexed over the internal/remote wire.
+//
+// Each tenant owns a full platform (built through the domains registry
+// with its own observability bundle and per-tenant runtime quota) while
+// the expensive machinery is shared: all tenants validate against one
+// content-hash validation cache and — via the bundles' memoised DSML
+// instances — one compiled conformance validator per domain, so the
+// hundredth tenant of a bundle pays cache-hit prices for what the first
+// tenant compiled.
+//
+// Residency is bounded: past Config.MaxResident live platforms, the
+// least-recently-touched tenant is evicted — checkpointed through the
+// runtime's snapshot format, stopped, and parked as bytes. The next frame
+// naming an evicted tenant rehydrates it through domains.Restore before
+// routing, so eviction is invisible to clients beyond latency. Event
+// intake is quota'd per tenant by a token bucket (Quota.EventRate /
+// EventBurst) in front of the pump's own bounded queues; a throttled or
+// overflowed post is an exactly-counted rejection, never a block.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/mddsm/mddsm/internal/broker"
+	"github.com/mddsm/mddsm/internal/domains"
+	"github.com/mddsm/mddsm/internal/metamodel"
+	"github.com/mddsm/mddsm/internal/obs"
+	"github.com/mddsm/mddsm/internal/remote"
+	"github.com/mddsm/mddsm/internal/runtime"
+	"github.com/mddsm/mddsm/internal/script"
+)
+
+// DefaultMaxResident bounds live platforms when Config.MaxResident is 0.
+const DefaultMaxResident = 64
+
+// Quota bounds one tenant's resource consumption.
+type Quota struct {
+	// Runtime is the tenant platform's tuning profile (pump queue depth,
+	// shard count, DLQ capacity, ...). Its ValidationCache field is
+	// overwritten by the server's shared cache unless explicitly set.
+	Runtime runtime.Config
+	// EventRate is the sustained events/second admitted per tenant; <= 0
+	// means unlimited.
+	EventRate float64
+	// EventBurst is the token-bucket depth (default 1 when EventRate > 0).
+	EventBurst int
+}
+
+// Config configures a Server.
+type Config struct {
+	// MaxResident caps simultaneously live platforms (0 means
+	// DefaultMaxResident). The overflow is parked as checkpoints.
+	MaxResident int
+	// Quota is applied to every tenant.
+	Quota Quota
+	// Obs receives the server-wide metrics: residency gauges,
+	// eviction/rehydration counters, throttle counts and the shared
+	// validation cache's hit/miss counters. Nil means a private bundle
+	// (readable via Server.Obs).
+	Obs *obs.Obs
+	// Now is the token-bucket time source (nil means time.Now); tests
+	// inject a fake clock for exact quota accounting.
+	Now func() time.Time
+}
+
+// bucket is a token bucket: tokens refill at rate/s up to burst, one token
+// per admitted event.
+type bucket struct {
+	rate   float64
+	burst  float64
+	tokens float64
+	last   time.Time
+}
+
+func newBucket(q Quota, now time.Time) *bucket {
+	if q.EventRate <= 0 {
+		return nil // unlimited
+	}
+	burst := float64(q.EventBurst)
+	if burst < 1 {
+		burst = 1
+	}
+	return &bucket{rate: q.EventRate, burst: burst, tokens: burst, last: now}
+}
+
+func (b *bucket) allow(now time.Time) bool {
+	if b == nil {
+		return true
+	}
+	if el := now.Sub(b.last).Seconds(); el > 0 {
+		b.tokens += el * b.rate
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+	}
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true
+	}
+	return false
+}
+
+// tenant is one resident platform.
+type tenant struct {
+	name   string
+	bundle string
+	inst   *domains.Instance
+	obs    *obs.Obs
+	bucket *bucket
+	touch  uint64 // LRU ticket: higher = more recent
+}
+
+// parked is one evicted tenant: its platform state as a checkpoint.
+type parked struct {
+	bundle   string
+	snapshot []byte
+}
+
+// Server is the multi-tenant platform host. It implements remote.Router
+// and remote.Control, so remote.NewRouterServer(s, addr) exposes it on the
+// wire.
+type Server struct {
+	cfg    Config
+	obs    *obs.Obs
+	now    func() time.Time
+	vcache *metamodel.ValidationCache
+
+	gResident     *obs.Gauge
+	gParked       *obs.Gauge
+	mCreated      *obs.Counter
+	mEvictions    *obs.Counter
+	mRehydrations *obs.Counter
+	mThrottled    *obs.Counter
+
+	mu      sync.Mutex
+	tenants map[string]*tenant
+	parked  map[string]*parked
+	seq     uint64
+	closed  bool
+}
+
+// NewServer builds a tenant host. Unless the quota names a validation
+// cache explicitly, the server creates one and shares it across every
+// tenant, with its hit/miss counters bound to the server's obs bundle —
+// identical models submitted by different tenants validate once.
+func NewServer(cfg Config) *Server {
+	if cfg.MaxResident <= 0 {
+		cfg.MaxResident = DefaultMaxResident
+	}
+	o := cfg.Obs
+	if o == nil {
+		o = obs.New()
+	}
+	now := cfg.Now
+	if now == nil {
+		now = time.Now
+	}
+	s := &Server{
+		cfg:           cfg,
+		obs:           o,
+		now:           now,
+		gResident:     o.MetricsOf().Gauge(obs.MServeTenantsResident),
+		gParked:       o.MetricsOf().Gauge(obs.MServeTenantsParked),
+		mCreated:      o.MetricsOf().Counter(obs.MServeCreated),
+		mEvictions:    o.MetricsOf().Counter(obs.MServeEvictions),
+		mRehydrations: o.MetricsOf().Counter(obs.MServeRehydrations),
+		mThrottled:    o.MetricsOf().Counter(obs.MServeThrottled),
+		tenants:       make(map[string]*tenant),
+		parked:        make(map[string]*parked),
+	}
+	if cfg.Quota.Runtime.ValidationCache == nil && !cfg.Quota.Runtime.DisableValidationCache {
+		s.vcache = metamodel.NewValidationCache(metamodel.DefaultValidationCacheSize)
+		s.vcache.BindMetrics(o.MetricsOf())
+	}
+	return s
+}
+
+// Obs returns the server-wide observability bundle.
+func (s *Server) Obs() *obs.Obs { return s.obs }
+
+// tenantConfig is the per-tenant domains.Config: the shared quota profile
+// with the server's shared validation cache and a fresh obs bundle.
+func (s *Server) tenantConfig(to *obs.Obs) domains.Config {
+	rt := s.cfg.Quota.Runtime
+	if s.vcache != nil {
+		rt.ValidationCache = s.vcache
+	}
+	return domains.Config{Runtime: rt, Obs: to}
+}
+
+// Create provisions a fresh tenant on the named bundle and starts its
+// platform. The name must be new — neither resident nor parked.
+func (s *Server) Create(name, bundle string) error {
+	if name == "" {
+		return fmt.Errorf("serve: tenant name must not be empty")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("serve: server closed")
+	}
+	if _, ok := s.tenants[name]; ok {
+		return fmt.Errorf("serve: tenant %q exists", name)
+	}
+	if _, ok := s.parked[name]; ok {
+		return fmt.Errorf("serve: tenant %q exists (parked)", name)
+	}
+	to := obs.New()
+	inst, err := domains.New(bundle, s.tenantConfig(to))
+	if err != nil {
+		return err
+	}
+	if err := s.makeRoomLocked(); err != nil {
+		inst.Close()
+		return err
+	}
+	inst.Platform.Start()
+	s.seq++
+	s.tenants[name] = &tenant{
+		name: name, bundle: bundle, inst: inst, obs: to,
+		bucket: newBucket(s.cfg.Quota, s.now()), touch: s.seq,
+	}
+	s.mCreated.Inc()
+	s.gResident.Set(int64(len(s.tenants)))
+	return nil
+}
+
+// makeRoomLocked evicts least-recently-touched tenants until a new
+// resident fits under MaxResident. s.mu must be held.
+func (s *Server) makeRoomLocked() error {
+	for len(s.tenants) >= s.cfg.MaxResident {
+		victim := ""
+		var oldest uint64
+		for name, t := range s.tenants {
+			if victim == "" || t.touch < oldest {
+				victim, oldest = name, t.touch
+			}
+		}
+		if err := s.evictLocked(victim); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// evictLocked checkpoints, stops and parks one resident tenant. s.mu must
+// be held.
+func (s *Server) evictLocked(name string) error {
+	t, ok := s.tenants[name]
+	if !ok {
+		return fmt.Errorf("serve: tenant %q not resident", name)
+	}
+	// Stop first: the checkpoint must be a quiesced cut, not a mid-flight
+	// one — Stop drains the pump with exact accounting.
+	t.inst.Platform.Stop()
+	snap, err := t.inst.Platform.Checkpoint()
+	if err != nil {
+		// The platform is stopped but intact; bring it back online rather
+		// than stranding the tenant half-evicted.
+		t.inst.Platform.Start()
+		return fmt.Errorf("serve: evict %s: %w", name, err)
+	}
+	delete(s.tenants, name)
+	s.parked[name] = &parked{bundle: t.bundle, snapshot: snap}
+	s.mEvictions.Inc()
+	s.gResident.Set(int64(len(s.tenants)))
+	s.gParked.Set(int64(len(s.parked)))
+	return nil
+}
+
+// Evict forces one tenant out of residency (checkpoint → stop → park).
+func (s *Server) Evict(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.evictLocked(name)
+}
+
+// resident returns the named tenant's live handle, rehydrating it from its
+// parked checkpoint if eviction put it to sleep. Every call refreshes the
+// tenant's LRU ticket.
+func (s *Server) resident(name string) (*tenant, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, fmt.Errorf("serve: server closed")
+	}
+	if t, ok := s.tenants[name]; ok {
+		s.seq++
+		t.touch = s.seq
+		return t, nil
+	}
+	p, ok := s.parked[name]
+	if !ok {
+		return nil, fmt.Errorf("serve: no tenant %q", name)
+	}
+	to := obs.New()
+	inst, err := domains.Restore(p.bundle, p.snapshot, s.tenantConfig(to))
+	if err != nil {
+		return nil, fmt.Errorf("serve: rehydrate %s: %w", name, err)
+	}
+	if err := s.makeRoomLocked(); err != nil {
+		inst.Close()
+		return nil, err
+	}
+	inst.Platform.Start()
+	delete(s.parked, name)
+	s.seq++
+	t := &tenant{
+		name: name, bundle: p.bundle, inst: inst, obs: to,
+		bucket: newBucket(s.cfg.Quota, s.now()), touch: s.seq,
+	}
+	s.tenants[name] = t
+	s.mRehydrations.Inc()
+	s.gResident.Set(int64(len(s.tenants)))
+	s.gParked.Set(int64(len(s.parked)))
+	return t, nil
+}
+
+// PostEvent admits one event into a tenant's platform through its rate
+// quota and the pump's bounded queue. Both refusals are exactly counted:
+// a throttle in the server's serve.events.throttled and the tenant's
+// pump.events.rejected, an overflow in the tenant's pump.events.rejected
+// alone (the pump counts it).
+func (s *Server) PostEvent(name string, ev broker.Event) error {
+	t, err := s.resident(name)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	ok := t.bucket.allow(s.now())
+	s.mu.Unlock()
+	if !ok {
+		s.mThrottled.Inc()
+		t.obs.MetricsOf().Counter(obs.MEventsRejected).Inc()
+		return fmt.Errorf("serve: tenant %q over event rate quota", name)
+	}
+	if !t.inst.Platform.PostEvent(ev) {
+		return fmt.Errorf("serve: tenant %q event queue full", name)
+	}
+	return nil
+}
+
+// Execute runs one command script on a tenant's Controller.
+func (s *Server) Execute(name string, sc *script.Script) error {
+	t, err := s.resident(name)
+	if err != nil {
+		return err
+	}
+	return t.inst.Platform.Execute(sc)
+}
+
+// SubmitModel submits an application model into a tenant's UI layer.
+func (s *Server) SubmitModel(name string, m *metamodel.Model) (*script.Script, error) {
+	t, err := s.resident(name)
+	if err != nil {
+		return nil, err
+	}
+	return t.inst.Platform.SubmitModel(m)
+}
+
+// Snapshot returns the tenant's current models@runtime checkpoint —
+// live from the platform when resident, the parked bytes when evicted.
+func (s *Server) Snapshot(name string) ([]byte, error) {
+	s.mu.Lock()
+	if p, ok := s.parked[name]; ok {
+		snap := make([]byte, len(p.snapshot))
+		copy(snap, p.snapshot)
+		s.mu.Unlock()
+		return snap, nil
+	}
+	t, ok := s.tenants[name]
+	s.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("serve: no tenant %q", name)
+	}
+	return t.inst.Platform.Checkpoint()
+}
+
+// Stat describes one tenant: bundle, residency, and — when resident — its
+// platform's event accounting.
+func (s *Server) Stat(name string) (map[string]any, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if p, ok := s.parked[name]; ok {
+		return map[string]any{
+			"tenant": name, "bundle": p.bundle, "resident": false,
+			"snapshotBytes": len(p.snapshot),
+		}, nil
+	}
+	t, ok := s.tenants[name]
+	if !ok {
+		return nil, fmt.Errorf("serve: no tenant %q", name)
+	}
+	m := t.obs.MetricsOf()
+	return map[string]any{
+		"tenant": name, "bundle": t.bundle, "resident": true,
+		"posted":    m.CounterValue(obs.MEventsPosted),
+		"delivered": m.CounterValue(obs.MEventsDelivered),
+		"rejected":  m.CounterValue(obs.MEventsRejected),
+	}, nil
+}
+
+// Tenants lists every tenant, resident and parked, sorted by name.
+func (s *Server) Tenants() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.tenants)+len(s.parked))
+	for name := range s.tenants {
+		out = append(out, name)
+	}
+	for name := range s.parked {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Resident reports how many tenants are currently live.
+func (s *Server) Resident() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.tenants)
+}
+
+// Close drains every resident platform (graceful stop, exact accounting)
+// and refuses further work. Close is idempotent.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	tenants := make([]*tenant, 0, len(s.tenants))
+	for _, t := range s.tenants {
+		tenants = append(tenants, t)
+	}
+	s.tenants = map[string]*tenant{}
+	s.mu.Unlock()
+	for _, t := range tenants {
+		t.inst.Platform.Stop()
+	}
+	s.gResident.Set(0)
+}
+
+// ---------------------------------------------------------------------------
+// remote.Router / remote.Control
+// ---------------------------------------------------------------------------
+
+// tenantEndpoint routes one tenant's wire frames through the server, so
+// quota enforcement and lazy rehydration apply per frame.
+type tenantEndpoint struct {
+	s    *Server
+	name string
+}
+
+func (e tenantEndpoint) Execute(sc *script.Script) error {
+	return e.s.Execute(e.name, sc)
+}
+
+func (e tenantEndpoint) DeliverEvent(ev broker.Event) error {
+	return e.s.PostEvent(e.name, ev)
+}
+
+// Route implements remote.Router: frames for any known tenant (resident or
+// parked) get an endpoint; unknown tenants are refused at the wire.
+func (s *Server) Route(name string) (remote.Endpoint, error) {
+	s.mu.Lock()
+	_, live := s.tenants[name]
+	_, sleeping := s.parked[name]
+	s.mu.Unlock()
+	if !live && !sleeping {
+		return nil, fmt.Errorf("serve: no tenant %q", name)
+	}
+	return tenantEndpoint{s: s, name: name}, nil
+}
+
+// Control implements remote.Control: the administrative verbs of the
+// platform server.
+//
+//	create   args {"bundle": "cml"}         provision a tenant
+//	evict    –                              checkpoint + park the tenant
+//	stat     –                              tenant status + event counters
+//	snapshot –                              models@runtime checkpoint JSON
+//	submit   args {"model": <model JSON>}   submit an application model
+//	tenants  –                              list all tenants
+//	obs      –                              server-wide metrics snapshot
+func (s *Server) Control(verb, tenantName string, args map[string]any) (map[string]any, error) {
+	switch verb {
+	case "create":
+		bundle, _ := args["bundle"].(string)
+		if bundle == "" {
+			return nil, fmt.Errorf("serve: create needs args.bundle")
+		}
+		return nil, s.Create(tenantName, bundle)
+	case "evict":
+		return nil, s.Evict(tenantName)
+	case "stat":
+		return s.Stat(tenantName)
+	case "snapshot":
+		snap, err := s.Snapshot(tenantName)
+		if err != nil {
+			return nil, err
+		}
+		return map[string]any{"snapshot": string(snap)}, nil
+	case "submit":
+		raw, err := json.Marshal(args["model"])
+		if err != nil {
+			return nil, fmt.Errorf("serve: submit: %w", err)
+		}
+		m, err := metamodel.UnmarshalModel(raw)
+		if err != nil {
+			return nil, fmt.Errorf("serve: submit: %w", err)
+		}
+		out, err := s.SubmitModel(tenantName, m)
+		if err != nil {
+			return nil, err
+		}
+		return map[string]any{"script": script.Format(out)}, nil
+	case "tenants":
+		names := s.Tenants()
+		list := make([]any, len(names))
+		for i, n := range names {
+			list[i] = n
+		}
+		return map[string]any{"tenants": list}, nil
+	case "obs":
+		return map[string]any{"metrics": s.obs.Snapshot()}, nil
+	default:
+		return nil, fmt.Errorf("serve: unknown control verb %q", verb)
+	}
+}

@@ -1,12 +1,15 @@
 // Command mddsm-bench regenerates the paper's evaluation results (§VII)
 // as printed reports. Without flags it runs every experiment; -e selects
-// one (e1..e6, "pump" for the sharded event-pump throughput report, or
-// "validate" for the compiled-vs-interpreted conformance comparison).
+// one (e1..e6, "pump" for the sharded event-pump throughput report,
+// "validate" for the compiled-vs-interpreted conformance comparison,
+// "serve" for the multi-tenant capacity ladder, or "mixed" for the
+// heterogeneous mixed-workload soak over generated synthetic domains).
 //
 // Usage:
 //
-//	mddsm-bench [-e e1|e2|e3|e4|e5|e6|pump|validate] [-iters N] [-root DIR]
+//	mddsm-bench [-e e1|e2|e3|e4|e5|e6|pump|validate|serve|mixed] [-iters N] [-root DIR]
 //	mddsm-bench -e validate -json BENCH_validate.json
+//	mddsm-bench -e mixed -json BENCH_mixed.json
 package main
 
 import (
@@ -27,7 +30,7 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("mddsm-bench", flag.ContinueOnError)
-	exp := fs.String("e", "", "experiment to run (e1..e6, pump, validate, serve); empty runs all")
+	exp := fs.String("e", "", "experiment to run (e1..e6, pump, validate, serve, mixed); empty runs all")
 	iters := fs.Int("iters", 50, "iterations per scenario for timing experiments (e2)")
 	root := fs.String("root", "", "repository root for source-size accounting (e5) and bundled models (validate); auto-detected when empty")
 	jsonOut := fs.String("json", "", `with -e validate/serve: write the machine-readable report to this path (e.g. BENCH_validate.json)`)
@@ -75,6 +78,7 @@ func run(args []string) error {
 		"e6":    func() error { return experiments.ReportE6(w) },
 		"pump":  func() error { return experiments.ReportPump(w) },
 		"serve": func() error { return experiments.ReportServe(w, *jsonOut) },
+		"mixed": func() error { return experiments.ReportMixed(w, *jsonOut) },
 		"validate": func() error {
 			dir, err := repoRoot("validate needs the bundled testdata models")
 			if err != nil {
@@ -86,11 +90,11 @@ func run(args []string) error {
 	if *exp != "" {
 		fn, ok := all[*exp]
 		if !ok {
-			return fmt.Errorf("unknown experiment %q (want e1..e6, pump, validate or serve)", *exp)
+			return fmt.Errorf("unknown experiment %q (want e1..e6, pump, validate, serve or mixed)", *exp)
 		}
 		return fn()
 	}
-	for _, name := range []string{"e1", "e2", "e3", "e4", "e5", "e6", "pump", "validate", "serve"} {
+	for _, name := range []string{"e1", "e2", "e3", "e4", "e5", "e6", "pump", "validate", "serve", "mixed"} {
 		if err := all[name](); err != nil {
 			return fmt.Errorf("%s: %w", name, err)
 		}

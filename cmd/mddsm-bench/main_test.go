@@ -70,3 +70,27 @@ func TestRunErrors(t *testing.T) {
 		t.Error("bad flag must fail")
 	}
 }
+
+func TestRunMixedReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the mixed-workload soak")
+	}
+	out := filepath.Join(t.TempDir(), "BENCH_mixed.json")
+	if err := run([]string{"-e", "mixed", "-json", out}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep experiments.MixedReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if !rep.AccountingExact {
+		t.Error("mixed report violates exact accounting")
+	}
+	if rep.Tenants < 100 || len(rep.Bundles) == 0 {
+		t.Errorf("degenerate mixed report: %+v", rep)
+	}
+}

@@ -1,0 +1,208 @@
+package cliutil_test
+
+import (
+	"flag"
+	"io"
+	"strings"
+	"testing"
+
+	"github.com/mddsm/mddsm/internal/cliutil"
+	"github.com/mddsm/mddsm/internal/metamodel"
+)
+
+// newFS builds a silent flag set so expected parse failures don't spam
+// test output.
+func newFS(t *testing.T) *flag.FlagSet {
+	t.Helper()
+	fs := flag.NewFlagSet(t.Name(), flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	return fs
+}
+
+// resetMode restores the process-global validation mode after tests that
+// install one through -validate-mode.
+func resetMode(t *testing.T) {
+	t.Helper()
+	t.Cleanup(func() { metamodel.SetValidationMode(metamodel.ModeCompiled) })
+}
+
+func TestRegisterDefaults(t *testing.T) {
+	fs := newFS(t)
+	c := cliutil.Register(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if c.Obs || c.Faults != "" || c.ValidateMode != "" {
+		t.Fatalf("unset flags not zero: %+v", c)
+	}
+	o, inj, rcfg, err := c.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o != nil || inj != nil {
+		t.Errorf("Resolve without -obs/-faults: obs=%v inj=%v, want nil/nil", o, inj)
+	}
+	// Without RegisterPump/RegisterValidateCache, Resolve must leave the
+	// runtime config untouched — not disable or install a cache.
+	if rcfg.PumpShards != 0 || rcfg.ValidationCache != nil || rcfg.DisableValidationCache {
+		t.Errorf("unregistered optional flags leaked into config: %+v", rcfg)
+	}
+}
+
+func TestResolveObsAndFaults(t *testing.T) {
+	fs := newFS(t)
+	c := cliutil.Register(fs)
+	if err := fs.Parse([]string{"-obs", "-faults", "seed=3,broker.step:error:p=1"}); err != nil {
+		t.Fatal(err)
+	}
+	o, inj, _, err := c.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o == nil {
+		t.Fatal("-obs did not produce an obs bundle")
+	}
+	if inj == nil || inj.Seed() != 3 {
+		t.Fatalf("-faults injector wrong: %v", inj)
+	}
+}
+
+func TestResolveBadFaults(t *testing.T) {
+	for _, spec := range []string{"not-a-spec", "seed=x", "site:unknown-kind"} {
+		fs := newFS(t)
+		c := cliutil.Register(fs)
+		if err := fs.Parse([]string{"-faults", spec}); err != nil {
+			t.Fatalf("parse %q: %v", spec, err)
+		}
+		if _, _, _, err := c.Resolve(); err == nil {
+			t.Errorf("Resolve accepted bad -faults %q", spec)
+		}
+	}
+}
+
+func TestResolveEmptyFaultsIsNoInjector(t *testing.T) {
+	fs := newFS(t)
+	c := cliutil.Register(fs)
+	if err := fs.Parse([]string{"-faults", ""}); err != nil {
+		t.Fatal(err)
+	}
+	_, inj, _, err := c.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inj != nil {
+		t.Error("explicit empty -faults produced an injector")
+	}
+}
+
+func TestValidateModeResolution(t *testing.T) {
+	resetMode(t)
+	for _, mode := range []string{"compiled", "interpreted"} {
+		fs := newFS(t)
+		c := cliutil.Register(fs)
+		if err := fs.Parse([]string{"-validate-mode", mode}); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, _, err := c.Resolve(); err != nil {
+			t.Errorf("-validate-mode %s: %v", mode, err)
+		}
+	}
+	fs := newFS(t)
+	c := cliutil.Register(fs)
+	if err := fs.Parse([]string{"-validate-mode", "hypothetical"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := c.Resolve(); err == nil {
+		t.Error("unknown -validate-mode accepted")
+	}
+	// Empty mode is a documented no-op, not an error.
+	c2 := cliutil.Register(newFS(t))
+	if err := c2.ApplyValidationMode(); err != nil {
+		t.Errorf("empty -validate-mode: %v", err)
+	}
+}
+
+func TestValidateCacheTiers(t *testing.T) {
+	// Tier 1: 0 disables memoised validation outright.
+	fs := newFS(t)
+	c := cliutil.Register(fs).RegisterValidateCache(fs)
+	if err := fs.Parse([]string{"-validate-cache", "0"}); err != nil {
+		t.Fatal(err)
+	}
+	_, _, rcfg, err := c.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rcfg.DisableValidationCache || rcfg.ValidationCache != nil {
+		t.Errorf("cache 0: %+v", rcfg)
+	}
+
+	// Tier 2: a custom capacity builds a private cache.
+	fs = newFS(t)
+	c = cliutil.Register(fs).RegisterValidateCache(fs)
+	if err := fs.Parse([]string{"-validate-cache", "7"}); err != nil {
+		t.Fatal(err)
+	}
+	_, _, rcfg, err = c.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rcfg.ValidationCache == nil || rcfg.ValidationCache == metamodel.SharedValidationCache() {
+		t.Errorf("custom capacity must build a private cache, got %v", rcfg.ValidationCache)
+	}
+
+	// Tier 3: the default capacity resolves to the process-shared cache.
+	fs = newFS(t)
+	c = cliutil.Register(fs).RegisterValidateCache(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	_, _, rcfg, err = c.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rcfg.ValidationCache != metamodel.SharedValidationCache() {
+		t.Errorf("default capacity must resolve to the shared cache")
+	}
+}
+
+func TestRegisterPumpShards(t *testing.T) {
+	fs := newFS(t)
+	c := cliutil.Register(fs).RegisterPump(fs)
+	if err := fs.Parse([]string{"-pump-shards", "5"}); err != nil {
+		t.Fatal(err)
+	}
+	_, _, rcfg, err := c.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rcfg.PumpShards != 5 {
+		t.Errorf("PumpShards = %d, want 5", rcfg.PumpShards)
+	}
+}
+
+func TestConflictingFlagCombination(t *testing.T) {
+	// -faults with -obs binds fired-fault metrics to the obs bundle; the
+	// combination must resolve, and a bad mode must win as the error even
+	// when the rest of the flag set is valid.
+	resetMode(t)
+	fs := newFS(t)
+	c := cliutil.Register(fs).RegisterPump(fs).RegisterValidateCache(fs)
+	args := []string{"-obs", "-faults", "seed=1,pump.post:drop:p=0.5",
+		"-pump-shards", "2", "-validate-cache", "3", "-validate-mode", "nope"}
+	if err := fs.Parse(args); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := c.Resolve(); err == nil ||
+		!strings.Contains(err.Error(), "validat") {
+		t.Errorf("bad mode in a full flag set: err = %v", err)
+	}
+}
+
+func TestUnknownFlagRejected(t *testing.T) {
+	fs := newFS(t)
+	cliutil.Register(fs)
+	if err := fs.Parse([]string{"-definitely-not-a-flag"}); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}

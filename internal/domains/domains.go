@@ -90,6 +90,25 @@ func Register(b Bundle) {
 	registry[b.Name] = b
 }
 
+// RegisterIfAbsent installs a bundle unless one with the same name is
+// already registered, reporting whether the registration took effect. It
+// is the entry point for bundles produced at runtime — synthetic domains
+// from internal/domgen register through it so re-generating the same
+// deterministic bundle (same spec, same seed) in one process is a no-op
+// instead of the panic Register reserves for programming errors.
+func RegisterIfAbsent(b Bundle) bool {
+	if b.Name == "" || b.Assemble == nil {
+		panic("domains: RegisterIfAbsent needs a name and an Assemble func")
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[b.Name]; dup {
+		return false
+	}
+	registry[b.Name] = b
+	return true
+}
+
 // Lookup resolves a registered bundle by name.
 func Lookup(name string) (Bundle, bool) {
 	regMu.RLock()

@@ -1,0 +1,138 @@
+package domgen_test
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/mddsm/mddsm/internal/domains"
+	_ "github.com/mddsm/mddsm/internal/domains/all"
+	"github.com/mddsm/mddsm/internal/domgen"
+	"github.com/mddsm/mddsm/internal/metamodel"
+	"github.com/mddsm/mddsm/internal/runtime"
+)
+
+// propertyFleet registers a small, varied synthetic fleet and returns the
+// generated domains keyed by bundle name. Specs intentionally cover all
+// three LTS shapes and both ends of the density/depth ranges.
+func propertyFleet(t *testing.T) map[string]*domgen.Domain {
+	t.Helper()
+	fleet := make(map[string]*domgen.Domain)
+	shapes := []string{domgen.ShapeLoop, domgen.ShapeRing, domgen.ShapeStar}
+	for i := 0; i < 6; i++ {
+		spec := domgen.Spec{
+			Name:           fmt.Sprintf("prop-%d", i),
+			Seed:           int64(1000 + i),
+			Classes:        2 + i*3,
+			Depth:          i % 4,
+			AttrsPerClass:  1 + i%5,
+			Enums:          i % 3,
+			EnumLiterals:   2,
+			LTSStates:      1 + i%6,
+			LTSShape:       shapes[i%len(shapes)],
+			LTSDensity:     float64(i) / 5,
+			EventTypes:     1 + i%7,
+			InitialObjects: 4 * i,
+		}
+		d, err := domgen.Register(spec)
+		if err != nil {
+			t.Fatalf("Register(%+v): %v", spec, err)
+		}
+		fleet[d.Name] = d
+	}
+	return fleet
+}
+
+// TestEveryBundleRestoreRoundtrip is the registry-wide restore property:
+// for every registered bundle — the four hand-built domains and the
+// synthetic fleet alike — assemble → checkpoint → domains.Restore →
+// checkpoint yields equivalent snapshots. Synthetic tenants additionally
+// submit their generated initial model first, so the roundtrip covers a
+// platform with a live application model and advanced LTS state, not just
+// the freshly assembled shape.
+func TestEveryBundleRestoreRoundtrip(t *testing.T) {
+	fleet := propertyFleet(t)
+	for _, name := range domains.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			inst, err := domains.New(name, domains.Config{})
+			if err != nil {
+				t.Fatalf("New(%s): %v", name, err)
+			}
+			defer inst.Close()
+			if d, ok := fleet[name]; ok {
+				if _, err := inst.Platform.SubmitModel(d.Initial()); err != nil {
+					t.Fatalf("SubmitModel: %v", err)
+				}
+			}
+			snap, err := inst.Platform.Checkpoint()
+			if err != nil {
+				t.Fatalf("Checkpoint: %v", err)
+			}
+			restored, err := domains.Restore(name, snap, domains.Config{})
+			if err != nil {
+				t.Fatalf("Restore(%s): %v", name, err)
+			}
+			defer restored.Close()
+			snap2, err := restored.Platform.Checkpoint()
+			if err != nil {
+				t.Fatalf("Checkpoint (restored): %v", err)
+			}
+			same, err := runtime.SnapshotsEquivalent(snap, snap2)
+			if err != nil {
+				t.Fatalf("SnapshotsEquivalent: %v", err)
+			}
+			if !same {
+				t.Fatalf("restore roundtrip drifted:\n first=%s\nsecond=%s", snap, snap2)
+			}
+		})
+	}
+}
+
+// TestCompiledInterpretedAgreeOnGenerated extends the PR-5 differential
+// sweep to synthetic metamodels: the compiled validator and the
+// interpreted reference must agree — on the conformant generated initial
+// models and on deliberately broken mutations of them.
+func TestCompiledInterpretedAgreeOnGenerated(t *testing.T) {
+	for name, d := range propertyFleet(t) {
+		mm := d.DSML
+		check := func(label string, m *metamodel.Model) {
+			t.Helper()
+			compiledErr := m.Validate(mm)
+			interpErr := m.ValidateInterpreted(mm)
+			if (compiledErr == nil) != (interpErr == nil) {
+				t.Errorf("%s/%s: compiled err=%v, interpreted err=%v",
+					name, label, compiledErr, interpErr)
+			}
+		}
+		check("initial", d.Initial())
+
+		// Mutations that must fail in both validators identically.
+		broken := d.Initial()
+		broken.NewObject("zz-unknown", "NoSuchClass")
+		check("unknown-class", broken)
+
+		classes := d.ConcreteClasses()
+		class := classes[0]
+		if attrs := mm.AllAttributes(class); len(attrs) > 0 {
+			wrongType := d.Initial()
+			o := wrongType.NewObject("zz-wrong", class)
+			switch attrs[0].Kind {
+			case metamodel.KindString, metamodel.KindEnum:
+				o.SetAttr(attrs[0].Name, 3.25)
+			default:
+				o.SetAttr(attrs[0].Name, "not-a-number")
+			}
+			check("wrong-attr-type", wrongType)
+
+			phantom := d.Initial()
+			phantom.NewObject("zz-phantom", class).SetAttr("no_such_attr", 1)
+			check("phantom-attr", phantom)
+		}
+
+		dangling := d.Initial()
+		if refs := mm.AllReferences(class); len(refs) > 0 {
+			dangling.NewObject("zz-dangling", class).AddRef(refs[0].Name, "missing-target")
+			check("dangling-ref", dangling)
+		}
+	}
+}

@@ -29,6 +29,7 @@ import (
 
 	"github.com/mddsm/mddsm/internal/broker"
 	"github.com/mddsm/mddsm/internal/domains"
+	"github.com/mddsm/mddsm/internal/fault"
 	"github.com/mddsm/mddsm/internal/metamodel"
 	"github.com/mddsm/mddsm/internal/obs"
 	"github.com/mddsm/mddsm/internal/remote"
@@ -67,6 +68,10 @@ type Config struct {
 	// Now is the token-bucket time source (nil means time.Now); tests
 	// inject a fake clock for exact quota accounting.
 	Now func() time.Time
+	// Injector arms every tenant platform's fault points (nil disables).
+	// One injector is shared across tenants, so a seeded chaos/soak run
+	// draws faults from a single deterministic stream.
+	Injector *fault.Injector
 }
 
 // bucket is a token bucket: tokens refill at rate/s up to burst, one token
@@ -117,10 +122,15 @@ type tenant struct {
 	touch  uint64 // LRU ticket: higher = more recent
 }
 
-// parked is one evicted tenant: its platform state as a checkpoint.
+// parked is one evicted tenant: its platform state as a checkpoint, plus
+// the tenant's obs bundle so per-tenant counters survive the park —
+// rehydration continues the same accounting stream instead of resetting
+// it, which is what lets the soak harness assert exact per-tenant
+// accounting across arbitrary evict/rehydrate churn.
 type parked struct {
 	bundle   string
 	snapshot []byte
+	obs      *obs.Obs
 }
 
 // Server is the multi-tenant platform host. It implements remote.Router
@@ -192,7 +202,7 @@ func (s *Server) tenantConfig(to *obs.Obs) domains.Config {
 	if s.vcache != nil {
 		rt.ValidationCache = s.vcache
 	}
-	return domains.Config{Runtime: rt, Obs: to}
+	return domains.Config{Runtime: rt, Obs: to, Injector: s.cfg.Injector}
 }
 
 // Create provisions a fresh tenant on the named bundle and starts its
@@ -268,7 +278,7 @@ func (s *Server) evictLocked(name string) error {
 		return fmt.Errorf("serve: evict %s: %w", name, err)
 	}
 	delete(s.tenants, name)
-	s.parked[name] = &parked{bundle: t.bundle, snapshot: snap}
+	s.parked[name] = &parked{bundle: t.bundle, snapshot: snap, obs: t.obs}
 	s.mEvictions.Inc()
 	s.gResident.Set(int64(len(s.tenants)))
 	s.gParked.Set(int64(len(s.parked)))
@@ -300,7 +310,12 @@ func (s *Server) resident(name string) (*tenant, error) {
 	if !ok {
 		return nil, fmt.Errorf("serve: no tenant %q", name)
 	}
-	to := obs.New()
+	// Rehydrate onto the tenant's own obs bundle (parked alongside the
+	// snapshot), so the counters continue rather than restart.
+	to := p.obs
+	if to == nil {
+		to = obs.New()
+	}
 	inst, err := domains.Restore(p.bundle, p.snapshot, s.tenantConfig(to))
 	if err != nil {
 		return nil, fmt.Errorf("serve: rehydrate %s: %w", name, err)
@@ -383,28 +398,93 @@ func (s *Server) Snapshot(name string) ([]byte, error) {
 	return t.inst.Platform.Checkpoint()
 }
 
-// Stat describes one tenant: bundle, residency, and — when resident — its
-// platform's event accounting.
+// Stat describes one tenant: bundle, residency, and its platform's event
+// accounting. Counters are reported for parked tenants too — the obs
+// bundle is parked with the snapshot, so the numbers cover the tenant's
+// whole life, not just the current residency.
 func (s *Server) Stat(name string) (map[string]any, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if p, ok := s.parked[name]; ok {
-		return map[string]any{
+		st := map[string]any{
 			"tenant": name, "bundle": p.bundle, "resident": false,
 			"snapshotBytes": len(p.snapshot),
-		}, nil
+		}
+		if p.obs != nil {
+			addCounters(st, p.obs)
+		}
+		return st, nil
 	}
 	t, ok := s.tenants[name]
 	if !ok {
 		return nil, fmt.Errorf("serve: no tenant %q", name)
 	}
-	m := t.obs.MetricsOf()
-	return map[string]any{
-		"tenant": name, "bundle": t.bundle, "resident": true,
-		"posted":    m.CounterValue(obs.MEventsPosted),
-		"delivered": m.CounterValue(obs.MEventsDelivered),
-		"rejected":  m.CounterValue(obs.MEventsRejected),
-	}, nil
+	st := map[string]any{"tenant": name, "bundle": t.bundle, "resident": true}
+	addCounters(st, t.obs)
+	return st, nil
+}
+
+// addCounters copies a tenant obs bundle's pump accounting into a stat map.
+func addCounters(st map[string]any, to *obs.Obs) {
+	m := to.MetricsOf()
+	st["posted"] = m.CounterValue(obs.MEventsPosted)
+	st["delivered"] = m.CounterValue(obs.MEventsDelivered)
+	st["failures"] = m.CounterValue(obs.MDeliverFailures)
+	st["deadlettered"] = m.CounterValue(obs.MEventsDeadLettered)
+	st["dropped"] = m.CounterValue(obs.MEventsDropped)
+	st["rejected"] = m.CounterValue(obs.MEventsRejected)
+}
+
+// Accounting is one tenant's exact event ledger, the typed counterpart of
+// Stat's counters. The PR-3/PR-4 pump invariant per tenant is
+//
+//	Posted == Delivered + Failures + DeadLettered + Dropped
+//
+// once the tenant's platform has drained (stopped or evicted); Rejected
+// events were never admitted and sit outside the equation.
+type Accounting struct {
+	Bundle       string
+	Resident     bool
+	Posted       int64
+	Delivered    int64
+	Failures     int64
+	DeadLettered int64
+	Dropped      int64
+	Rejected     int64
+}
+
+// Exact reports whether the drained-pump accounting invariant holds.
+func (a Accounting) Exact() bool {
+	return a.Posted == a.Delivered+a.Failures+a.DeadLettered+a.Dropped
+}
+
+// Accounting returns the tenant's event ledger, resident or parked.
+func (s *Server) Accounting(name string) (Accounting, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var (
+		to     *obs.Obs
+		bundle string
+		live   bool
+	)
+	if t, ok := s.tenants[name]; ok {
+		to, bundle, live = t.obs, t.bundle, true
+	} else if p, ok := s.parked[name]; ok {
+		to, bundle = p.obs, p.bundle
+	} else {
+		return Accounting{}, fmt.Errorf("serve: no tenant %q", name)
+	}
+	a := Accounting{Bundle: bundle, Resident: live}
+	if to != nil {
+		m := to.MetricsOf()
+		a.Posted = m.CounterValue(obs.MEventsPosted)
+		a.Delivered = m.CounterValue(obs.MEventsDelivered)
+		a.Failures = m.CounterValue(obs.MDeliverFailures)
+		a.DeadLettered = m.CounterValue(obs.MEventsDeadLettered)
+		a.Dropped = m.CounterValue(obs.MEventsDropped)
+		a.Rejected = m.CounterValue(obs.MEventsRejected)
+	}
+	return a, nil
 }
 
 // Tenants lists every tenant, resident and parked, sorted by name.

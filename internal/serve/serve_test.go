@@ -350,3 +350,65 @@ func TestServeOverWire(t *testing.T) {
 		t.Error("unknown verb must fail")
 	}
 }
+
+// TestAccountingSurvivesEviction pins the churn-proof ledger: a tenant's
+// event counters accumulate across evict/rehydrate cycles (the obs bundle
+// is parked with the snapshot), so posted = delivered + failures +
+// deadlettered + dropped holds for the tenant's whole life, not per
+// residency.
+func TestAccountingSurvivesEviction(t *testing.T) {
+	s := NewServer(Config{})
+	defer s.Close()
+	if err := s.Create("acme", "cml"); err != nil {
+		t.Fatal(err)
+	}
+	post := func(n int) {
+		t.Helper()
+		for i := 0; i < n; i++ {
+			if err := s.PostEvent("acme", broker.Event{
+				Name:  "mediaFailure",
+				Attrs: map[string]any{"session": "s1", "key": fmt.Sprint(i)},
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	post(10)
+	if err := s.Evict("acme"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Parked: the ledger must already show the first burst, fully drained.
+	a, err := s.Accounting("acme")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Resident || a.Posted != 10 || !a.Exact() {
+		t.Fatalf("parked ledger wrong: %+v", a)
+	}
+
+	post(15) // rehydrates on first post
+	if err := s.Evict("acme"); err != nil {
+		t.Fatal(err)
+	}
+	a, err = s.Accounting("acme")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Posted != 25 {
+		t.Fatalf("ledger reset across rehydrate: posted = %d, want 25", a.Posted)
+	}
+	if !a.Exact() {
+		t.Fatalf("accounting not exact after churn: %+v", a)
+	}
+	if a.Bundle != "cml" {
+		t.Errorf("Accounting Bundle = %q", a.Bundle)
+	}
+	st, err := s.Stat("acme")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st["posted"] != int64(25) {
+		t.Errorf("Stat posted = %v, want 25", st["posted"])
+	}
+}

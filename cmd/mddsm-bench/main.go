@@ -10,6 +10,7 @@
 //	mddsm-bench [-e e1|e2|e3|e4|e5|e6|pump|validate|serve|mixed] [-iters N] [-root DIR]
 //	mddsm-bench -e validate -json BENCH_validate.json
 //	mddsm-bench -e mixed -json BENCH_mixed.json
+//	mddsm-bench -e pump -json BENCH_pump.json
 package main
 
 import (
@@ -33,7 +34,7 @@ func run(args []string) error {
 	exp := fs.String("e", "", "experiment to run (e1..e6, pump, validate, serve, mixed); empty runs all")
 	iters := fs.Int("iters", 50, "iterations per scenario for timing experiments (e2)")
 	root := fs.String("root", "", "repository root for source-size accounting (e5) and bundled models (validate); auto-detected when empty")
-	jsonOut := fs.String("json", "", `with -e validate/serve: write the machine-readable report to this path (e.g. BENCH_validate.json)`)
+	jsonOut := fs.String("json", "", `with -e validate/serve/mixed/pump: write the machine-readable report to this path (e.g. BENCH_pump.json)`)
 	common := cliutil.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -76,7 +77,7 @@ func run(args []string) error {
 			return experiments.ReportE5(w, dir)
 		},
 		"e6":    func() error { return experiments.ReportE6(w) },
-		"pump":  func() error { return experiments.ReportPump(w) },
+		"pump":  func() error { return experiments.ReportPump(w, *jsonOut) },
 		"serve": func() error { return experiments.ReportServe(w, *jsonOut) },
 		"mixed": func() error { return experiments.ReportMixed(w, *jsonOut) },
 		"validate": func() error {

@@ -77,7 +77,15 @@ func (a *Autonomic) Handled() []ChangeRequest {
 // not deadlock; rising-edge bookkeeping is committed before execution, so a
 // re-entrant Evaluate sees the symptom as already handled.
 func (a *Autonomic) Evaluate() error {
-	scope := a.broker.context.Snapshot()
+	if len(a.symptoms) == 0 {
+		// No symptoms configured (the common case for plain event
+		// platforms): skip the context snapshot entirely — Evaluate runs
+		// after every event, on the hot path.
+		return nil
+	}
+	scope := acquireScope()
+	defer releaseScope(scope)
+	a.broker.context.SnapshotInto(scope)
 	env := expr.Env{Scope: scope, Funcs: a.broker.funcs}
 
 	type firing struct {

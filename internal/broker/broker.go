@@ -34,9 +34,14 @@ const (
 
 // Event is a notification flowing through the layer: resource events enter
 // from below, and the layer forwards events upward to the Controller.
+// Events built by AcquireEvent/PooledEvent carry a pooled attribute map
+// that Release recycles after delivery (see pool.go for the ownership
+// rules); the zero value of pooled keeps plain literals behaving exactly
+// as before.
 type Event struct {
-	Name  string
-	Attrs map[string]any
+	Name   string
+	Attrs  map[string]any
+	pooled bool
 }
 
 // Adapter executes resource commands; the Resource Manager routes broker
@@ -250,7 +255,7 @@ type Broker struct {
 	breakers    map[string]*fault.Breaker
 
 	evMu     sync.Mutex
-	evQueues map[uint64][]Event // per-goroutine re-entrancy queues
+	evQueues map[uint64]*evQueue // per-goroutine re-entrancy queues
 }
 
 // New builds a Broker from a configuration. resources must carry the
@@ -394,11 +399,21 @@ func (b *Broker) runStepsForward(actionName string, steps []Step, scope expr.Map
 // outcome feeds the breaker. With a zero Resilience config this reduces to
 // a handful of nil checks around the adapter call.
 func (b *Broker) executeStep(cmd script.Command) error {
+	if b.breakers == nil && b.retryer == nil {
+		// No breaker to consult, no retry policy: skip the closure the
+		// retryer would otherwise force onto the heap for every step.
+		return b.executeOnce(cmd)
+	}
 	br := b.breakerFor(cmd.Op)
 	if err := br.Allow(); err != nil {
 		return fmt.Errorf("broker %s: op %q: %w", b.name, cmd.Op, err)
 	}
-	err := b.retryer.Do(func() error { return b.executeOnce(cmd) })
+	var err error
+	if b.retryer == nil {
+		err = b.executeOnce(cmd)
+	} else {
+		err = b.retryer.Do(func() error { return b.executeOnce(cmd) })
+	}
 	br.Report(err)
 	return err
 }
@@ -446,37 +461,42 @@ func (b *Broker) TripBreaker(op string) {
 }
 
 // executeOnce is one attempt of one resource step: fault point, optional
-// timeout bound, and the adapter hop wrapped in its spans when tracing is
-// enabled. A panicking adapter is recovered here — inside the exec closure,
-// so the recovery also covers the goroutine WithTimeout runs it on — and
-// classified as a permanent fault.PanicError, which the retryer refuses to
-// retry and the circuit breaker counts as a failure.
+// timeout bound, and the adapter hop. Without a step timeout the attempt
+// runs directly on this goroutine — no closure, no allocation; with one it
+// is wrapped for the goroutine WithTimeout runs it on.
 func (b *Broker) executeOnce(cmd script.Command) error {
 	if err := b.injector.Inject(SiteStep); err != nil {
 		return err
 	}
-	exec := func() (err error) {
-		defer func() {
-			if r := recover(); r != nil {
-				b.mPanics.Inc()
-				err = fault.Recovered(SiteStep, r)
-			}
-		}()
-		if b.tracer == nil {
-			return b.resources.Execute(cmd)
-		}
-		step := b.tracer.Start(obs.SpanBrokerStep)
-		step.SetStr("op", cmd.Op)
-		res := b.tracer.Start(obs.SpanResourceExecute)
-		err = b.resources.Execute(cmd)
-		res.End()
-		step.End()
-		return err
-	}
 	if b.stepTimeout > 0 {
-		return fault.WithTimeout(b.stepTimeout, exec)
+		return fault.WithTimeout(b.stepTimeout, func() error { return b.execAttempt(cmd) })
 	}
-	return exec()
+	return b.execAttempt(cmd)
+}
+
+// execAttempt is the adapter hop wrapped in its spans when tracing is
+// enabled. A panicking adapter is recovered here — inside the function
+// WithTimeout runs on its own goroutine, so the recovery covers that
+// goroutine too — and classified as a permanent fault.PanicError, which
+// the retryer refuses to retry and the circuit breaker counts as a
+// failure.
+func (b *Broker) execAttempt(cmd script.Command) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			b.mPanics.Inc()
+			err = fault.Recovered(SiteStep, r)
+		}
+	}()
+	if b.tracer == nil {
+		return b.resources.Execute(cmd)
+	}
+	step := b.tracer.Start(obs.SpanBrokerStep)
+	step.SetStr("op", cmd.Op)
+	res := b.tracer.Start(obs.SpanResourceExecute)
+	err = b.resources.Execute(cmd)
+	res.End()
+	step.End()
+	return err
 }
 
 // OnEvent is the layer's event entry point: resource adapters push events
@@ -493,33 +513,44 @@ func (b *Broker) executeOnce(cmd script.Command) error {
 // any re-entrant events still queued behind the poisoned one are dropped as
 // counted losses ("broker.events.reentrant.dropped").
 func (b *Broker) OnEvent(ev Event) (err error) {
+	return b.OnEventFrom(obs.GoID(), ev)
+}
+
+// OnEventFrom is OnEvent for callers that already know their goroutine ID
+// (obs.GoID() of the calling goroutine, nothing else). The runtime's pump
+// workers resolve their ID once per worker lifetime instead of paying the
+// runtime.Stack parse on every delivery; everyone else goes through
+// OnEvent.
+func (b *Broker) OnEventFrom(g uint64, ev Event) (err error) {
 	if err := b.injector.Inject(SiteEvent); err != nil {
 		if errors.Is(err, fault.ErrDropped) {
 			return nil // injected event loss: silently discarded
 		}
 		return err
 	}
-	g := obs.GoID()
 	b.evMu.Lock()
 	if q, ok := b.evQueues[g]; ok {
-		b.evQueues[g] = append(q, ev)
+		q.items = append(q.items, ev)
 		b.evMu.Unlock()
 		return nil
 	}
 	if b.evQueues == nil {
-		b.evQueues = make(map[uint64][]Event)
+		b.evQueues = make(map[uint64]*evQueue)
 	}
-	b.evQueues[g] = []Event{ev}
+	dq := acquireEvQueue()
+	dq.items = append(dq.items, ev)
+	b.evQueues[g] = dq
 	b.evMu.Unlock()
 
 	defer func() {
 		if r := recover(); r != nil {
 			b.evMu.Lock()
-			dropped := len(b.evQueues[g])
+			dropped := len(dq.items) - dq.head
 			delete(b.evQueues, g)
 			b.evMu.Unlock()
 			b.mReentrantDropped.Add(int64(dropped))
 			b.mPanics.Inc()
+			releaseEvQueue(dq)
 			err = fault.Recovered(SiteEvent, r)
 		}
 	}()
@@ -527,14 +558,15 @@ func (b *Broker) OnEvent(ev Event) (err error) {
 	var firstErr error
 	for {
 		b.evMu.Lock()
-		q := b.evQueues[g]
-		if len(q) == 0 {
+		if dq.head == len(dq.items) {
 			delete(b.evQueues, g)
 			b.evMu.Unlock()
+			releaseEvQueue(dq)
 			return firstErr
 		}
-		next := q[0]
-		b.evQueues[g] = q[1:]
+		next := dq.items[dq.head]
+		dq.items[dq.head] = Event{}
+		dq.head++
 		b.evMu.Unlock()
 		if err := b.processEvent(next); err != nil && firstErr == nil {
 			firstErr = err
@@ -549,8 +581,10 @@ func (b *Broker) processEvent(ev Event) error {
 	sp := b.tracer.Start(obs.SpanBrokerEvent)
 	sp.SetStr("event", ev.Name)
 	defer sp.End()
-	scope := b.context.Snapshot()
-	scope["event"] = ev.Name
+	scope := acquireScope()
+	defer releaseScope(scope)
+	b.context.SnapshotInto(scope)
+	scope["event"] = boxString(ev.Name)
 	for k, v := range ev.Attrs {
 		scope[k] = v
 	}

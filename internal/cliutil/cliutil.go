@@ -44,7 +44,7 @@ func Register(fs *flag.FlagSet) *Common {
 	c := &Common{}
 	fs.BoolVar(&c.Obs, "obs", false, "instrument the run and print an observability snapshot")
 	fs.StringVar(&c.Faults, "faults", "", `inject faults: "seed=N,site:kind[:p=0.5][:d=10ms][:n=3],..." (see internal/fault)`)
-	fs.StringVar(&c.ValidateMode, "validate-mode", "", "conformance validator: compiled or interpreted (default compiled with interpreted fallback)")
+	fs.StringVar(&c.ValidateMode, "validate-mode", "", "conformance validator: compiled, interpreted or delta (default compiled with interpreted fallback; delta re-checks only touched objects per submission)")
 	return c
 }
 
@@ -64,9 +64,15 @@ func (c *Common) RegisterValidateCache(fs *flag.FlagSet) *Common {
 }
 
 // ApplyValidationMode parses -validate-mode and installs it process-wide;
-// it is a no-op when the flag is empty.
+// it is a no-op when the flag is empty. The "delta" mode keeps the
+// compiled validator for whole-model checks (delta validation builds on
+// its layout tables) and is wired into runtime.Config by Resolve.
 func (c *Common) ApplyValidationMode() error {
-	if c.ValidateMode == "" {
+	switch c.ValidateMode {
+	case "":
+		return nil
+	case "delta":
+		metamodel.SetValidationMode(metamodel.ModeCompiled)
 		return nil
 	}
 	mode, err := metamodel.ParseValidationMode(c.ValidateMode)
@@ -99,6 +105,9 @@ func (c *Common) Resolve() (*obs.Obs, *fault.Injector, runtime.Config, error) {
 		metamodel.BindMetrics(o.MetricsOf())
 	}
 
+	if c.ValidateMode == "delta" {
+		rcfg.DeltaValidation = true
+	}
 	if c.pumpRegistered {
 		rcfg.PumpShards = c.PumpShards
 	}

@@ -1,8 +1,10 @@
 package experiments
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
+	"os"
 	goruntime "runtime"
 	"time"
 
@@ -15,17 +17,37 @@ import (
 
 // PumpResult is one sharded-pump throughput measurement.
 type PumpResult struct {
-	Shards       int
-	Events       int
-	EventsPerSec float64
+	Shards         int     `json:"shards"`
+	Events         int     `json:"events"`
+	EventsPerSec   float64 `json:"events_per_sec"`
+	AllocsPerEvent float64 `json:"allocs_per_event"`
+	DelayUs        float64 `json:"adapter_delay_us"`
 }
 
-// MeasurePump posts events from 64 independent sources through a
-// broker-only platform whose adapter sleeps delay per delivery, and
-// returns the sustained delivery rate with the given shard count. Events
-// are routed by their "src" attribute, so same-source ordering holds
-// while independent sources deliver concurrently.
-func MeasurePump(shards, events int, delay time.Duration) (PumpResult, error) {
+// PumpReport is the machine-readable pump benchmark record
+// (BENCH_pump.json).
+type PumpReport struct {
+	GOMAXPROCS int `json:"gomaxprocs"`
+	// HotPath rows run a no-op adapter with pooled events: the
+	// allocation-free post→shard→deliver pipeline itself.
+	HotPath []PumpResult `json:"hot_path"`
+	// SlowAdapter rows keep the original 100µs-per-delivery adapter, where
+	// throughput is bounded by adapter latency times shard parallelism.
+	SlowAdapter []PumpResult `json:"slow_adapter"`
+	// BaselinePR3EventsPerSec is the 4-shard slow-adapter throughput
+	// recorded when the sharded pump landed, before the allocation-free
+	// hot path: the comparison point for Speedup.
+	BaselinePR3EventsPerSec float64 `json:"baseline_pr3_events_per_sec"`
+	// BestHotEventsPerSec / Speedup summarise the headline result.
+	BestHotEventsPerSec float64 `json:"best_hot_events_per_sec"`
+	Speedup             float64 `json:"speedup"`
+}
+
+// baselinePR3EventsPerSec is the 4-shard slow-adapter rate measured before
+// the allocation-free hot path (EXPERIMENTS.md, PR-3 pump table).
+const baselinePR3EventsPerSec = 34000
+
+func buildPumpPlatform(shards int, delay time.Duration) (*mdruntime.Platform, *obs.Counter, error) {
 	mb := mwmeta.NewBuilder("pump-exp", "bench")
 	mb.BrokerLayer("brk").
 		EventAction("handle", "tick", "", false,
@@ -44,7 +66,20 @@ func MeasurePump(shards, events int, delay time.Duration) (PumpResult, error) {
 	}, mdruntime.WithPumpShards(shards), mdruntime.WithShardKey("src"),
 		mdruntime.WithPumpQueue(4096))
 	if err != nil {
-		return PumpResult{}, fmt.Errorf("pump: %w", err)
+		return nil, nil, fmt.Errorf("pump: %w", err)
+	}
+	return p, m.Counter(obs.MEventsDelivered), nil
+}
+
+// MeasurePump posts events from 64 independent sources through a
+// broker-only platform whose adapter sleeps delay per delivery, and
+// returns the sustained delivery rate with the given shard count. Events
+// are routed by their "src" attribute, so same-source ordering holds
+// while independent sources deliver concurrently.
+func MeasurePump(shards, events int, delay time.Duration) (PumpResult, error) {
+	p, delivered, err := buildPumpPlatform(shards, delay)
+	if err != nil {
+		return PumpResult{}, err
 	}
 	p.Start()
 	defer p.Stop()
@@ -53,7 +88,6 @@ func MeasurePump(shards, events int, delay time.Duration) (PumpResult, error) {
 	for i := range srcs {
 		srcs[i] = fmt.Sprintf("src-%d", i)
 	}
-	delivered := m.Counter(obs.MEventsDelivered)
 	start := time.Now()
 	for i := 0; i < events; i++ {
 		ev := broker.Event{Name: "tick",
@@ -70,40 +104,144 @@ func MeasurePump(shards, events int, delay time.Duration) (PumpResult, error) {
 		Shards:       shards,
 		Events:       events,
 		EventsPerSec: float64(events) / elapsed.Seconds(),
+		DelayUs:      float64(delay) / float64(time.Microsecond),
 	}, nil
 }
 
-// ReportPump prints sharded event-pump throughput on the slow-adapter mix
-// (100µs per delivery) at 1, 4 and GOMAXPROCS shards, with the speedup
-// over the single-shard baseline.
-func ReportPump(w io.Writer) error {
-	const events = 20000
-	const delay = 100 * time.Microsecond
+// MeasurePumpHot measures the allocation-free hot path: pooled events, a
+// no-op adapter and pre-boxed shard keys, the steady-state shape the
+// AllocsPerRun gate pins. Besides the delivery rate it reports the mean
+// allocations per event, read from process-wide malloc counts so the shard
+// workers' allocations (if any) are charged too.
+func MeasurePumpHot(shards, events int) (PumpResult, error) {
+	p, delivered, err := buildPumpPlatform(shards, 0)
+	if err != nil {
+		return PumpResult{}, err
+	}
+	p.Start()
+	defer p.Stop()
+
+	srcs := make([]any, 64)
+	for i := range srcs {
+		srcs[i] = fmt.Sprintf("src-%d", i)
+	}
+	post := func(n int) {
+		base := delivered.Value()
+		for i := 0; i < n; i++ {
+			ev := broker.AcquireEvent("tick")
+			ev.Attrs["src"] = srcs[i%len(srcs)]
+			for !p.PostEvent(ev) {
+				goruntime.Gosched()
+			}
+		}
+		for delivered.Value() < base+int64(n) {
+			goruntime.Gosched()
+		}
+	}
+	warm := events / 4
+	if warm < 8192 {
+		warm = 8192
+	}
+	post(warm) // warm pools, maps, channels, metric instruments
+
+	var before, after goruntime.MemStats
+	goruntime.ReadMemStats(&before)
+	start := time.Now()
+	post(events)
+	elapsed := time.Since(start)
+	goruntime.ReadMemStats(&after)
+	return PumpResult{
+		Shards:         shards,
+		Events:         events,
+		EventsPerSec:   float64(events) / elapsed.Seconds(),
+		AllocsPerEvent: float64(after.Mallocs-before.Mallocs) / float64(events),
+	}, nil
+}
+
+// MeasurePumpReport runs the full pump benchmark matrix: the hot path and
+// the slow-adapter context rows at 1, 4 and GOMAXPROCS shards.
+func MeasurePumpReport() (*PumpReport, error) {
 	shardCounts := []int{1, 4}
 	if n := goruntime.GOMAXPROCS(0); n > 4 {
 		shardCounts = append(shardCounts, n)
 	}
+	rep := &PumpReport{
+		GOMAXPROCS:              goruntime.GOMAXPROCS(0),
+		BaselinePR3EventsPerSec: baselinePR3EventsPerSec,
+	}
+	const hotEvents = 200000
+	for _, shards := range shardCounts {
+		r, err := MeasurePumpHot(shards, hotEvents)
+		if err != nil {
+			return nil, err
+		}
+		rep.HotPath = append(rep.HotPath, r)
+		if r.EventsPerSec > rep.BestHotEventsPerSec {
+			rep.BestHotEventsPerSec = r.EventsPerSec
+		}
+	}
+	const slowEvents = 20000
+	const delay = 100 * time.Microsecond
+	for _, shards := range shardCounts {
+		r, err := MeasurePump(shards, slowEvents, delay)
+		if err != nil {
+			return nil, err
+		}
+		rep.SlowAdapter = append(rep.SlowAdapter, r)
+	}
+	rep.Speedup = rep.BestHotEventsPerSec / baselinePR3EventsPerSec
+	return rep, nil
+}
+
+// ReportPump prints the pump throughput tables — the allocation-free hot
+// path and the slow-adapter (100µs/delivery) context — and, when jsonPath
+// is non-empty, writes the machine-readable record there.
+func ReportPump(w io.Writer, jsonPath string) error {
+	rep, err := MeasurePumpReport()
+	if err != nil {
+		return err
+	}
 	t := Table{
-		Title:   "Pump — sharded event-pump throughput, slow adapter (100µs/delivery)",
-		Columns: []string{"shards", "events", "events/sec", "speedup"},
+		Title:   "Pump — event hot path (pooled events, no-op adapter)",
+		Columns: []string{"shards", "events", "events/sec", "allocs/event", "vs PR-3 baseline"},
 		Notes: []string{
 			"events from 64 sources routed by the \"src\" attribute; per-source order preserved",
-			fmt.Sprintf("GOMAXPROCS=%d; queue capacity 4096 per shard", goruntime.GOMAXPROCS(0)),
+			fmt.Sprintf("baseline: %d ev/s (4 shards, slow adapter, pre-hot-path)", baselinePR3EventsPerSec),
+			fmt.Sprintf("GOMAXPROCS=%d; queue capacity 4096 per shard", rep.GOMAXPROCS),
 		},
 	}
+	for _, r := range rep.HotPath {
+		t.AddRow(fmt.Sprintf("%d", r.Shards), fmt.Sprintf("%d", r.Events),
+			fmt.Sprintf("%.0f", r.EventsPerSec),
+			fmt.Sprintf("%.3f", r.AllocsPerEvent),
+			fmt.Sprintf("%.1fx", r.EventsPerSec/baselinePR3EventsPerSec))
+	}
+	t.Print(w)
+
+	ts := Table{
+		Title:   "Pump — sharded throughput, slow adapter (100µs/delivery)",
+		Columns: []string{"shards", "events", "events/sec", "speedup"},
+	}
 	var base float64
-	for _, shards := range shardCounts {
-		r, err := MeasurePump(shards, events, delay)
-		if err != nil {
-			return err
-		}
+	for _, r := range rep.SlowAdapter {
 		if base == 0 {
 			base = r.EventsPerSec
 		}
-		t.AddRow(fmt.Sprintf("%d", r.Shards), fmt.Sprintf("%d", r.Events),
+		ts.AddRow(fmt.Sprintf("%d", r.Shards), fmt.Sprintf("%d", r.Events),
 			fmt.Sprintf("%.0f", r.EventsPerSec),
 			fmt.Sprintf("%.2fx", r.EventsPerSec/base))
 	}
-	t.Print(w)
+	ts.Print(w)
+
+	if jsonPath != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %s\n\n", jsonPath)
+	}
 	return nil
 }

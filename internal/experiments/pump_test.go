@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestPumpSmoke runs a miniature hot-path measurement end to end.
+func TestPumpSmoke(t *testing.T) {
+	r, err := MeasurePumpHot(2, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.EventsPerSec <= 0 {
+		t.Fatalf("no throughput measured: %+v", r)
+	}
+	if !raceEnabled && r.AllocsPerEvent > 1 {
+		t.Fatalf("hot path allocates heavily: %.2f allocs/event", r.AllocsPerEvent)
+	}
+}
+
+// TestCommittedPumpBenchSchema guards the committed BENCH_pump.json: it
+// must strict-decode into PumpReport with no unknown fields, report an
+// allocation-free hot path, and clear the 2x bar over the PR-3 baseline.
+func TestCommittedPumpBenchSchema(t *testing.T) {
+	root, err := FindRepoRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(root, "BENCH_pump.json"))
+	if err != nil {
+		t.Fatalf("committed benchmark record missing: %v", err)
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var rep PumpReport
+	if err := dec.Decode(&rep); err != nil {
+		t.Fatalf("BENCH_pump.json does not match the PumpReport schema: %v", err)
+	}
+	if len(rep.HotPath) < 2 || len(rep.SlowAdapter) < 2 {
+		t.Fatalf("committed record too small: %d hot rows, %d slow rows",
+			len(rep.HotPath), len(rep.SlowAdapter))
+	}
+	for _, r := range rep.HotPath {
+		if r.AllocsPerEvent != 0 {
+			t.Errorf("hot path at %d shards allocates: %.3f allocs/event, want 0",
+				r.Shards, r.AllocsPerEvent)
+		}
+		if r.EventsPerSec <= 0 || r.Events <= 0 {
+			t.Errorf("implausible hot-path row: %+v", r)
+		}
+	}
+	if rep.BaselinePR3EventsPerSec != baselinePR3EventsPerSec {
+		t.Errorf("baseline drifted: %v, want %v", rep.BaselinePR3EventsPerSec, baselinePR3EventsPerSec)
+	}
+	if rep.Speedup < 2 {
+		t.Errorf("committed speedup %.2fx below the 2x acceptance bar", rep.Speedup)
+	}
+	if rep.BestHotEventsPerSec < 2*baselinePR3EventsPerSec {
+		t.Errorf("best hot-path rate %.0f ev/s below 2x baseline", rep.BestHotEventsPerSec)
+	}
+}

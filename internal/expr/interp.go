@@ -44,8 +44,14 @@ func Interpolate(tpl string, scope Scope) (any, error) {
 	}
 }
 
-// InterpolateString is Interpolate forcing a textual result.
+// InterpolateString is Interpolate forcing a textual result. A template
+// with no holes short-circuits before Interpolate so the string never
+// round-trips through an interface (which would box, i.e. allocate, on
+// every expansion of a literal op or target).
 func InterpolateString(tpl string, scope Scope) (string, error) {
+	if !strings.Contains(tpl, "{") {
+		return tpl, nil
+	}
 	v, err := Interpolate(tpl, scope)
 	if err != nil {
 		return "", err

@@ -38,6 +38,11 @@ type compiledClass struct {
 	refs      []compiledRef
 	refIndex  map[string]int32 // interned reference-name handle → slot
 	ancestors map[string]struct{}
+
+	// Column counts per storage kind for the slot-model representation
+	// (see slots.go): every attribute slot is assigned a column in the
+	// typed array matching its kind, enums sharing the string columns.
+	nStr, nInt, nFloat, nBool int
 }
 
 // compiledAttr is one attribute slot: the kind check resolved to a direct
@@ -51,6 +56,10 @@ type compiledAttr struct {
 	required bool
 	def      any // pre-normalised default; nil when absent
 	norm     func(v any) (any, error)
+	// col is the attribute's column index in its kind's typed column
+	// array of the slot-model representation (strings for KindString and
+	// KindEnum, int64s for KindInt, and so on).
+	col int32
 }
 
 // compiledRef is one reference slot.
@@ -142,14 +151,24 @@ func Compile(mm *Metamodel) (*CompiledMetamodel, error) {
 			switch a.Kind {
 			case KindString:
 				ca.norm = normString
+				ca.col = int32(cc.nStr)
+				cc.nStr++
 			case KindInt:
 				ca.norm = normInt
+				ca.col = int32(cc.nInt)
+				cc.nInt++
 			case KindFloat:
 				ca.norm = normFloat
+				ca.col = int32(cc.nFloat)
+				cc.nFloat++
 			case KindBool:
 				ca.norm = normBool
+				ca.col = int32(cc.nBool)
+				cc.nBool++
 			case KindEnum:
 				ca.norm = normString
+				ca.col = int32(cc.nStr)
+				cc.nStr++
 				ca.enumName = a.EnumType
 				e := mm.enums[a.EnumType]
 				ca.enum = make(map[string]struct{}, len(e.Literals))
@@ -205,91 +224,111 @@ func (cm *CompiledMetamodel) Validate(m *Model) error {
 	var errs errorList
 	var container map[string]string // contained ID -> container ID
 	for _, id := range m.order {
-		o := m.objects[id]
-		cc := cm.classes[o.Class]
-		if cc == nil {
-			errs.addf("object %s: unknown class %q", id, o.Class)
+		cm.validateObject(m, id, m.objects[id], &errs, func(tid, owner string) {
+			if container == nil {
+				container = make(map[string]string)
+			}
+			if prev, owned := container[tid]; owned && prev != owner {
+				errs.addf("object %s: contained by both %s and %s", tid, prev, owner)
+			}
+			container[tid] = owner
+		})
+	}
+	containmentCycles(container, &errs)
+	return errs.err()
+}
+
+// validateObject checks one object against the compiled layout, appending
+// problems to errs and applying the normalising mutations (canonical value
+// coercion, defaults). Containment claims are reported through claim —
+// claim(target, owner) for every containment reference edge, in reference
+// iteration order — so full validation and the delta validator share the
+// per-object walk while accounting ownership differently.
+func (cm *CompiledMetamodel) validateObject(m *Model, id string, o *Object, errs *errorList, claim func(target, owner string)) {
+	cc := cm.classes[o.Class]
+	if cc == nil {
+		errs.addf("object %s: unknown class %q", id, o.Class)
+		return
+	}
+	if cc.abstract {
+		errs.addf("object %s: class %q is abstract", id, o.Class)
+	}
+	for name, v := range o.attrs {
+		idx, ok := cc.attrIndex[name]
+		if !ok {
+			errs.addf("object %s (%s): unknown attribute %q", id, o.Class, name)
 			continue
 		}
-		if cc.abstract {
-			errs.addf("object %s: class %q is abstract", id, o.Class)
+		ca := &cc.attrs[idx]
+		nv, err := ca.norm(v)
+		if err != nil {
+			errs.addf("object %s (%s): attribute %s: %v", id, o.Class, name, err)
+			continue
 		}
-		for name, v := range o.attrs {
-			idx, ok := cc.attrIndex[name]
-			if !ok {
-				errs.addf("object %s (%s): unknown attribute %q", id, o.Class, name)
-				continue
-			}
-			ca := &cc.attrs[idx]
-			nv, err := ca.norm(v)
-			if err != nil {
-				errs.addf("object %s (%s): attribute %s: %v", id, o.Class, name, err)
-				continue
-			}
-			if ca.enum != nil {
-				if _, lit := ca.enum[nv.(string)]; !lit {
-					errs.addf("object %s (%s): attribute %s: %q is not a literal of %s",
-						id, o.Class, name, nv, ca.enumName)
-				}
-			}
-			o.attrs[name] = nv
-		}
-		for i := range cc.attrs {
-			ca := &cc.attrs[i]
-			if _, set := o.attrs[ca.name]; set {
-				continue
-			}
-			if ca.def != nil {
-				o.attrs[ca.name] = ca.def
-				continue
-			}
-			if ca.required {
-				errs.addf("object %s (%s): required attribute %q unset", id, o.Class, ca.name)
+		if ca.enum != nil {
+			if _, lit := ca.enum[nv.(string)]; !lit {
+				errs.addf("object %s (%s): attribute %s: %q is not a literal of %s",
+					id, o.Class, name, nv, ca.enumName)
 			}
 		}
-		for name, targets := range o.refs {
-			if len(targets) == 0 {
-				continue
-			}
-			idx, ok := cc.refIndex[name]
-			if !ok {
-				errs.addf("object %s (%s): unknown reference %q", id, o.Class, name)
-				continue
-			}
-			cr := &cc.refs[idx]
-			if !cr.many && len(targets) > 1 {
-				errs.addf("object %s (%s): reference %s: %d targets on single-valued reference",
-					id, o.Class, name, len(targets))
-			}
-			for _, tid := range targets {
-				t := m.objects[tid]
-				if t == nil {
-					errs.addf("object %s (%s): reference %s: dangling target %q", id, o.Class, name, tid)
-					continue
-				}
-				if !cm.isKindOf(t.Class, cr.target) {
-					errs.addf("object %s (%s): reference %s: target %s has class %s, want %s",
-						id, o.Class, name, tid, t.Class, cr.target)
-				}
-				if cr.containment {
-					if container == nil {
-						container = make(map[string]string)
-					}
-					if prev, owned := container[tid]; owned && prev != id {
-						errs.addf("object %s: contained by both %s and %s", tid, prev, id)
-					}
-					container[tid] = id
-				}
-			}
+		o.attrs[name] = nv
+	}
+	for i := range cc.attrs {
+		ca := &cc.attrs[i]
+		if _, set := o.attrs[ca.name]; set {
+			continue
 		}
-		for i := range cc.refs {
-			cr := &cc.refs[i]
-			if cr.required && len(o.refs[cr.name]) == 0 {
-				errs.addf("object %s (%s): required reference %q unset", id, o.Class, cr.name)
+		if ca.def != nil {
+			o.attrs[ca.name] = ca.def
+			continue
+		}
+		if ca.required {
+			errs.addf("object %s (%s): required attribute %q unset", id, o.Class, ca.name)
+		}
+	}
+	for name, targets := range o.refs {
+		if len(targets) == 0 {
+			continue
+		}
+		idx, ok := cc.refIndex[name]
+		if !ok {
+			errs.addf("object %s (%s): unknown reference %q", id, o.Class, name)
+			continue
+		}
+		cr := &cc.refs[idx]
+		if !cr.many && len(targets) > 1 {
+			errs.addf("object %s (%s): reference %s: %d targets on single-valued reference",
+				id, o.Class, name, len(targets))
+		}
+		for _, tid := range targets {
+			t := m.objects[tid]
+			if t == nil {
+				errs.addf("object %s (%s): reference %s: dangling target %q", id, o.Class, name, tid)
+				continue
+			}
+			if !cm.isKindOf(t.Class, cr.target) {
+				errs.addf("object %s (%s): reference %s: target %s has class %s, want %s",
+					id, o.Class, name, tid, t.Class, cr.target)
+			}
+			if cr.containment {
+				claim(tid, id)
 			}
 		}
 	}
-	// Containment acyclicity, same walk as the interpreted validator.
+	for i := range cc.refs {
+		cr := &cc.refs[i]
+		if cr.required && len(o.refs[cr.name]) == 0 {
+			errs.addf("object %s (%s): required reference %q unset", id, o.Class, cr.name)
+		}
+	}
+}
+
+// containmentCycles runs the acyclicity walk over a complete contained →
+// container map, appending one "containment cycle involving object X"
+// problem per contained object whose upward chain revisits a node (X names
+// the first revisited node of that walk) — the same messages, same
+// multiset, as the interpreted validator.
+func containmentCycles(container map[string]string, errs *errorList) {
 	for id := range container {
 		seen := map[string]bool{id: true}
 		for cur := container[id]; cur != ""; cur = container[cur] {
@@ -300,7 +339,6 @@ func (cm *CompiledMetamodel) Validate(m *Model) error {
 			seen[cur] = true
 		}
 	}
-	return errs.err()
 }
 
 // compileSlot caches a metamodel's compiled form (or the compile error) for

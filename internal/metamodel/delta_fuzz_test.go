@@ -1,0 +1,42 @@
+package metamodel
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// FuzzDeltaValidate drives one differential delta-validation chain per
+// input: a seeded random metamodel, a valid base and a sequence of random
+// mutations, each step checked for agreement between the delta validator
+// and the full compiled validator. The interesting state space is the
+// mutation structure, so the fuzz input is the generator seed plus the
+// chain length.
+func FuzzDeltaValidate(f *testing.F) {
+	for seed := int64(0); seed < 24; seed++ {
+		f.Add(seed, uint8(6))
+	}
+	f.Add(int64(1<<40), uint8(1))
+	f.Add(int64(-7), uint8(12))
+	f.Fuzz(func(t *testing.T, seed int64, steps uint8) {
+		if steps == 0 || steps > 16 {
+			steps = 4
+		}
+		rng := rand.New(rand.NewSource(seed))
+		mm := genMetamodel(rng)
+		cm, err := mm.Compiled()
+		if err != nil {
+			t.Fatalf("compile: %v", err)
+		}
+		base := genInstance(rng, mm, 2+rng.Intn(8))
+		if err := cm.Validate(base); err != nil {
+			base = NewModel(mm.Name)
+		}
+		dv := NewDeltaValidator(cm, base)
+		for k := 0; k < int(steps); k++ {
+			next0 := base.Clone()
+			mutateModel(rng, next0, mm)
+			base = stepDelta(t, fmt.Sprintf("seed %d step %d", seed, k), mm, cm, dv, base, next0)
+		}
+	})
+}

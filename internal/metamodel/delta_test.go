@@ -1,0 +1,356 @@
+package metamodel
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// Delta-validation differential tests: a DeltaValidator advancing through a
+// sequence of change lists must agree with a full compiled validation of
+// each resulting model — same verdict, same problem multiset, same
+// normalising mutations — and NormalizeChanges must rewrite a raw diff of
+// an unvalidated submission into exactly the change list a
+// validate-then-diff produces.
+
+// mutateModel applies a few random mutations to m — valid and invalid
+// alike: added/removed/reclassified objects, attribute writes of right and
+// wrong kinds, unknown features, reference edits including dangling
+// targets, containment conflicts and containment cycles.
+func mutateModel(rng *rand.Rand, m *Model, mm *Metamodel) {
+	names := mm.ClassNames()
+	randID := func() string {
+		ids := m.IDs()
+		if len(ids) == 0 {
+			return ""
+		}
+		return ids[rng.Intn(len(ids))]
+	}
+	for n := 1 + rng.Intn(4); n > 0; n-- {
+		switch rng.Intn(9) {
+		case 0: // add object
+			class := names[rng.Intn(len(names))]
+			if rng.Intn(10) == 0 {
+				class = "Ghost"
+			}
+			id := fmt.Sprintf("n%d", rng.Intn(1000))
+			if m.Get(id) != nil {
+				continue
+			}
+			o := m.NewObject(id, class)
+			for _, a := range mm.AllAttributes(class) {
+				switch rng.Intn(4) {
+				case 0: // unset → default / required check
+				case 1:
+					o.SetAttr(a.Name, wrongValue(rng, a.Kind))
+				default:
+					o.SetAttr(a.Name, defaultFor(rng, mm, a))
+				}
+			}
+		case 1: // remove object (referrers may dangle)
+			if id := randID(); id != "" {
+				_ = m.Delete(id)
+			}
+		case 2: // reclassify: same ID, different class
+			id := randID()
+			if id == "" {
+				continue
+			}
+			_ = m.Delete(id)
+			m.NewObject(id, names[rng.Intn(len(names))])
+		case 3: // set attribute, canonical or raw or wrong-kind
+			id := randID()
+			if id == "" {
+				continue
+			}
+			o := m.Get(id)
+			attrs := mm.AllAttributes(o.Class)
+			if len(attrs) == 0 {
+				continue
+			}
+			a := attrs[rng.Intn(len(attrs))]
+			switch rng.Intn(5) {
+			case 0:
+				o.SetAttr(a.Name, wrongValue(rng, a.Kind))
+			case 1:
+				if a.Kind == KindInt {
+					o.SetAttr(a.Name, float64(rng.Intn(50))) // integral float → normalises
+					continue
+				}
+				o.SetAttr(a.Name, defaultFor(rng, mm, a))
+			default:
+				o.SetAttr(a.Name, defaultFor(rng, mm, a))
+			}
+		case 4: // unset attribute
+			id := randID()
+			if id == "" {
+				continue
+			}
+			o := m.Get(id)
+			if an := o.AttrNames(); len(an) > 0 {
+				delete(o.attrs, an[rng.Intn(len(an))])
+			}
+		case 5: // unknown attribute
+			if id := randID(); id != "" {
+				m.Get(id).SetAttr(fmt.Sprintf("zz%d", rng.Intn(3)), "mystery")
+			}
+		case 6: // add reference, sometimes dangling
+			id := randID()
+			if id == "" {
+				continue
+			}
+			o := m.Get(id)
+			refs := mm.AllReferences(o.Class)
+			if len(refs) == 0 {
+				continue
+			}
+			r := refs[rng.Intn(len(refs))]
+			if rng.Intn(8) == 0 {
+				o.AddRef(r.Name, fmt.Sprintf("ghost%d", rng.Intn(4)))
+			} else if t := randID(); t != "" {
+				o.AddRef(r.Name, t)
+			}
+		case 7: // remove a reference target
+			id := randID()
+			if id == "" {
+				continue
+			}
+			o := m.Get(id)
+			if rn := o.RefNames(); len(rn) > 0 {
+				name := rn[rng.Intn(len(rn))]
+				ts := o.Refs(name)
+				o.RemoveRef(name, ts[rng.Intn(len(ts))])
+			}
+		case 8: // containment edge: conflicts and cycles
+			id := randID()
+			if id == "" {
+				continue
+			}
+			o := m.Get(id)
+			for _, r := range mm.AllReferences(o.Class) {
+				if !r.Containment {
+					continue
+				}
+				if t := randID(); t != "" {
+					o.AddRef(r.Name, t) // may self-contain or close a cycle
+				}
+				break
+			}
+		}
+	}
+}
+
+// stepDelta runs one base → next transition through NormalizeChanges and
+// the DeltaValidator, requiring verdict, problem multiset and mutated model
+// state to match a full compiled validation; on a valid transition it
+// advances dv and returns the new base.
+func stepDelta(t *testing.T, label string, mm *Metamodel, cm *CompiledMetamodel, dv *DeltaValidator, base, next0 *Model) *Model {
+	t.Helper()
+	raw := DiffWithContainment(base, next0, mm)
+	changes := NormalizeChanges(cm, base, raw)
+	next := base.Clone()
+	if err := Apply(next, changes); err != nil {
+		t.Fatalf("%s: apply normalised changes: %v\nchanges:\n%s", label, err, changes)
+	}
+
+	full := next.Clone()
+	fullErr := cm.Validate(full)
+	deltaErr := dv.Validate(next, changes)
+	if (fullErr == nil) != (deltaErr == nil) {
+		t.Fatalf("%s: verdicts diverge:\nfull:  %v\ndelta: %v\nchanges:\n%s", label, fullErr, deltaErr, changes)
+	}
+	pf, pd := problemSet(t, fullErr), problemSet(t, deltaErr)
+	if !equalStringSets(pf, pd) {
+		t.Fatalf("%s: problem multisets diverge:\nfull:  %v\ndelta: %v\nchanges:\n%s", label, pf, pd, changes)
+	}
+	if fullErr != nil {
+		return base // rejected: base stands
+	}
+	// NormalizeChanges must be exactly validate-then-diff.
+	if vc, err := (*ValidationCache)(nil).Validate(mm, next0); err == nil {
+		want := DiffWithContainment(base, vc, mm)
+		if fmt.Sprint(want) != fmt.Sprint(changes) {
+			t.Fatalf("%s: normalised changes diverge from validate-then-diff:\nwant:\n%s\ngot:\n%s", label, want, changes)
+		}
+	}
+	// Delta validation applies the same normalising mutations.
+	if !Equal(next, full) {
+		t.Fatalf("%s: post-validation models diverge; diff:\n%s", label, Diff(next, full))
+	}
+	dv.Advance(next, changes)
+	return next
+}
+
+// TestDeltaDifferentialSweep drives randomly generated metamodels through
+// sequences of random mutations, comparing the delta validator against the
+// full compiled validator at every step.
+func TestDeltaDifferentialSweep(t *testing.T) {
+	steps := 0
+	for seed := int64(0); seed < 200; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		mm := genMetamodel(rng)
+		cm, err := mm.Compiled()
+		if err != nil {
+			t.Fatalf("seed %d: compile: %v", seed, err)
+		}
+		base := genInstance(rng, mm, 2+rng.Intn(8))
+		if err := cm.Validate(base); err != nil {
+			// Delta validation starts from a valid base; grow one through
+			// the mutation chain instead of skipping the seed.
+			base = NewModel(mm.Name)
+		}
+		dv := NewDeltaValidator(cm, base)
+		for k := 0; k < 6; k++ {
+			next0 := base.Clone()
+			mutateModel(rng, next0, mm)
+			base = stepDelta(t, fmt.Sprintf("seed %d step %d", seed, k), mm, cm, dv, base, next0)
+			if base != dv.Base() {
+				t.Fatalf("seed %d step %d: validator base out of sync", seed, k)
+			}
+			steps++
+		}
+	}
+	if steps < 300 {
+		t.Fatalf("only %d differential delta steps ran, want >= 300", steps)
+	}
+}
+
+// TestDeltaPropModels replays the property-test domain (which has required
+// features, containment and inheritance) through mutation sequences.
+func TestDeltaPropModels(t *testing.T) {
+	mm := propMM(t)
+	cm, err := mm.Compiled()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(0); seed < 80; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		base := genModel(rng, 2+rng.Intn(10))
+		if err := cm.Validate(base); err != nil {
+			t.Fatalf("seed %d: generated prop model invalid: %v", seed, err)
+		}
+		dv := NewDeltaValidator(cm, base)
+		for k := 0; k < 4; k++ {
+			next0 := base.Clone()
+			if rng.Intn(2) == 0 {
+				breakModel(rng, next0)
+			} else {
+				mutateModel(rng, next0, mm)
+			}
+			base = stepDelta(t, fmt.Sprintf("prop seed %d step %d", seed, k), mm, cm, dv, base, next0)
+		}
+	}
+}
+
+// TestDeltaTargetedCases pins the delta validator's hard edges with
+// hand-built scenarios: dangling references created by removing an
+// untouched referrer's target, reclassification breaking type conformance,
+// containment conflicts introduced against an unchanged owner, and cycles
+// closed through an unchanged base edge.
+func TestDeltaTargetedCases(t *testing.T) {
+	mm := New("dmm")
+	mm.MustAddClass(&Class{Name: "Node", References: []Reference{
+		{Name: "kids", Target: "Node", Containment: true, Many: true},
+		{Name: "link", Target: "Node", Many: true},
+	}})
+	mm.MustAddClass(&Class{Name: "Leaf", Super: "Node"})
+	mm.MustAddClass(&Class{Name: "Other"})
+	cm, err := mm.Compiled()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	build := func(f func(m *Model)) *Model {
+		m := NewModel("dmm")
+		f(m)
+		if err := cm.Validate(m); err != nil {
+			t.Fatalf("base invalid: %v", err)
+		}
+		return m
+	}
+
+	cases := []struct {
+		name   string
+		base   func(m *Model)
+		mutate func(m *Model)
+	}{
+		{
+			name: "removal dangles untouched referrer",
+			base: func(m *Model) {
+				m.NewObject("a", "Node").SetRef("link", "b")
+				m.NewObject("b", "Node")
+			},
+			mutate: func(m *Model) { _ = m.Delete("b") },
+		},
+		{
+			name: "reclassification breaks untouched referrer",
+			base: func(m *Model) {
+				m.NewObject("a", "Node").SetRef("link", "b")
+				m.NewObject("b", "Leaf")
+			},
+			mutate: func(m *Model) {
+				_ = m.Delete("b")
+				m.NewObject("b", "Other")
+			},
+		},
+		{
+			name: "containment conflict with unchanged owner",
+			base: func(m *Model) {
+				m.NewObject("p", "Node").SetRef("kids", "c")
+				m.NewObject("c", "Node")
+				m.NewObject("q", "Node")
+			},
+			mutate: func(m *Model) { m.Get("q").AddRef("kids", "c") },
+		},
+		{
+			name: "cycle closed through unchanged base edge",
+			base: func(m *Model) {
+				m.NewObject("p", "Node").SetRef("kids", "c")
+				m.NewObject("c", "Node")
+			},
+			mutate: func(m *Model) { m.Get("c").AddRef("kids", "p") },
+		},
+		{
+			name: "self containment",
+			base: func(m *Model) {
+				m.NewObject("p", "Node")
+			},
+			mutate: func(m *Model) { m.Get("p").AddRef("kids", "p") },
+		},
+		{
+			name: "valid reparent of a contained object",
+			base: func(m *Model) {
+				m.NewObject("p", "Node").SetRef("kids", "c")
+				m.NewObject("q", "Node")
+				m.NewObject("c", "Node")
+			},
+			mutate: func(m *Model) {
+				m.Get("p").RemoveRef("kids", "c")
+				m.Get("q").AddRef("kids", "c")
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			base := build(tc.base)
+			dv := NewDeltaValidator(cm, base)
+			next0 := base.Clone()
+			tc.mutate(next0)
+			stepDelta(t, tc.name, mm, cm, dv, base, next0)
+		})
+	}
+}
+
+// TestDeltaEmptyChangeList: no changes, no work, nil verdict.
+func TestDeltaEmptyChangeList(t *testing.T) {
+	mm := propMM(t)
+	cm, err := mm.Compiled()
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := NewModel(mm.Name)
+	dv := NewDeltaValidator(cm, base)
+	if err := dv.Validate(base, nil); err != nil {
+		t.Fatalf("empty change list must validate: %v", err)
+	}
+}

@@ -1,0 +1,7 @@
+//go:build !race
+
+package metamodel
+
+// raceEnabled reports whether the race detector instruments this build;
+// allocation gates are skipped under it (instrumentation allocates).
+const raceEnabled = false

@@ -1,0 +1,5 @@
+//go:build race
+
+package metamodel
+
+const raceEnabled = true

@@ -1,0 +1,310 @@
+// Slot-based runtime model representation: the map-of-maps Model flattened
+// into per-class column-major typed storage indexed by the compiled layout
+// tables of compile.go. Where a Model spends one attrs map, one refs map
+// and one boxed value per attribute on every object, a SlotModel holds one
+// typed column per attribute slot per class — a []string, []int64,
+// []float64 or []bool row-indexed by a dense int32 object handle — so the
+// committed runtime model a layer keeps between submissions costs a few
+// slices instead of thousands of small maps, reloading in place with no
+// steady-state allocation.
+//
+// The slot form is a compact snapshot, not an editing surface: Load fills
+// it from a validated (normalised, defaults applied) Model, typed
+// accessors read it, and Materialize lazily rebuilds the map form at API
+// boundaries that hand models to callers.
+package metamodel
+
+import "fmt"
+
+// SlotHandle is a dense integer handle to one object of a SlotModel: the
+// object's row in its class table. Handles are only meaningful against the
+// SlotModel that issued them and are invalidated by the next Load.
+type SlotHandle struct {
+	table *classTable
+	row   int32
+}
+
+// Valid reports whether the handle points at an object.
+func (h SlotHandle) Valid() bool { return h.table != nil }
+
+// classTable is the column-major storage for all objects of one class:
+// per-kind attribute columns sized by the compiled layout, a presence
+// column per attribute slot, and a target-list column per reference slot.
+type classTable struct {
+	cc   *compiledClass
+	ids  []string
+	strs [][]string
+	ints [][]int64
+	flts [][]float64
+	bls  [][]bool
+	set  [][]bool     // indexed by attribute slot, then row
+	refs [][][]string // indexed by reference slot, then row
+}
+
+func newClassTable(cc *compiledClass) *classTable {
+	return &classTable{
+		cc:   cc,
+		strs: make([][]string, cc.nStr),
+		ints: make([][]int64, cc.nInt),
+		flts: make([][]float64, cc.nFloat),
+		bls:  make([][]bool, cc.nBool),
+		set:  make([][]bool, len(cc.attrs)),
+		refs: make([][][]string, len(cc.refs)),
+	}
+}
+
+// reset empties the table for reload, keeping every column's capacity.
+func (t *classTable) reset() {
+	t.ids = t.ids[:0]
+	for i := range t.strs {
+		t.strs[i] = t.strs[i][:0]
+	}
+	for i := range t.ints {
+		t.ints[i] = t.ints[i][:0]
+	}
+	for i := range t.flts {
+		t.flts[i] = t.flts[i][:0]
+	}
+	for i := range t.bls {
+		t.bls[i] = t.bls[i][:0]
+	}
+	for i := range t.set {
+		t.set[i] = t.set[i][:0]
+	}
+	for i := range t.refs {
+		t.refs[i] = t.refs[i][:0]
+	}
+}
+
+// addRow appends one zero-valued row and returns its index.
+func (t *classTable) addRow(id string) int32 {
+	row := int32(len(t.ids))
+	t.ids = append(t.ids, id)
+	for i := range t.strs {
+		t.strs[i] = append(t.strs[i], "")
+	}
+	for i := range t.ints {
+		t.ints[i] = append(t.ints[i], 0)
+	}
+	for i := range t.flts {
+		t.flts[i] = append(t.flts[i], 0)
+	}
+	for i := range t.bls {
+		t.bls[i] = append(t.bls[i], false)
+	}
+	for i := range t.set {
+		t.set[i] = append(t.set[i], false)
+	}
+	for i := range t.refs {
+		// Reuse the row's previous target slice when the column still has
+		// it in capacity; otherwise grow with a nil entry.
+		if int(row) < cap(t.refs[i]) {
+			t.refs[i] = t.refs[i][:row+1]
+			t.refs[i][row] = t.refs[i][row][:0]
+		} else {
+			t.refs[i] = append(t.refs[i], nil)
+		}
+	}
+	return row
+}
+
+// SlotModel is a Model snapshot in slot form. It is not safe for
+// concurrent mutation; concurrent reads are fine once loaded.
+type SlotModel struct {
+	MetamodelName string
+	cm            *CompiledMetamodel
+	tables        map[string]*classTable
+	order         []SlotHandle
+	byID          map[string]SlotHandle
+}
+
+// NewSlotModel returns an empty slot model laid out by cm.
+func NewSlotModel(cm *CompiledMetamodel) *SlotModel {
+	return &SlotModel{
+		MetamodelName: cm.Name,
+		cm:            cm,
+		tables:        make(map[string]*classTable),
+		byID:          make(map[string]SlotHandle),
+	}
+}
+
+// Load snapshots m into the slot form, reusing the storage of previous
+// loads (columns only ever grow). m must be in validated canonical form:
+// every class, attribute and reference known to the compiled metamodel and
+// every value already normalised. Anything else returns an error and
+// leaves the slot model unusable until a successful reload — callers fall
+// back to the map form rather than storing a lossy snapshot.
+func (sm *SlotModel) Load(m *Model) error {
+	for _, t := range sm.tables {
+		t.reset()
+	}
+	sm.order = sm.order[:0]
+	clear(sm.byID)
+	sm.MetamodelName = m.MetamodelName
+	for _, id := range m.order {
+		o := m.objects[id]
+		cc := sm.cm.classes[o.Class]
+		if cc == nil {
+			return fmt.Errorf("slot model: object %s: unknown class %q", id, o.Class)
+		}
+		t := sm.tables[o.Class]
+		if t == nil {
+			t = newClassTable(cc)
+			sm.tables[o.Class] = t
+		}
+		row := t.addRow(id)
+		for name, v := range o.attrs {
+			idx, ok := cc.attrIndex[name]
+			if !ok {
+				return fmt.Errorf("slot model: object %s (%s): unknown attribute %q", id, o.Class, name)
+			}
+			ca := &cc.attrs[idx]
+			switch ca.kind {
+			case KindString, KindEnum:
+				s, ok := v.(string)
+				if !ok {
+					return fmt.Errorf("slot model: object %s (%s): attribute %s: %T is not canonical for %v", id, o.Class, name, v, ca.kind)
+				}
+				t.strs[ca.col][row] = s
+			case KindInt:
+				n, ok := v.(int64)
+				if !ok {
+					return fmt.Errorf("slot model: object %s (%s): attribute %s: %T is not canonical for %v", id, o.Class, name, v, ca.kind)
+				}
+				t.ints[ca.col][row] = n
+			case KindFloat:
+				f, ok := v.(float64)
+				if !ok {
+					return fmt.Errorf("slot model: object %s (%s): attribute %s: %T is not canonical for %v", id, o.Class, name, v, ca.kind)
+				}
+				t.flts[ca.col][row] = f
+			case KindBool:
+				b, ok := v.(bool)
+				if !ok {
+					return fmt.Errorf("slot model: object %s (%s): attribute %s: %T is not canonical for %v", id, o.Class, name, v, ca.kind)
+				}
+				t.bls[ca.col][row] = b
+			}
+			t.set[idx][row] = true
+		}
+		for name, targets := range o.refs {
+			if len(targets) == 0 {
+				continue
+			}
+			idx, ok := cc.refIndex[name]
+			if !ok {
+				return fmt.Errorf("slot model: object %s (%s): unknown reference %q", id, o.Class, name)
+			}
+			t.refs[idx][row] = append(t.refs[idx][row], targets...)
+		}
+		h := SlotHandle{table: t, row: row}
+		sm.order = append(sm.order, h)
+		sm.byID[id] = h
+	}
+	return nil
+}
+
+// Len returns the number of objects.
+func (sm *SlotModel) Len() int { return len(sm.order) }
+
+// Lookup returns the handle for an object ID.
+func (sm *SlotModel) Lookup(id string) (SlotHandle, bool) {
+	h, ok := sm.byID[id]
+	return h, ok
+}
+
+// ID returns the object ID behind a handle.
+func (sm *SlotModel) ID(h SlotHandle) string { return h.table.ids[h.row] }
+
+// Class returns the object's class name.
+func (sm *SlotModel) Class(h SlotHandle) string { return h.table.cc.name }
+
+// StringAttr reads a string or enum attribute; false when unset or not a
+// string slot.
+func (sm *SlotModel) StringAttr(h SlotHandle, name string) (string, bool) {
+	ca, row, ok := h.attr(name)
+	if !ok || (ca.kind != KindString && ca.kind != KindEnum) {
+		return "", false
+	}
+	return h.table.strs[ca.col][row], true
+}
+
+// IntAttr reads an int attribute; false when unset or not an int slot.
+func (sm *SlotModel) IntAttr(h SlotHandle, name string) (int64, bool) {
+	ca, row, ok := h.attr(name)
+	if !ok || ca.kind != KindInt {
+		return 0, false
+	}
+	return h.table.ints[ca.col][row], true
+}
+
+// FloatAttr reads a float attribute; false when unset or not a float slot.
+func (sm *SlotModel) FloatAttr(h SlotHandle, name string) (float64, bool) {
+	ca, row, ok := h.attr(name)
+	if !ok || ca.kind != KindFloat {
+		return 0, false
+	}
+	return h.table.flts[ca.col][row], true
+}
+
+// BoolAttr reads a bool attribute; false when unset or not a bool slot.
+func (sm *SlotModel) BoolAttr(h SlotHandle, name string) (bool, bool) {
+	ca, row, ok := h.attr(name)
+	if !ok || ca.kind != KindBool {
+		return false, false
+	}
+	return h.table.bls[ca.col][row], true
+}
+
+// attr resolves a set attribute slot for a handle.
+func (h SlotHandle) attr(name string) (*compiledAttr, int32, bool) {
+	idx, ok := h.table.cc.attrIndex[name]
+	if !ok || !h.table.set[idx][h.row] {
+		return nil, 0, false
+	}
+	return &h.table.cc.attrs[idx], h.row, true
+}
+
+// Refs returns a reference's target IDs as a read-only view (the slot
+// model's own storage — callers must not mutate or retain it past the next
+// Load).
+func (sm *SlotModel) Refs(h SlotHandle, name string) []string {
+	idx, ok := h.table.cc.refIndex[name]
+	if !ok {
+		return nil
+	}
+	return h.table.refs[idx][h.row]
+}
+
+// Materialize rebuilds the map-form Model, objects in original insertion
+// order. The result is fresh and owned by the caller.
+func (sm *SlotModel) Materialize() *Model {
+	m := NewModel(sm.MetamodelName)
+	for _, h := range sm.order {
+		t, row := h.table, h.row
+		o := NewObject(t.ids[row], t.cc.name)
+		for i := range t.cc.attrs {
+			if !t.set[i][row] {
+				continue
+			}
+			ca := &t.cc.attrs[i]
+			switch ca.kind {
+			case KindString, KindEnum:
+				o.attrs[ca.name] = t.strs[ca.col][row]
+			case KindInt:
+				o.attrs[ca.name] = t.ints[ca.col][row]
+			case KindFloat:
+				o.attrs[ca.name] = t.flts[ca.col][row]
+			case KindBool:
+				o.attrs[ca.name] = t.bls[ca.col][row]
+			}
+		}
+		for i := range t.cc.refs {
+			if ts := t.refs[i][row]; len(ts) > 0 {
+				o.refs[t.cc.refs[i].name] = append([]string(nil), ts...)
+			}
+		}
+		m.MustAdd(o)
+	}
+	return m
+}

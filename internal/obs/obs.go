@@ -79,6 +79,7 @@ const (
 	MValidateFast         = "validate.fast"
 	MValidateInterpreted  = "validate.interpreted"
 	MValidateFallback     = "validate.fallback"
+	MValidateDelta        = "validate.delta"
 	MValidateCacheHits    = "validate.cache.hits"
 	MValidateCacheMisses  = "validate.cache.misses"
 	MValidateCacheEvicted = "validate.cache.evictions"
@@ -639,12 +640,22 @@ func (t *Tracer) Snapshot() string {
 // goroutines proceed concurrently).
 func GoID() uint64 { return goid() }
 
+// goidBufPool recycles the header buffers goid hands to runtime.Stack.
+// runtime.Stack's argument always escapes, so a local array would be a
+// fresh heap allocation per call — and goid runs at least twice per
+// delivered event (re-entrancy queueing and route-error pickup).
+var goidBufPool = sync.Pool{New: func() any {
+	b := make([]byte, 64)
+	return &b
+}}
+
 // goid parses the running goroutine's id from its stack header
-// ("goroutine N [running]:"). It costs roughly a microsecond, paid only
-// when tracing is enabled.
+// ("goroutine N [running]:"). It costs roughly a microsecond and does not
+// allocate in steady state.
 func goid() uint64 {
-	var buf [40]byte
-	n := runtime.Stack(buf[:], false)
+	bp := goidBufPool.Get().(*[]byte)
+	buf := *bp
+	n := runtime.Stack(buf, false)
 	const prefix = len("goroutine ")
 	var id uint64
 	for _, c := range buf[prefix:n] {
@@ -653,6 +664,7 @@ func goid() uint64 {
 		}
 		id = id*10 + uint64(c-'0')
 	}
+	goidBufPool.Put(bp)
 	return id
 }
 

@@ -60,6 +60,17 @@ func (c *Context) Snapshot() expr.MapScope {
 	return out
 }
 
+// SnapshotInto copies the variables into dst (existing entries are kept,
+// same-name entries overwritten). Hot paths reuse a pooled scope across
+// snapshots instead of allocating one per call.
+func (c *Context) SnapshotInto(dst expr.MapScope) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	for k, v := range c.vars {
+		dst[k] = v
+	}
+}
+
 // Effect is one named decision output produced by a policy.
 type Effect struct {
 	Key   string

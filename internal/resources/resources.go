@@ -15,8 +15,9 @@ import "github.com/mddsm/mddsm/internal/broker"
 // "participant", ...), which is exactly the shape the Broker layer binds
 // into event-action scopes.
 type Event struct {
-	Kind  string
-	Attrs map[string]any
+	Kind   string
+	Attrs  map[string]any
+	pooled bool
 }
 
 // NewEvent builds an event from alternating key/value pairs. Pairs with
@@ -57,10 +58,75 @@ func (e Event) Attr(key string) (any, bool) {
 	return v, ok
 }
 
+// AcquireEvent is NewEvent drawing the attribute map from the shared
+// event pool (see broker.AcquireAttrs): the conversion to broker.Event
+// keeps the pooled storage, and whoever completes the event's delivery
+// releases it. Emit sites on the platform's hot path use this; Release
+// must be called exactly once when the event is refused or abandoned
+// before posting.
+func AcquireEvent(kind string, kv ...any) Event {
+	if len(kv)%2 != 0 {
+		panic("resources.AcquireEvent: odd key/value list")
+	}
+	e := Event{Kind: kind, pooled: true}
+	for i := 0; i < len(kv); i += 2 {
+		key, ok := kv[i].(string)
+		if !ok {
+			panic("resources.AcquireEvent: non-string key")
+		}
+		if s, isStr := kv[i+1].(string); isStr && s == "" {
+			continue
+		}
+		if e.Attrs == nil {
+			e.Attrs = broker.AcquireAttrs()
+		}
+		e.Attrs[key] = kv[i+1]
+	}
+	return e
+}
+
+// Set binds an attribute in place (acquiring pooled storage on first use
+// for pooled events) and returns the event for chaining.
+func (e *Event) Set(key string, v any) *Event {
+	if e.Attrs == nil {
+		if e.pooled {
+			e.Attrs = broker.AcquireAttrs()
+		} else {
+			e.Attrs = make(map[string]any, 4)
+		}
+	}
+	e.Attrs[key] = v
+	return e
+}
+
+// Pooled reports whether Release would recycle the event's attribute map.
+func (e Event) Pooled() bool { return e.pooled }
+
+// Release returns a pooled event's attribute map to the shared pool; a
+// no-op for ordinary events. The map must not be used afterwards.
+func (e Event) Release() {
+	if e.pooled {
+		broker.ReleaseAttrs(e.Attrs)
+	}
+}
+
 // Broker converts the event losslessly to the platform event type: the
-// kind becomes the event name and the payload map is shared as-is.
+// kind becomes the event name and the payload map is shared as-is — for a
+// pooled event the broker.Event stays pooled, so the storage is reused
+// rather than copied and the pump's release after delivery reaches the
+// same map.
 func (e Event) Broker() broker.Event {
+	if e.pooled {
+		return broker.PooledEvent(e.Kind, e.Attrs)
+	}
 	return broker.Event{Name: e.Kind, Attrs: e.Attrs}
+}
+
+// FromBroker converts a platform event back to the resource form, again
+// sharing the attribute storage and preserving pooling, so the round trip
+// Event→Broker()→FromBroker is lossless and allocation-free.
+func FromBroker(be broker.Event) Event {
+	return Event{Kind: be.Name, Attrs: be.Attrs, pooled: be.Pooled()}
 }
 
 // Sink consumes resource events; resource constructors accept one.

@@ -76,3 +76,83 @@ func TestNewEventPanicsOnOddList(t *testing.T) {
 	}()
 	NewEvent("x", "keyOnly")
 }
+
+// TestPooledRoundTripSharesStorage pins the zero-allocation contract of the
+// pooled conversion path: AcquireEvent → Broker() → FromBroker must carry
+// the same attribute map pointer end to end (no copy) and preserve the
+// pooled flag, so the release at the end of delivery recycles the storage
+// the emit site acquired.
+func TestPooledRoundTripSharesStorage(t *testing.T) {
+	e := AcquireEvent("reading", "src", "sensor-1", "value", 21.5, "note", "")
+	if !e.Pooled() {
+		t.Fatal("AcquireEvent returned an unpooled event")
+	}
+	if _, ok := e.Attrs["note"]; ok {
+		t.Error("empty string value should be omitted, matching NewEvent")
+	}
+	be := e.Broker()
+	if !be.Pooled() {
+		t.Error("Broker() dropped the pooled flag")
+	}
+	if be.Name != "reading" {
+		t.Errorf("Broker() name = %q, want reading", be.Name)
+	}
+	back := FromBroker(be)
+	if !back.Pooled() {
+		t.Error("FromBroker dropped the pooled flag")
+	}
+	if back.Kind != "reading" {
+		t.Errorf("FromBroker kind = %q, want reading", back.Kind)
+	}
+	// Same storage, not an equal copy: a write through one view must be
+	// visible through the others.
+	e.Attrs["probe"] = 1
+	if _, ok := be.Attrs["probe"]; !ok {
+		t.Error("Broker() copied the attribute map instead of sharing it")
+	}
+	if _, ok := back.Attrs["probe"]; !ok {
+		t.Error("FromBroker copied the attribute map instead of sharing it")
+	}
+	if back.Str("src") != "sensor-1" || back.Attrs["value"] != 21.5 {
+		t.Errorf("round trip lost payload: %v", back.Attrs)
+	}
+	back.Release()
+}
+
+// TestUnpooledRoundTripStaysUnpooled checks NewEvent's round trip: storage
+// is still shared (lossless) but nothing is pooled, and Release is a no-op.
+func TestUnpooledRoundTripStaysUnpooled(t *testing.T) {
+	e := NewEvent("tick", "n", 3)
+	if e.Pooled() {
+		t.Fatal("NewEvent returned a pooled event")
+	}
+	be := e.Broker()
+	if be.Pooled() {
+		t.Error("Broker() invented a pooled flag")
+	}
+	back := FromBroker(be)
+	if back.Pooled() {
+		t.Error("FromBroker invented a pooled flag")
+	}
+	if back.Kind != "tick" || back.Attrs["n"] != 3 {
+		t.Errorf("round trip lost payload: %q %v", back.Kind, back.Attrs)
+	}
+	back.Release() // no-op, must not panic or poison any pool
+}
+
+// TestSetAcquiresPooledStorage checks the lazy Set path: a pooled event
+// built with no attributes draws its map from the pool on first Set.
+func TestSetAcquiresPooledStorage(t *testing.T) {
+	e := AcquireEvent("bare")
+	if e.Attrs != nil {
+		t.Fatal("AcquireEvent with no pairs should defer map acquisition")
+	}
+	e.Set("k", "v")
+	if e.Attrs == nil || e.Attrs["k"] != "v" {
+		t.Fatalf("Set did not bind: %v", e.Attrs)
+	}
+	if !e.Pooled() {
+		t.Error("Set lost the pooled flag")
+	}
+	e.Release()
+}

@@ -71,6 +71,14 @@ type Config struct {
 	// platform (it wins over ValidationCache).
 	DisableValidationCache bool
 
+	// DeltaValidation switches the Synthesis layer to incremental delta
+	// validation: a submission re-checks only the objects it touches (and
+	// the objects referring to them) instead of re-validating — and
+	// content-hashing — the whole model. Verdicts and problem reports are
+	// identical to full validation. Requires the DSML to compile; a
+	// non-compiling DSML silently keeps the full-validation path.
+	DeltaValidation bool
+
 	// ExternalEvents routes events escaping the topmost layer to the
 	// given observer (interoperability bridges attach here).
 	ExternalEvents func(broker.Event)

@@ -13,6 +13,7 @@ import (
 
 	"github.com/mddsm/mddsm/internal/broker"
 	"github.com/mddsm/mddsm/internal/fault"
+	"github.com/mddsm/mddsm/internal/obs"
 )
 
 // DeadLetter is one event parked after delivery exhausted its attempts.
@@ -92,8 +93,9 @@ func (p *Platform) DeadLetters() []DeadLetter {
 func (p *Platform) Redeliver() (redelivered, requeued int) {
 	entries := p.dlq.drain()
 	p.gDLQDepth.Set(int64(p.dlq.size()))
+	g := obs.GoID()
 	for _, dl := range entries {
-		err := p.safeBrokerOnEvent(dl.Event)
+		err := p.safeBrokerOnEvent(g, dl.Event)
 		if err == nil {
 			redelivered++
 			p.mRedelivered.Inc()
@@ -129,8 +131,10 @@ func (p *Platform) deadLetter(ev broker.Event, cause error) {
 // safeBrokerOnEvent hands one event to the Broker layer with last-resort
 // panic isolation: the layers recover their own panics, but a poisoned
 // callback wired outside them (an external sink, a handcrafted notify)
-// must still not kill a pump worker.
-func (p *Platform) safeBrokerOnEvent(ev broker.Event) (err error) {
+// must still not kill a pump worker. g is the calling goroutine's ID
+// (obs.GoID()), resolved by the caller — pump workers pay the parse once
+// per worker, not once per event.
+func (p *Platform) safeBrokerOnEvent(g uint64, ev broker.Event) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			p.mPanics.Inc()
@@ -139,9 +143,9 @@ func (p *Platform) safeBrokerOnEvent(ev broker.Event) (err error) {
 		// A failure in an upper layer (Controller, Synthesis) cannot cross
 		// the Broker's notify callback as a return value; pick up the
 		// stashed routing error so the event dead-letters.
-		if rerr := p.takeRouteError(); err == nil {
+		if rerr := p.takeRouteErrorFrom(g); err == nil {
 			err = rerr
 		}
 	}()
-	return p.Broker.OnEvent(ev)
+	return p.Broker.OnEventFrom(g, ev)
 }

@@ -22,6 +22,7 @@ package runtime
 
 import (
 	"fmt"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -39,6 +40,11 @@ type pump struct {
 	keyAttr string
 	drain   time.Duration
 	shards  []*shard
+
+	// queued is the aggregate queue depth across shards, maintained as a
+	// single atomic counter (incremented on accepted post, decremented on
+	// dequeue) so the hot path never rescans every shard channel.
+	queued atomic.Int64
 
 	// mu serialises intake against shutdown: posts hold it shared, stop
 	// holds it exclusively while flagging closed, after which no sender
@@ -85,40 +91,89 @@ func newPump(p *Platform, n, cap int) *pump {
 
 // shardFor routes an event to its shard: the configured key attribute when
 // the event carries it, the event name otherwise, FNV-1a-hashed onto the
-// shard count. Same key, same shard — the ordering guarantee.
+// shard count. Same key, same shard — the ordering guarantee. Non-string
+// key values hash their canonical decimal text, so the same numeric value
+// lands on the same shard whatever Go type carried it (int 7, int64 7,
+// float64 7 and the string "7" all share a shard).
 func (pu *pump) shardFor(ev broker.Event) *shard {
 	if len(pu.shards) == 1 {
 		return pu.shards[0]
 	}
-	key := ev.Name
 	if pu.keyAttr != "" {
 		if v, ok := ev.Attrs[pu.keyAttr]; ok {
-			if s, ok := v.(string); ok {
-				key = s
-			} else {
-				key = fmt.Sprint(v)
-			}
+			return pu.shards[shardKeyHash(v)%uint32(len(pu.shards))]
 		}
 	}
-	h := uint32(2166136261)
-	for i := 0; i < len(key); i++ {
-		h = (h ^ uint32(key[i])) * 16777619
+	return pu.shards[fnv32str(ev.Name)%uint32(len(pu.shards))]
+}
+
+// scratchPool holds formatting buffers for shard-key values outside the
+// typed fast paths (the only case that still goes through fmt).
+var scratchPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 64)
+	return &b
+}}
+
+// shardKeyHash is the FNV-1a hash of a shard-key value's canonical text.
+// The scalar types an event attribute can realistically carry format into
+// a stack buffer; anything else falls back to fmt through a pooled scratch
+// buffer.
+func shardKeyHash(v any) uint32 {
+	var buf [32]byte
+	switch x := v.(type) {
+	case string:
+		return fnv32str(x)
+	case int:
+		return fnv32bytes(strconv.AppendInt(buf[:0], int64(x), 10))
+	case int64:
+		return fnv32bytes(strconv.AppendInt(buf[:0], x, 10))
+	case float64:
+		// Integral floats print like ints ("7", not "7e+00"), matching
+		// both fmt.Sprint and the int fast paths; the range guard keeps
+		// the float→int conversion defined.
+		if x >= -1e18 && x <= 1e18 && x == float64(int64(x)) {
+			return fnv32bytes(strconv.AppendInt(buf[:0], int64(x), 10))
+		}
+		return fnv32bytes(strconv.AppendFloat(buf[:0], x, 'g', -1, 64))
+	case bool:
+		if x {
+			return fnv32str("true")
+		}
+		return fnv32str("false")
+	default:
+		bp := scratchPool.Get().(*[]byte)
+		b := fmt.Appendf((*bp)[:0], "%v", v)
+		h := fnv32bytes(b)
+		*bp = b
+		scratchPool.Put(bp)
+		return h
 	}
-	return pu.shards[h%uint32(len(pu.shards))]
+}
+
+func fnv32str(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint32(s[i])) * 16777619
+	}
+	return h
+}
+
+func fnv32bytes(b []byte) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(b); i++ {
+		h = (h ^ uint32(b[i])) * 16777619
+	}
+	return h
 }
 
 // depth is the total number of queued events across shards.
-func (pu *pump) depth() int64 {
-	var d int64
-	for _, sh := range pu.shards {
-		d += int64(len(sh.ch))
-	}
-	return d
-}
+func (pu *pump) depth() int64 { return pu.queued.Load() }
 
 // post enqueues ev on its shard. It reports false — counting only the
 // per-shard rejection — when the pump is closed or the shard queue is
-// full; the caller owns the aggregate rejection accounting.
+// full; the caller owns the aggregate rejection accounting. An accepted
+// pooled event is owned by the pump from here on and released after its
+// terminal accounting; a refused event stays with the caller.
 func (pu *pump) post(ev broker.Event) bool {
 	pu.mu.RLock()
 	defer pu.mu.RUnlock()
@@ -130,7 +185,7 @@ func (pu *pump) post(ev broker.Event) bool {
 	case sh.ch <- ev:
 		pu.p.mPosted.Inc()
 		sh.gDepth.Set(int64(len(sh.ch)))
-		pu.p.gDepth.Set(pu.depth())
+		pu.p.gDepth.Set(pu.queued.Add(1))
 		return true
 	default:
 		sh.mRejected.Inc()
@@ -140,17 +195,49 @@ func (pu *pump) post(ev broker.Event) bool {
 
 // run is one shard's delivery loop: deliver until the channel is closed
 // and drained, counting instead of delivering once the drain deadline has
-// abandoned the queue.
+// abandoned the queue. After each blocking receive the loop drains
+// whatever else is already queued with non-blocking receives, so a busy
+// shard amortises its gauge updates over the batch instead of paying them
+// per wakeup.
 func (pu *pump) run(sh *shard) {
 	defer pu.wg.Done()
+	// The worker goroutine is fixed for the pump's lifetime, so its ID —
+	// needed by the broker's reentrancy guard and the routing-error pickup
+	// — is resolved once here instead of being re-parsed per event.
+	g := obs.GoID()
 	for ev := range sh.ch {
-		if pu.abandon.Load() {
-			sh.mDropped.Inc()
-			pu.p.mDropped.Inc()
-			continue
+	batch:
+		for {
+			pu.dispatch(g, sh, ev)
+			select {
+			case next, ok := <-sh.ch:
+				if !ok {
+					return
+				}
+				ev = next
+			default:
+				break batch
+			}
 		}
-		pu.deliver(sh, ev)
+		sh.gDepth.Set(int64(len(sh.ch)))
 	}
+}
+
+// dispatch is one dequeued event's accounting: a drop once the drain
+// deadline has abandoned the queue, a delivery otherwise. Either way the
+// event reaches terminal accounting here, so a pooled event's storage is
+// recycled on every path that no longer references it (the dead-letter
+// queue keeps its events, so a dead-lettered pooled map retires from the
+// pool instead).
+func (pu *pump) dispatch(g uint64, sh *shard, ev broker.Event) {
+	pu.p.gDepth.Set(pu.queued.Add(-1))
+	if pu.abandon.Load() {
+		sh.mDropped.Inc()
+		pu.p.mDropped.Inc()
+		ev.Release()
+		return
+	}
+	pu.deliver(g, sh, ev)
 }
 
 // deliver hands one dequeued event to the Broker layer, recording the
@@ -161,14 +248,13 @@ func (pu *pump) run(sh *shard) {
 // asynchronous event has no caller to report to, so the loss is
 // accounted, the supervisor notified, and the next event delivered
 // normally.
-func (pu *pump) deliver(sh *shard, ev broker.Event) {
+func (pu *pump) deliver(g uint64, sh *shard, ev broker.Event) {
 	p := pu.p
 	sh.gDepth.Set(int64(len(sh.ch)))
-	p.gDepth.Set(pu.depth())
 	sp := p.tracer.Start(obs.SpanPumpDeliver)
 	sp.SetStr("event", ev.Name)
 	start := time.Now()
-	err := p.safeBrokerOnEvent(ev)
+	err := p.safeBrokerOnEvent(g, ev)
 	d := time.Since(start)
 	sh.hDeliver.Observe(d)
 	p.hDeliver.Observe(d)
@@ -185,6 +271,7 @@ func (pu *pump) deliver(sh *shard, ev broker.Event) {
 	sh.mDelivered.Inc()
 	p.mDelivered.Inc()
 	p.sup.ReportSuccess("pump")
+	ev.Release()
 }
 
 // stop closes the intake and drains: queued events are delivered until the

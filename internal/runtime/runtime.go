@@ -19,6 +19,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/mddsm/mddsm/internal/broker"
@@ -107,6 +108,10 @@ type Platform struct {
 	// forward must fail the delivery so the event dead-letters.
 	routeMu   sync.Mutex
 	routeErrs map[uint64]error
+	// routePending counts stashed routing errors so the per-delivery
+	// pickup can skip the lock (and the goroutine-ID parse) entirely in
+	// the overwhelmingly common no-failure case.
+	routePending atomic.Int32
 
 	tracer   *obs.Tracer
 	metrics  *obs.Metrics
@@ -229,6 +234,12 @@ func WithValidationCache(c *metamodel.ValidationCache) Option {
 		p.cfg.ValidationCache = c
 		p.cfg.DisableValidationCache = c == nil
 	}
+}
+
+// WithDeltaValidation switches the Synthesis layer to incremental delta
+// validation of submissions (see Config.DeltaValidation).
+func WithDeltaValidation(on bool) Option {
+	return func(p *Platform) { p.cfg.DeltaValidation = on }
 }
 
 // SetExternalEvents installs (or replaces) the external event observer
@@ -398,17 +409,34 @@ func (p *Platform) noteRouteError(err error) {
 	p.routeMu.Lock()
 	if _, dup := p.routeErrs[id]; !dup {
 		p.routeErrs[id] = err
+		p.routePending.Add(1)
 	}
 	p.routeMu.Unlock()
 }
 
 // takeRouteError returns and clears this goroutine's stashed routing
-// failure, if any.
+// failure, if any. A goroutine's own stash is always visible here: the
+// note happened earlier on this same goroutine, so the pending counter is
+// non-zero by program order and the slow path runs.
 func (p *Platform) takeRouteError() error {
-	id := obs.GoID()
+	if p.routePending.Load() == 0 {
+		return nil
+	}
+	return p.takeRouteErrorFrom(obs.GoID())
+}
+
+// takeRouteErrorFrom is takeRouteError for callers that already resolved
+// their goroutine ID.
+func (p *Platform) takeRouteErrorFrom(id uint64) error {
+	if p.routePending.Load() == 0 {
+		return nil
+	}
 	p.routeMu.Lock()
 	err := p.routeErrs[id]
-	delete(p.routeErrs, id)
+	if err != nil {
+		delete(p.routeErrs, id)
+		p.routePending.Add(-1)
+	}
 	p.routeMu.Unlock()
 	return err
 }
@@ -550,6 +578,7 @@ func (p *Platform) buildSynthesis(obj *metamodel.Object, deps Deps) error {
 		synthesis.Config{
 			Name: obj.StringAttr("name"), DSML: deps.DSML, LTS: def,
 			Tracer: p.tracer, Metrics: p.metrics, Cache: p.vcache,
+			Delta: p.cfg.DeltaValidation,
 		},
 		p.Controller.Execute,
 		func(m *metamodel.Model) {
@@ -732,8 +761,9 @@ func (p *Platform) Execute(s *script.Script) error {
 // layer (deterministic path used by tests and virtual-time experiments).
 // A failure anywhere up the layer stack fails the delivery.
 func (p *Platform) DeliverEvent(ev broker.Event) error {
-	err := p.Broker.OnEvent(ev)
-	if rerr := p.takeRouteError(); err == nil {
+	g := obs.GoID()
+	err := p.Broker.OnEventFrom(g, ev)
+	if rerr := p.takeRouteErrorFrom(g); err == nil {
 		err = rerr
 	}
 	return err

@@ -25,9 +25,11 @@ type Command struct {
 	Args map[string]any
 }
 
-// NewCommand builds a command with no arguments.
+// NewCommand builds a command with no arguments. Args stays nil until the
+// first WithArg: commands on the event hot path mostly carry none, and
+// every accessor treats a nil map as empty.
 func NewCommand(op, target string) Command {
-	return Command{Op: op, Target: target, Args: make(map[string]any)}
+	return Command{Op: op, Target: target}
 }
 
 // WithArg returns a copy of the command with the argument set.
@@ -198,6 +200,9 @@ func ParseCommand(line string) (Command, error) {
 		k, v, found := strings.Cut(f, "=")
 		if !found || k == "" {
 			return Command{}, fmt.Errorf("bad argument %q", f)
+		}
+		if cmd.Args == nil {
+			cmd.Args = make(map[string]any)
 		}
 		cmd.Args[k] = parseValue(v)
 	}

@@ -50,6 +50,13 @@ type Config struct {
 	// memoisation. The runtime shares one cache across its layers so a
 	// model validated at the UI boundary is not re-validated here.
 	Cache *metamodel.ValidationCache
+	// Delta switches submissions to incremental delta validation: only the
+	// objects a submission touches (plus the objects referring to them) are
+	// re-checked, instead of re-validating — and content-hashing — the whole
+	// model. Requires the DSML to compile; falls back to full validation
+	// otherwise. Verdicts and problem reports are identical to full
+	// validation by construction.
+	Delta bool
 }
 
 // Synthesis is the live Synthesis layer. Top-level operations (Submit and
@@ -65,10 +72,17 @@ type Synthesis struct {
 	dispatch Dispatch
 	observe  ModelObserver
 
+	// Delta-validation state (nil when running in full-validation mode):
+	// the validator tracks incremental indexes over the committed model and
+	// is advanced on every successful submission.
+	delta   *metamodel.DeltaValidator
+	deltaCM *metamodel.CompiledMetamodel
+
 	tracer   *obs.Tracer
 	mSubmits *obs.Counter
 	mEvents  *obs.Counter
 	mPanics  *obs.Counter
+	mDelta   *obs.Counter
 
 	mu      sync.Mutex // guards current, instance, seq
 	current *metamodel.Model
@@ -110,6 +124,15 @@ func New(cfg Config, dispatch Dispatch, observe ModelObserver) (*Synthesis, erro
 		mSubmits: cfg.Metrics.Counter(obs.MSynthesisSubmits),
 		mEvents:  cfg.Metrics.Counter(obs.MSynthesisEvents),
 		mPanics:  cfg.Metrics.Counter(obs.MPanicsRecovered),
+		mDelta:   cfg.Metrics.Counter(obs.MValidateDelta),
+	}
+	if cfg.Delta {
+		// Delta validation needs the compiled layout; a DSML that does not
+		// compile silently keeps the full-validation path.
+		if cm, err := cfg.DSML.Compiled(); err == nil {
+			s.deltaCM = cm
+			s.delta = metamodel.NewDeltaValidator(cm, s.current)
+		}
 	}
 	s.opCond = sync.NewCond(&s.opMu)
 	return s, nil
@@ -187,6 +210,11 @@ func (s *Synthesis) RestoreState(m *metamodel.Model, seq int, ltsState string) e
 		return fmt.Errorf("synthesis %s: restore: %w", s.name, err)
 	}
 	s.current = candidate
+	if s.delta != nil {
+		// Incremental indexes are only valid relative to the model they were
+		// built over; a restore re-bases them from scratch.
+		s.delta = metamodel.NewDeltaValidator(s.deltaCM, candidate)
+	}
 	if seq > s.seq {
 		s.seq = seq
 	}
@@ -229,13 +257,34 @@ func (s *Synthesis) doSubmit(newModel *metamodel.Model) (out *script.Script, err
 		}
 	}()
 
-	candidate, cerr := s.vcache.Validate(s.dsml, newModel)
-	if cerr != nil {
-		return nil, fmt.Errorf("synthesis %s: model does not conform to %s: %w",
-			s.name, s.dsml.Name, cerr)
+	var candidate *metamodel.Model
+	var changes metamodel.ChangeList
+	if s.delta != nil {
+		// Incremental path: diff first, normalise the changes into the form
+		// full validation would have produced, then validate only the
+		// touched objects (and their referrers). Skips both the whole-model
+		// scan and the validation cache's per-submit content hashing.
+		s.mDelta.Inc()
+		raw := metamodel.DiffWithContainment(s.current, newModel, s.dsml)
+		changes = metamodel.NormalizeChanges(s.deltaCM, s.current, raw)
+		candidate = s.current.Clone()
+		if aerr := metamodel.Apply(candidate, changes); aerr != nil {
+			return nil, fmt.Errorf("synthesis %s: model does not conform to %s: %w",
+				s.name, s.dsml.Name, aerr)
+		}
+		if verr := s.delta.Validate(candidate, changes); verr != nil {
+			return nil, fmt.Errorf("synthesis %s: model does not conform to %s: %w",
+				s.name, s.dsml.Name, verr)
+		}
+	} else {
+		var cerr error
+		candidate, cerr = s.vcache.Validate(s.dsml, newModel)
+		if cerr != nil {
+			return nil, fmt.Errorf("synthesis %s: model does not conform to %s: %w",
+				s.name, s.dsml.Name, cerr)
+		}
+		changes = metamodel.DiffWithContainment(s.current, candidate, s.dsml)
 	}
-
-	changes := metamodel.DiffWithContainment(s.current, candidate, s.dsml)
 	s.seq++
 	out = script.New(s.name + "-" + strconv.Itoa(s.seq))
 	if err := s.interpret(changes, candidate, out); err != nil {
@@ -245,6 +294,9 @@ func (s *Synthesis) doSubmit(newModel *metamodel.Model) (out *script.Script, err
 	if err := s.dispatch(out); err != nil {
 		s.restore(savedState)
 		return nil, fmt.Errorf("synthesis %s: dispatch: %w", s.name, err)
+	}
+	if s.delta != nil {
+		s.delta.Advance(candidate, changes)
 	}
 	s.current = candidate
 	if s.observe != nil {

@@ -30,9 +30,11 @@ type UI struct {
 	tracer   *obs.Tracer
 	mSubmits *obs.Counter
 
-	mu        sync.Mutex
-	runtime   *metamodel.Model
-	listeners []func(*metamodel.Model)
+	mu         sync.Mutex
+	runtime    *metamodel.Model     // map-form fallback; authoritative when slotsValid is false
+	slots      *metamodel.SlotModel // slot-form runtime model, storage reused across publishes
+	slotsValid bool
+	listeners  []func(*metamodel.Model)
 }
 
 // Option customises UI construction.
@@ -70,6 +72,13 @@ func New(name string, dsml *metamodel.Metamodel, submit SubmitFunc, opts ...Opti
 		submit:  submit,
 		runtime: metamodel.NewModel(dsml.Name),
 	}
+	// Keep the published runtime model in slot form when the DSML compiles:
+	// one set of typed columns reused across publishes instead of a full
+	// map-of-maps clone per OnRuntimeModel. Falls back to map clones when
+	// the metamodel does not compile or a published model is not canonical.
+	if cm, err := dsml.Compiled(); err == nil {
+		u.slots = metamodel.NewSlotModel(cm)
+	}
 	for _, o := range opts {
 		o(u)
 	}
@@ -101,23 +110,38 @@ func (u *UI) NewDraft() *Draft {
 // EditDraft starts a draft seeded from the latest runtime model, the usual
 // flow for incremental (models@runtime) updates.
 func (u *UI) EditDraft() *Draft {
-	u.mu.Lock()
-	defer u.mu.Unlock()
-	return &Draft{ui: u, model: u.runtime.Clone()}
+	return &Draft{ui: u, model: u.runtimeCopy()}
 }
 
 // RuntimeModel returns a copy of the last published runtime model.
 func (u *UI) RuntimeModel() *metamodel.Model {
+	return u.runtimeCopy()
+}
+
+// runtimeCopy materialises a caller-owned copy of the latest runtime model
+// from whichever representation currently holds it.
+func (u *UI) runtimeCopy() *metamodel.Model {
 	u.mu.Lock()
 	defer u.mu.Unlock()
+	if u.slotsValid {
+		return u.slots.Materialize()
+	}
 	return u.runtime.Clone()
 }
 
 // OnRuntimeModel receives the committed runtime model from the Synthesis
-// dispatcher and notifies subscribers.
+// dispatcher and notifies subscribers. The model is snapshotted into the
+// reused slot representation; models the slot form cannot hold (metamodel
+// drift, non-canonical values) fall back to a map clone.
 func (u *UI) OnRuntimeModel(m *metamodel.Model) {
 	u.mu.Lock()
-	u.runtime = m.Clone()
+	if u.slots != nil && u.slots.Load(m) == nil {
+		u.slotsValid = true
+		u.runtime = nil
+	} else {
+		u.slotsValid = false
+		u.runtime = m.Clone()
+	}
 	listeners := make([]func(*metamodel.Model), len(u.listeners))
 	copy(listeners, u.listeners)
 	u.mu.Unlock()

@@ -5,6 +5,8 @@
 // Usage:
 //
 //	mddsm-serve -addr 127.0.0.1:7433 -max-resident 64 -event-rate 1000
+//	mddsm-serve -addr 127.0.0.1:7433 -node-id n0 \
+//	    -peers n0=127.0.0.1:7433,n1=127.0.0.1:7434,n2=127.0.0.1:7435
 //
 // Clients drive tenants through control verbs (create, evict, stat,
 // snapshot, submit, tenants, obs) and tenant-stamped command/event frames;
@@ -12,6 +14,14 @@
 // live platforms the least-recently-used tenant is checkpointed and
 // parked; the next frame naming it restores it transparently. SIGINT and
 // SIGTERM drain every resident platform before exit.
+//
+// With -node-id and -peers the daemon joins a cluster of serve nodes that
+// acts as one logical broker: tenants are placed by consistent hash across
+// the live members, frames for a tenant owned elsewhere are forwarded
+// at-least-once to its owner, and a member that stops heartbeating has its
+// tenants adopted from their last replica by the survivors (see
+// internal/cluster). The peer list may include this node; its own entry is
+// ignored.
 package main
 
 import (
@@ -19,9 +29,12 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
+	"time"
 
 	"github.com/mddsm/mddsm/internal/cliutil"
+	"github.com/mddsm/mddsm/internal/cluster"
 	_ "github.com/mddsm/mddsm/internal/domains/all"
 	"github.com/mddsm/mddsm/internal/remote"
 	"github.com/mddsm/mddsm/internal/serve"
@@ -46,6 +59,9 @@ func run(args []string, ready func(addr string), stop <-chan os.Signal) error {
 		"max simultaneously live tenant platforms; the overflow is checkpointed and parked")
 	eventRate := fs.Float64("event-rate", 0, "per-tenant sustained events/second (0 = unlimited)")
 	eventBurst := fs.Int("event-burst", 0, "per-tenant event burst size (default 1 when -event-rate is set)")
+	nodeID := fs.String("node-id", "", "cluster member name; empty runs standalone")
+	peersFlag := fs.String("peers", "", "comma-separated cluster members as id=host:port (self is ignored; requires -node-id)")
+	heartbeat := fs.Duration("heartbeat", 500*time.Millisecond, "cluster heartbeat interval (with -node-id)")
 	common := cliutil.Register(fs).RegisterPump(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -64,6 +80,31 @@ func run(args []string, ready func(addr string), stop <-chan os.Signal) error {
 		},
 		Obs: o,
 	})
+	var router remote.Router = s
+	var node *cluster.Node
+	if *peersFlag != "" && *nodeID == "" {
+		s.Close()
+		return fmt.Errorf("-peers requires -node-id")
+	}
+	if *nodeID != "" {
+		peers, err := parsePeers(*peersFlag)
+		if err != nil {
+			s.Close()
+			return err
+		}
+		node, err = cluster.New(s, cluster.Config{
+			NodeID:            *nodeID,
+			Peers:             peers,
+			HeartbeatInterval: *heartbeat,
+			Obs:               o,
+			Injector:          inj,
+		})
+		if err != nil {
+			s.Close()
+			return err
+		}
+		router = node
+	}
 	var ropts []remote.Option
 	if inj != nil {
 		ropts = append(ropts, remote.WithInjector(inj))
@@ -71,11 +112,20 @@ func run(args []string, ready func(addr string), stop <-chan os.Signal) error {
 	if o != nil {
 		ropts = append(ropts, remote.WithMetrics(o.MetricsOf()))
 	}
-	srv, err := remote.NewRouterServer(s, *addr, ropts...)
+	srv, err := remote.NewRouterServer(router, *addr, ropts...)
 	if err != nil {
+		if node != nil {
+			node.Close()
+		}
+		s.Close()
 		return err
 	}
-	fmt.Printf("mddsm-serve: listening on %s (max-resident %d)\n", srv.Addr(), *maxResident)
+	if node != nil {
+		fmt.Printf("mddsm-serve: listening on %s (max-resident %d, cluster member %s, %d peers)\n",
+			srv.Addr(), *maxResident, *nodeID, len(node.Members())-1)
+	} else {
+		fmt.Printf("mddsm-serve: listening on %s (max-resident %d)\n", srv.Addr(), *maxResident)
+	}
 	if ready != nil {
 		ready(srv.Addr())
 	}
@@ -83,10 +133,30 @@ func run(args []string, ready func(addr string), stop <-chan os.Signal) error {
 	<-stop
 	fmt.Println("mddsm-serve: draining")
 	srv.Close() // stop accepting and drop connections first
-	s.Close()   // then drain every resident platform
+	if node != nil {
+		node.Close() // stop heartbeats and peer links
+	}
+	s.Close() // then drain every resident platform
 	if o != nil {
 		fmt.Println("# observability snapshot")
 		fmt.Println(o.Snapshot())
 	}
 	return nil
+}
+
+// parsePeers turns "n0=host:port,n1=host:port" into the cluster peer list.
+func parsePeers(spec string) ([]cluster.Peer, error) {
+	var peers []cluster.Peer
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, addr, ok := strings.Cut(part, "=")
+		if !ok || id == "" || addr == "" {
+			return nil, fmt.Errorf("bad -peers entry %q (want id=host:port)", part)
+		}
+		peers = append(peers, cluster.Peer{ID: id, Addr: addr})
+	}
+	return peers, nil
 }

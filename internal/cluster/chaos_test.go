@@ -1,0 +1,171 @@
+package cluster
+
+import (
+	"fmt"
+	mrand "math/rand"
+	goruntime "runtime"
+	"testing"
+	"time"
+
+	"github.com/mddsm/mddsm/internal/broker"
+	"github.com/mddsm/mddsm/internal/obs"
+	"github.com/mddsm/mddsm/internal/serve"
+)
+
+func waitGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		goruntime.GC()
+		n := goruntime.NumGoroutine()
+		if n <= base+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			t.Fatalf("goroutines leaked: %d -> %d\n%s", base, n, buf[:goruntime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestClusterChaosNodeKill is the headline robustness scenario, run at
+// three fixed seeds: a three-member cluster serves six tenants, replicates
+// them, then loses a member without warning while traffic keeps arriving.
+// The survivors must detect the death, adopt the victim's tenants from
+// their last replica, replay their dead-letter queues, absorb the traffic
+// that was addressed to the dead member — and the cluster-wide ledger must
+// stay exact: every event posted anywhere is delivered, failed,
+// dead-lettered, or dropped somewhere, with nothing double-counted across
+// the failover.
+func TestClusterChaosNodeKill(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			base := goruntime.NumGoroutine()
+			nodes := startCluster(t, 3, seed, nil)
+			rnd := mrand.New(mrand.NewSource(seed))
+
+			tenants := make([]string, 6)
+			for i := range tenants {
+				tenants[i] = fmt.Sprintf("chaos-%d", i)
+				entry := nodes[rnd.Intn(len(nodes))]
+				if _, err := entry.node.Control("create", tenants[i], map[string]any{"bundle": "cml"}); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			// Phase 1: steady traffic through random entry members.
+			const preKill = 20
+			for i := 0; i < preKill; i++ {
+				for _, name := range tenants {
+					entry := nodes[rnd.Intn(len(nodes))]
+					if err := entry.node.PostEvent(name, broker.Event{Name: "telemetry", Attrs: map[string]any{"n": i}}); err != nil {
+						t.Fatalf("pre-kill post %s via %s: %v", name, entry.id, err)
+					}
+				}
+			}
+			drainForwards(t, nodes)
+
+			// Every member cuts replicas to its failover successor.
+			for _, tn := range nodes {
+				if err := tn.node.ReplicateAll(); err != nil {
+					t.Fatalf("%s replicate: %v", tn.id, err)
+				}
+			}
+
+			// Crash the member that owns a seed-chosen tenant. No export,
+			// no goodbye.
+			victim := homeOf(t, nodes, tenants[int(seed)%len(tenants)])
+			t.Logf("killing %s", victim.id)
+			victimTenants := map[string]bool{}
+			for _, name := range tenants {
+				if nodes[0].node.Owner(name) == victim.id {
+					victimTenants[name] = true
+				}
+			}
+			victim.kill()
+
+			// Phase 2: traffic keeps arriving at the survivors. Posts for
+			// the victim's tenants are accepted into the at-least-once
+			// forward queue even though their owner is (still) the corpse.
+			live := survivors(nodes)
+			const postKill = 10
+			for i := 0; i < postKill; i++ {
+				for _, name := range tenants {
+					entry := live[rnd.Intn(len(live))]
+					if err := entry.node.PostEvent(name, broker.Event{Name: "telemetry", Attrs: map[string]any{"n": preKill + i}}); err != nil {
+						t.Fatalf("post-kill post %s via %s: %v", name, entry.id, err)
+					}
+				}
+			}
+
+			// Heartbeats miss, suspicion rises, death is declared, replicas
+			// are adopted, queued forwards re-route to the new homes.
+			tickAll(nodes, 6)
+			drainForwards(t, nodes)
+
+			adoptions := int64(0)
+			deathsSeen := 0
+			for _, tn := range live {
+				m := tn.obs.MetricsOf()
+				adoptions += m.CounterValue(obs.MClusterAdoptions)
+				if m.CounterValue(obs.MClusterDeaths) > 0 {
+					deathsSeen++
+				}
+				if got := tn.node.Members(); len(got) != 2 {
+					t.Errorf("%s members after death = %v", tn.id, got)
+				}
+			}
+			if int(adoptions) != len(victimTenants) {
+				t.Errorf("adoptions = %d, want %d (victim owned %v)", adoptions, len(victimTenants), victimTenants)
+			}
+			if deathsSeen != len(live) {
+				t.Errorf("only %d/%d survivors declared the death", deathsSeen, len(live))
+			}
+
+			// Every tenant lives on exactly one survivor with an exact
+			// ledger accounting for all 30 posts — the victim's tenants
+			// carried their pre-kill ledger through the replica.
+			var total serve.Accounting
+			for _, name := range tenants {
+				a := drainedAccounting(t, nodes, name)
+				if !a.Exact() {
+					t.Errorf("%s ledger not exact: %+v", name, a)
+				}
+				if a.Posted != preKill+postKill {
+					t.Errorf("%s posted = %d, want %d (victim-owned: %v)", name, a.Posted, preKill+postKill, victimTenants[name])
+				}
+				total = total.Add(a)
+			}
+			if !total.Exact() {
+				t.Errorf("cluster-wide ledger not exact: %+v", total)
+			}
+			if want := int64(len(tenants) * (preKill + postKill)); total.Posted != want {
+				t.Errorf("cluster-wide posted = %d, want %d", total.Posted, want)
+			}
+
+			// The cluster still serves: post-failover traffic to every
+			// tenant lands wherever the tenant lives now.
+			for _, name := range tenants {
+				entry := live[rnd.Intn(len(live))]
+				if err := entry.node.PostEvent(name, broker.Event{Name: "telemetry", Attrs: map[string]any{"n": 999}}); err != nil {
+					t.Fatalf("post-failover post %s: %v", name, err)
+				}
+			}
+			drainForwards(t, nodes)
+			for _, name := range tenants {
+				a := drainedAccounting(t, nodes, name)
+				if a.Posted != preKill+postKill+1 || !a.Exact() {
+					t.Errorf("%s after failover traffic: %+v", name, a)
+				}
+			}
+
+			// Clean shutdown of the survivors leaks nothing.
+			for _, tn := range nodes {
+				tn.close()
+			}
+			waitGoroutines(t, base)
+		})
+	}
+}

@@ -1,0 +1,597 @@
+// Package cluster joins N serve daemons into one logical broker. Each
+// process runs a Node wrapping its serve.Server; nodes gossip liveness
+// over heartbeat control frames, place tenants across processes with the
+// same FNV hash the event pump uses for shards (plus a replicated override
+// map for explicit migrations), forward events to the owning node with
+// at-least-once acknowledged delivery, and move running tenants between
+// processes as quiesce → checkpoint → transfer → restore, losing nothing:
+// every event is exactly one of delivered, failed, dead-lettered, dropped
+// or rejected on exactly one node's ledger.
+//
+// The Node implements remote.Router and remote.Control, so
+// remote.NewRouterServer(node, addr) exposes the whole cluster through any
+// single member: frames for tenants placed elsewhere are proxied or
+// forwarded transparently. Cluster verbs ride the same wire as tenant
+// traffic ("cluster.join", "cluster.heartbeat", "cluster.forward",
+// "cluster.migrate", "cluster.replicate", "cluster.place", "cluster.exec")
+// and every peer frame is stamped with remote.ProtocolVersion, so an
+// incompatible peer is counted out gracefully rather than corrupting the
+// member set.
+//
+// Failure detection is deterministic by construction: with
+// Config.HeartbeatInterval <= 0 a Node starts no goroutines and advances
+// only on explicit Tick calls, and the per-peer suspicion threshold jitter
+// is drawn from Config.Seed — the chaos tests replay byte-identical
+// failure schedules from fixed seeds.
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/mddsm/mddsm/internal/broker"
+	"github.com/mddsm/mddsm/internal/fault"
+	"github.com/mddsm/mddsm/internal/obs"
+	"github.com/mddsm/mddsm/internal/remote"
+	"github.com/mddsm/mddsm/internal/script"
+	"github.com/mddsm/mddsm/internal/serve"
+)
+
+// Fault-point names evaluated against Config.Injector.
+const (
+	// SiteForward fires before a cross-node event forward is transmitted.
+	SiteForward = "cluster.forward"
+	// SitePeerPrefix + <peer id> fires before any RPC to that peer; arming
+	// it with a Partition fault isolates the pair until healed.
+	SitePeerPrefix = "cluster.peer."
+)
+
+// Defaults for the knobs a zero Config leaves unset.
+const (
+	DefaultSuspectAfter      = 3
+	DefaultForwardQueue      = 256
+	DefaultForwardAttempts   = 8
+	DefaultDeadForwardsBound = 256
+)
+
+// Peer names one member of the static cluster membership.
+type Peer struct {
+	ID   string
+	Addr string
+}
+
+// Config configures a Node.
+type Config struct {
+	// NodeID is this node's unique member name.
+	NodeID string
+	// Peers is the full static member set (this node may be listed; it is
+	// skipped by ID).
+	Peers []Peer
+	// HeartbeatInterval drives the background tick loop. <= 0 means no
+	// background goroutine: the owner calls Tick explicitly (tests).
+	HeartbeatInterval time.Duration
+	// SuspectAfter is how many consecutive missed heartbeats make a peer
+	// suspect; death follows one tick later. Per-peer seeded jitter adds
+	// 0 or 1 to the threshold so a symmetric partition does not make every
+	// node fire on the same tick. Default DefaultSuspectAfter.
+	SuspectAfter int
+	// Seed feeds the jitter and any tie-breaking randomness; fixed seed =
+	// fixed failure schedule.
+	Seed int64
+	// ForwardQueue bounds the pending (unacked) cross-node forwards held
+	// for resend. Overflow is a counted rejection. Default
+	// DefaultForwardQueue.
+	ForwardQueue int
+	// ForwardAttempts bounds delivery attempts per forward before it is
+	// parked in the node's forward dead-letter list. Default
+	// DefaultForwardAttempts.
+	ForwardAttempts int
+	// Obs receives the cluster.* metrics (nil means a private bundle).
+	Obs *obs.Obs
+	// Injector arms SiteForward and SitePeerPrefix sites (nil disables).
+	Injector *fault.Injector
+	// DialOptions extends the options used to dial peers (retry policy,
+	// timeouts). The protocol version stamp is always applied.
+	DialOptions []remote.Option
+}
+
+// peerState tracks one remote member.
+type peerState struct {
+	id        string
+	addr      string
+	conn      *remote.Conn
+	missed    int
+	suspectAt int // missed-heartbeat threshold (jittered)
+	suspect   bool
+	dead      bool
+}
+
+// pendingForward is one accepted, not-yet-acknowledged cross-node event.
+type pendingForward struct {
+	Tenant   string
+	Origin   string
+	Seq      uint64
+	Event    broker.Event
+	Attempts int
+}
+
+// DeadForward is a forward that exhausted its delivery attempts and was
+// parked; RedeliverForwards feeds these back into the resend queue.
+type DeadForward struct {
+	Tenant string
+	Event  broker.Event
+	Reason string
+}
+
+// replica is the last checkpoint of a tenant owned by another node, held
+// here for failover adoption.
+type replica struct {
+	owner string
+	exp   serve.ExportedTenant
+}
+
+// Node is one cluster member: a serve.Server plus membership, placement,
+// forwarding and migration. Create with New, expose on the wire with
+// remote.NewRouterServer(node, addr), stop with Close (the serve.Server is
+// not closed; it belongs to the caller).
+type Node struct {
+	cfg Config
+	srv *serve.Server
+
+	gPeersLive   *obs.Gauge
+	gReplicas    *obs.Gauge
+	mHBSent      *obs.Counter
+	mHBRecv      *obs.Counter
+	mSuspicions  *obs.Counter
+	mDeaths      *obs.Counter
+	mFwdSent     *obs.Counter
+	mFwdRecv     *obs.Counter
+	mFwdDeduped  *obs.Counter
+	mFwdResent   *obs.Counter
+	mFwdQueued   *obs.Counter
+	mFwdParked   *obs.Counter
+	mFwdRejected *obs.Counter
+	mMigOut      *obs.Counter
+	mMigIn       *obs.Counter
+	mAdoptions   *obs.Counter
+
+	mu        sync.Mutex
+	peers     map[string]*peerState
+	overrides map[string]string // tenant -> member ID (explicit placement)
+	replicas  map[string]replica
+	seen      map[string]map[uint64]struct{} // origin -> acked forward seqs
+	pending   []*pendingForward
+	deadFwd   []deadForward
+	seq       uint64
+	tick      uint64
+	rng       *rand.Rand
+	closed    bool
+
+	done chan struct{}
+	loop sync.WaitGroup
+}
+
+// New wraps a serve.Server as a cluster member. With a positive
+// HeartbeatInterval the node starts its background tick loop immediately;
+// otherwise it advances only on Tick.
+func New(srv *serve.Server, cfg Config) (*Node, error) {
+	if cfg.NodeID == "" {
+		return nil, fmt.Errorf("cluster: NodeID must not be empty")
+	}
+	if cfg.SuspectAfter <= 0 {
+		cfg.SuspectAfter = DefaultSuspectAfter
+	}
+	if cfg.ForwardQueue <= 0 {
+		cfg.ForwardQueue = DefaultForwardQueue
+	}
+	if cfg.ForwardAttempts <= 0 {
+		cfg.ForwardAttempts = DefaultForwardAttempts
+	}
+	o := cfg.Obs
+	if o == nil {
+		o = obs.New()
+	}
+	m := o.MetricsOf()
+	n := &Node{
+		cfg:          cfg,
+		srv:          srv,
+		gPeersLive:   m.Gauge(obs.MClusterPeersLive),
+		gReplicas:    m.Gauge(obs.MClusterReplicasHeld),
+		mHBSent:      m.Counter(obs.MClusterHeartbeatsSent),
+		mHBRecv:      m.Counter(obs.MClusterHeartbeatsRecv),
+		mSuspicions:  m.Counter(obs.MClusterSuspicions),
+		mDeaths:      m.Counter(obs.MClusterDeaths),
+		mFwdSent:     m.Counter(obs.MClusterForwardsSent),
+		mFwdRecv:     m.Counter(obs.MClusterForwardsRecv),
+		mFwdDeduped:  m.Counter(obs.MClusterForwardsDeduped),
+		mFwdResent:   m.Counter(obs.MClusterForwardsResent),
+		mFwdQueued:   m.Counter(obs.MClusterForwardsQueued),
+		mFwdParked:   m.Counter(obs.MClusterForwardsParked),
+		mFwdRejected: m.Counter(obs.MClusterForwardsRejected),
+		mMigOut:      m.Counter(obs.MClusterMigrationsOut),
+		mMigIn:       m.Counter(obs.MClusterMigrationsIn),
+		mAdoptions:   m.Counter(obs.MClusterAdoptions),
+		peers:        make(map[string]*peerState),
+		overrides:    make(map[string]string),
+		replicas:     make(map[string]replica),
+		seen:         make(map[string]map[uint64]struct{}),
+		rng:          rand.New(rand.NewSource(cfg.Seed)),
+		done:         make(chan struct{}),
+	}
+	for _, p := range cfg.Peers {
+		if p.ID == cfg.NodeID || p.ID == "" {
+			continue
+		}
+		n.peers[p.ID] = &peerState{
+			id:        p.ID,
+			addr:      p.Addr,
+			suspectAt: cfg.SuspectAfter + n.rng.Intn(2),
+		}
+	}
+	n.gPeersLive.Set(int64(len(n.peers) + 1))
+	if cfg.HeartbeatInterval > 0 {
+		n.loop.Add(1)
+		go n.run()
+	}
+	return n, nil
+}
+
+// run is the background tick loop: heartbeat interval plus up to 25%
+// seeded jitter so a fleet started together does not phase-lock.
+func (n *Node) run() {
+	defer n.loop.Done()
+	for {
+		n.mu.Lock()
+		j := time.Duration(0)
+		if q := int64(n.cfg.HeartbeatInterval) / 4; q > 0 {
+			j = time.Duration(n.rng.Int63n(q))
+		}
+		n.mu.Unlock()
+		select {
+		case <-n.done:
+			return
+		case <-time.After(n.cfg.HeartbeatInterval + j):
+			n.Tick()
+		}
+	}
+}
+
+// Close stops the tick loop and drops the peer connections. The wrapped
+// serve.Server is left running (its owner closes it).
+func (n *Node) Close() {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.closed = true
+	close(n.done)
+	conns := make([]*remote.Conn, 0, len(n.peers))
+	for _, p := range n.peers {
+		if p.conn != nil {
+			conns = append(conns, p.conn)
+			p.conn = nil
+		}
+	}
+	n.mu.Unlock()
+	n.loop.Wait()
+	for _, c := range conns {
+		c.Close()
+	}
+}
+
+// ID returns this node's member name.
+func (n *Node) ID() string { return n.cfg.NodeID }
+
+// Server returns the wrapped serve.Server.
+func (n *Node) Server() *serve.Server { return n.srv }
+
+// Members returns the live member IDs, sorted, including this node.
+func (n *Node) Members() []string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.membersLocked()
+}
+
+func (n *Node) membersLocked() []string {
+	out := []string{n.cfg.NodeID}
+	for id, p := range n.peers {
+		if !p.dead {
+			out = append(out, id)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Tick advances the node one failure-detection round: heartbeats go out,
+// silent peers accumulate suspicion and eventually die (triggering replica
+// adoption), tenants the placement no longer assigns here migrate out, and
+// the pending forward queue is flushed. One Tick is one deterministic unit
+// of cluster time.
+func (n *Node) Tick() {
+	n.heartbeatRound()
+	n.rebalance()
+	n.Flush()
+}
+
+// heartbeatRound sends one heartbeat to every non-dead peer and applies
+// the miss accounting: suspicion at the jittered threshold, death one
+// round later. Death recomputes placement and adopts any replica this node
+// now owns.
+func (n *Node) heartbeatRound() {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.tick++
+	tick := n.tick
+	overrides := make(map[string]any, len(n.overrides))
+	for t, id := range n.overrides {
+		overrides[t] = id
+	}
+	targets := make([]*peerState, 0, len(n.peers))
+	for _, p := range n.peers {
+		if !p.dead {
+			targets = append(targets, p)
+		}
+	}
+	n.mu.Unlock()
+
+	type result struct {
+		p  *peerState
+		ok bool
+	}
+	results := make([]result, 0, len(targets))
+	for _, p := range targets {
+		args := map[string]any{
+			"id":        n.cfg.NodeID,
+			"tick":      tick,
+			"overrides": overrides,
+		}
+		err := n.peerControl(p, "cluster.heartbeat", "", args)
+		if err == nil {
+			n.mHBSent.Inc()
+		}
+		results = append(results, result{p: p, ok: err == nil})
+	}
+
+	var adopt []string
+	n.mu.Lock()
+	for _, r := range results {
+		p := r.p
+		if r.ok {
+			p.missed = 0
+			if p.suspect || p.dead {
+				p.suspect, p.dead = false, false
+			}
+			continue
+		}
+		p.missed++
+		if !p.suspect && p.missed >= p.suspectAt {
+			p.suspect = true
+			n.mSuspicions.Inc()
+		}
+		if p.suspect && !p.dead && p.missed > p.suspectAt {
+			p.dead = true
+			n.mDeaths.Inc()
+			adopt = append(adopt, n.deathLocked(p.id)...)
+		}
+	}
+	n.gPeersLive.Set(int64(len(n.membersLocked())))
+	n.mu.Unlock()
+
+	for _, tenantName := range adopt {
+		n.adopt(tenantName)
+	}
+}
+
+// deathLocked handles one peer's death under n.mu: placement overrides
+// pointing at the corpse are dropped, and every replica this node holds
+// for the dead owner is queued for adoption. The holder adopts regardless
+// of what the hash says — it has the bytes; the placement override it
+// claims (and broadcasts) makes the cluster agree, and the hash reasserts
+// itself only for tenants nobody replicated.
+func (n *Node) deathLocked(dead string) []string {
+	for t, id := range n.overrides {
+		if id == dead {
+			delete(n.overrides, t)
+		}
+	}
+	var adopt []string
+	for t, rep := range n.replicas {
+		if rep.owner == dead {
+			adopt = append(adopt, t)
+		}
+	}
+	return adopt
+}
+
+// adopt restores one tenant from its held replica: park the checkpoint,
+// replay its dead-letter queue, claim placement and tell the survivors.
+func (n *Node) adopt(tenantName string) {
+	n.mu.Lock()
+	rep, ok := n.replicas[tenantName]
+	if !ok {
+		n.mu.Unlock()
+		return
+	}
+	delete(n.replicas, tenantName)
+	n.gReplicas.Set(int64(len(n.replicas)))
+	n.overrides[tenantName] = n.cfg.NodeID
+	n.mu.Unlock()
+
+	if err := n.srv.Adopt(tenantName, rep.exp); err != nil {
+		// The tenant may already live here (e.g. it was migrated in after
+		// the replica was pushed); adoption is then correctly a no-op.
+		return
+	}
+	n.mAdoptions.Inc()
+	// The DLQ rode along inside the checkpoint; replay it on the new home.
+	_, _, _ = n.srv.Redeliver(tenantName)
+	n.broadcastPlacement(tenantName, n.cfg.NodeID)
+}
+
+// rebalance migrates out every local tenant the placement assigns to
+// another live member. Revival is the common trigger: a node coming back
+// from the dead reclaims its hash range, and the adopters push the
+// adopted tenants home.
+func (n *Node) rebalance() {
+	n.mu.Lock()
+	members := n.membersLocked()
+	var moves [][2]string
+	for _, t := range n.srv.Tenants() {
+		if owner := n.ownerOf(t, members); owner != n.cfg.NodeID {
+			moves = append(moves, [2]string{t, owner})
+		}
+	}
+	n.mu.Unlock()
+	for _, mv := range moves {
+		_ = n.Migrate(mv[0], mv[1])
+	}
+}
+
+// peerControl sends one control verb to a peer, dialing lazily. The
+// injector's per-peer partition site is evaluated first; every frame
+// carries the protocol version stamp.
+func (n *Node) peerControl(p *peerState, verb, tenantName string, args map[string]any) error {
+	_, err := n.peerControlAttrs(p, verb, tenantName, args)
+	return err
+}
+
+// peerControlAttrs is peerControl returning the reply attributes.
+func (n *Node) peerControlAttrs(p *peerState, verb, tenantName string, args map[string]any) (map[string]any, error) {
+	if err := n.cfg.Injector.Inject(SitePeerPrefix + p.id); err != nil {
+		return nil, err
+	}
+	conn, err := n.peerConn(p)
+	if err != nil {
+		return nil, err
+	}
+	return conn.Control(verb, tenantName, args)
+}
+
+// peerConn returns the peer's self-healing connection, dialing on first
+// use. Dial failures are transient: the peer may simply not be up yet.
+func (n *Node) peerConn(p *peerState) (*remote.Conn, error) {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil, fmt.Errorf("cluster: node closed")
+	}
+	if p.conn != nil {
+		conn := p.conn
+		n.mu.Unlock()
+		return conn, nil
+	}
+	n.mu.Unlock()
+
+	opts := append([]remote.Option{
+		remote.WithProtocol(remote.ProtocolVersion),
+		remote.WithRetry(fault.Policy{MaxAttempts: 2, BaseDelay: 5 * time.Millisecond, MaxDelay: 50 * time.Millisecond}),
+	}, n.cfg.DialOptions...)
+	conn, err := remote.Connect(p.addr, opts...)
+	if err != nil {
+		return nil, err
+	}
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		conn.Close()
+		return nil, fmt.Errorf("cluster: node closed")
+	}
+	if p.conn == nil {
+		p.conn = conn
+	} else {
+		// Lost the dial race; keep the established one.
+		go conn.Close()
+	}
+	conn = p.conn
+	n.mu.Unlock()
+	return conn, nil
+}
+
+// peerByID resolves a live member ID to its state.
+func (n *Node) peerByID(id string) (*peerState, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	p, ok := n.peers[id]
+	if !ok {
+		return nil, fmt.Errorf("cluster: unknown member %q", id)
+	}
+	return p, nil
+}
+
+// ReplicateAll pushes a fresh replica of every local tenant to its
+// failover successor (the next live member after this node in sorted
+// order). Each replica is a quiesced exact cut — snapshot and ledger agree
+// — taken via transparent eviction.
+func (n *Node) ReplicateAll() error {
+	n.mu.Lock()
+	members := n.membersLocked()
+	n.mu.Unlock()
+	succ := successor(n.cfg.NodeID, members)
+	if succ == "" {
+		return nil // single-node cluster: nowhere to replicate
+	}
+	var firstErr error
+	for _, t := range n.srv.Tenants() {
+		exp, err := n.srv.Replica(t)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		p, err := n.peerByID(succ)
+		if err != nil {
+			return err
+		}
+		args := map[string]any{
+			"owner":    n.cfg.NodeID,
+			"bundle":   exp.Bundle,
+			"snapshot": string(exp.Snapshot),
+			"ledger":   exp.Ledger.Attrs(),
+		}
+		if err := n.peerControl(p, "cluster.replicate", t, args); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// successor returns the member after id in the sorted ring, or "" when id
+// is alone.
+func successor(id string, members []string) string {
+	if len(members) < 2 {
+		return ""
+	}
+	for i, m := range members {
+		if m == id {
+			return members[(i+1)%len(members)]
+		}
+	}
+	return members[0]
+}
+
+// verbIsCluster reports whether a control verb belongs to the cluster
+// plane rather than the tenant plane.
+func verbIsCluster(verb string) bool { return strings.HasPrefix(verb, "cluster.") }
+
+// execScript rebuilds the wire command as a script for the local tenant.
+func execScript(args map[string]any) *script.Script {
+	op, _ := args["op"].(string)
+	target, _ := args["target"].(string)
+	cmd := script.NewCommand(op, target)
+	if m, ok := args["args"].(map[string]any); ok {
+		for k, v := range m {
+			cmd = cmd.WithArg(k, v)
+		}
+	}
+	return script.New("cluster").Append(cmd)
+}

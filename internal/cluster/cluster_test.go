@@ -1,0 +1,448 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/mddsm/mddsm/internal/broker"
+	_ "github.com/mddsm/mddsm/internal/domains/all"
+	"github.com/mddsm/mddsm/internal/fault"
+	"github.com/mddsm/mddsm/internal/obs"
+	"github.com/mddsm/mddsm/internal/remote"
+	"github.com/mddsm/mddsm/internal/runtime"
+	"github.com/mddsm/mddsm/internal/serve"
+)
+
+// lateRouter lets a wire server start before its Node exists (the Node
+// needs every peer's address, the addresses need listeners).
+type lateRouter struct {
+	mu sync.Mutex
+	n  *Node
+}
+
+func (r *lateRouter) set(n *Node) {
+	r.mu.Lock()
+	r.n = n
+	r.mu.Unlock()
+}
+
+func (r *lateRouter) get() (*Node, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.n == nil {
+		return nil, fmt.Errorf("node not ready")
+	}
+	return r.n, nil
+}
+
+func (r *lateRouter) Route(tenant string) (remote.Endpoint, error) {
+	n, err := r.get()
+	if err != nil {
+		return nil, err
+	}
+	return n.Route(tenant)
+}
+
+func (r *lateRouter) Control(verb, tenant string, args map[string]any) (map[string]any, error) {
+	n, err := r.get()
+	if err != nil {
+		return nil, err
+	}
+	return n.Control(verb, tenant, args)
+}
+
+// testNode bundles one member's server stack.
+type testNode struct {
+	id    string
+	srv   *serve.Server
+	node  *Node
+	wire  *remote.Server
+	obs   *obs.Obs
+	alive bool
+}
+
+// kill simulates a crash: the wire drops, the node stops, the platforms
+// die without any graceful export.
+func (tn *testNode) kill() {
+	tn.alive = false
+	tn.wire.Close()
+	tn.node.Close()
+	tn.srv.Close()
+}
+
+func (tn *testNode) close() {
+	if tn.alive {
+		tn.kill()
+	}
+}
+
+// startCluster brings up count members with manual ticking (no background
+// goroutines) and a shared injector, fully meshed over real TCP.
+func startCluster(t testing.TB, count int, seed int64, inj *fault.Injector) []*testNode {
+	t.Helper()
+	routers := make([]*lateRouter, count)
+	nodes := make([]*testNode, count)
+	peers := make([]Peer, count)
+	for i := range nodes {
+		routers[i] = &lateRouter{}
+		wire, err := remote.NewRouterServer(routers[i], "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		id := fmt.Sprintf("n%d", i)
+		peers[i] = Peer{ID: id, Addr: wire.Addr()}
+		nodes[i] = &testNode{id: id, wire: wire, alive: true}
+	}
+	for i := range nodes {
+		o := obs.New()
+		srv := serve.NewServer(serve.Config{Obs: o})
+		node, err := New(srv, Config{
+			NodeID:       nodes[i].id,
+			Peers:        peers,
+			SuspectAfter: 2,
+			Seed:         seed + int64(i),
+			Obs:          o,
+			Injector:     inj,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[i].srv, nodes[i].node, nodes[i].obs = srv, node, o
+		routers[i].set(node)
+	}
+	t.Cleanup(func() {
+		for _, tn := range nodes {
+			tn.close()
+		}
+	})
+	tickAll(nodes, 1)
+	return nodes
+}
+
+// tickAll advances every live member k rounds, in member order.
+func tickAll(nodes []*testNode, k int) {
+	for j := 0; j < k; j++ {
+		for _, tn := range nodes {
+			if tn.alive {
+				tn.node.Tick()
+			}
+		}
+	}
+}
+
+// survivors returns the live members.
+func survivors(nodes []*testNode) []*testNode {
+	var out []*testNode
+	for _, tn := range nodes {
+		if tn.alive {
+			out = append(out, tn)
+		}
+	}
+	return out
+}
+
+// drainForwards flushes until no live member holds pending or parked
+// forwards, reviving parked ones along the way.
+func drainForwards(t testing.TB, nodes []*testNode) {
+	t.Helper()
+	for i := 0; i < 200; i++ {
+		busy := false
+		for _, tn := range survivors(nodes) {
+			tn.node.RedeliverForwards()
+			tn.node.Flush()
+			if tn.node.Pending() > 0 || len(tn.node.DeadForwards()) > 0 {
+				busy = true
+			}
+		}
+		if !busy {
+			return
+		}
+		tickAll(nodes, 1)
+	}
+	for _, tn := range survivors(nodes) {
+		t.Logf("%s: pending=%d dead=%d", tn.id, tn.node.Pending(), len(tn.node.DeadForwards()))
+	}
+	t.Fatal("forward queues never drained")
+}
+
+// homeOf finds the one live member hosting a tenant.
+func homeOf(t testing.TB, nodes []*testNode, tenant string) *testNode {
+	t.Helper()
+	var home *testNode
+	for _, tn := range survivors(nodes) {
+		for _, name := range tn.srv.Tenants() {
+			if name == tenant {
+				if home != nil {
+					t.Fatalf("tenant %q hosted on both %s and %s", tenant, home.id, tn.id)
+				}
+				home = tn
+			}
+		}
+	}
+	if home == nil {
+		t.Fatalf("tenant %q hosted nowhere", tenant)
+	}
+	return home
+}
+
+// drainedAccounting evicts the tenant on its home (exact cut) and returns
+// the ledger.
+func drainedAccounting(t testing.TB, nodes []*testNode, tenant string) serve.Accounting {
+	t.Helper()
+	home := homeOf(t, nodes, tenant)
+	_ = home.srv.Evict(tenant) // may already be parked
+	a, err := home.srv.Accounting(tenant)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestMembershipAndPlacementAgree(t *testing.T) {
+	nodes := startCluster(t, 3, 42, nil)
+	want := fmt.Sprint(nodes[0].node.Members())
+	if want != "[n0 n1 n2]" {
+		t.Fatalf("members = %s", want)
+	}
+	for _, tn := range nodes[1:] {
+		if got := fmt.Sprint(tn.node.Members()); got != want {
+			t.Errorf("%s members = %s, want %s", tn.id, got, want)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		tenant := fmt.Sprintf("tenant-%d", i)
+		owner := nodes[0].node.Owner(tenant)
+		for _, tn := range nodes[1:] {
+			if got := tn.node.Owner(tenant); got != owner {
+				t.Errorf("%s: owner(%s) = %s, want %s", tn.id, tenant, got, owner)
+			}
+		}
+	}
+}
+
+// TestForwardDelivery: events entered through any member land exactly once
+// on the owner, with exact per-tenant ledgers.
+func TestForwardDelivery(t *testing.T) {
+	nodes := startCluster(t, 3, 7, nil)
+	tenants := []string{"alpha", "beta", "gamma", "delta"}
+	for _, name := range tenants {
+		if _, err := nodes[0].node.Control("create", name, map[string]any{"bundle": "cml"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const perTenant = 12
+	for i := 0; i < perTenant; i++ {
+		for ti, name := range tenants {
+			entry := nodes[(i+ti)%len(nodes)]
+			if err := entry.node.PostEvent(name, broker.Event{Name: "telemetry", Attrs: map[string]any{"n": i}}); err != nil {
+				t.Fatalf("post %s via %s: %v", name, entry.id, err)
+			}
+		}
+	}
+	drainForwards(t, nodes)
+	for _, name := range tenants {
+		a := drainedAccounting(t, nodes, name)
+		if !a.Exact() {
+			t.Errorf("%s ledger not exact: %+v", name, a)
+		}
+		if a.Posted != perTenant {
+			t.Errorf("%s posted = %d, want %d", name, a.Posted, perTenant)
+		}
+	}
+	// The tenant plane proxies too: stat for a remote-owned tenant answers
+	// through any member.
+	victimView, err := nodes[1].node.Control("stat", "alpha", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if victimView["bundle"] != "cml" {
+		t.Errorf("proxied stat: %v", victimView)
+	}
+}
+
+// TestForwardDedup: a retried forward (same origin+seq, e.g. after a lost
+// ack) is acknowledged without double-posting.
+func TestForwardDedup(t *testing.T) {
+	nodes := startCluster(t, 2, 3, nil)
+	// Find a tenant this member owns.
+	name := ""
+	for i := 0; i < 32; i++ {
+		cand := fmt.Sprintf("tenant-%d", i)
+		if nodes[1].node.Owner(cand) == "n1" {
+			name = cand
+			break
+		}
+	}
+	if name == "" {
+		t.Fatal("no tenant hashes to n1")
+	}
+	if _, err := nodes[1].node.Control("create", name, map[string]any{"bundle": "cml"}); err != nil {
+		t.Fatal(err)
+	}
+	args := map[string]any{"origin": "ghost", "seq": 9, "name": "telemetry"}
+	if _, err := nodes[1].node.Control("cluster.forward", name, args); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nodes[1].node.Control("cluster.forward", name, args); err != nil {
+		t.Fatalf("duplicate forward must ack, got %v", err)
+	}
+	if got := nodes[1].obs.MetricsOf().CounterValue(obs.MClusterForwardsDeduped); got != 1 {
+		t.Errorf("deduped = %d, want 1", got)
+	}
+	if err := nodes[1].srv.Evict(name); err != nil {
+		t.Fatal(err)
+	}
+	a, err := nodes[1].srv.Accounting(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Posted != 1 {
+		t.Errorf("posted = %d after duplicate forward, want 1", a.Posted)
+	}
+}
+
+// TestLiveMigrationDiffEqual: a migrated tenant's state round-trips
+// diff-equal, its ledger travels, placement re-routes, and traffic keeps
+// flowing to the new home.
+func TestLiveMigrationDiffEqual(t *testing.T) {
+	nodes := startCluster(t, 2, 11, nil)
+	name := "migrant"
+	owner := nodes[0]
+	if owner.node.Owner(name) != owner.id {
+		owner = nodes[1]
+	}
+	target := nodes[0]
+	if target == owner {
+		target = nodes[1]
+	}
+	if _, err := owner.node.Control("create", name, map[string]any{"bundle": "cml"}); err != nil {
+		t.Fatal(err)
+	}
+	const pre = 8
+	for i := 0; i < pre; i++ {
+		if err := owner.node.PostEvent(name, broker.Event{Name: "telemetry", Attrs: map[string]any{"n": i}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Quiesce for the reference cut, then migrate.
+	if err := owner.srv.Evict(name); err != nil {
+		t.Fatal(err)
+	}
+	ref, err := owner.srv.Snapshot(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := owner.node.Migrate(name, target.id); err != nil {
+		t.Fatal(err)
+	}
+	got, err := target.srv.Snapshot(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eq, err := runtime.SnapshotsEquivalent(ref, got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq {
+		t.Error("migrated snapshot differs from the pre-migration cut")
+	}
+	for _, tn := range nodes {
+		if o := tn.node.Owner(name); o != target.id {
+			t.Errorf("%s: owner after migration = %s, want %s", tn.id, o, target.id)
+		}
+	}
+	// New traffic through the old owner forwards to the new home.
+	const post = 5
+	for i := 0; i < post; i++ {
+		if err := owner.node.PostEvent(name, broker.Event{Name: "telemetry", Attrs: map[string]any{"n": 100 + i}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	drainForwards(t, nodes)
+	a := drainedAccounting(t, nodes, name)
+	if !a.Exact() {
+		t.Errorf("post-migration ledger not exact: %+v", a)
+	}
+	if a.Posted != pre+post {
+		t.Errorf("posted = %d, want %d", a.Posted, pre+post)
+	}
+	if _, err := owner.srv.Accounting(name); err == nil {
+		t.Error("old owner still hosts the migrated tenant")
+	}
+	if got := target.obs.MetricsOf().CounterValue(obs.MClusterMigrationsIn); got != 1 {
+		t.Errorf("migrations.in = %d, want 1", got)
+	}
+}
+
+// TestPartitionedForwardsRetryUntilHealed: a partition between two members
+// holds forwards in the at-least-once queue; healing delivers every one,
+// exactly once.
+func TestPartitionedForwardsRetryUntilHealed(t *testing.T) {
+	inj := fault.NewInjector(5)
+	nodes := startCluster(t, 2, 5, inj)
+	name := ""
+	for i := 0; i < 32; i++ {
+		cand := fmt.Sprintf("tenant-%d", i)
+		if nodes[0].node.Owner(cand) == "n1" {
+			name = cand
+			break
+		}
+	}
+	if name == "" {
+		t.Fatal("no tenant hashes to n1")
+	}
+	if _, err := nodes[0].node.Control("create", name, map[string]any{"bundle": "cml"}); err != nil {
+		t.Fatal(err)
+	}
+	inj.Arm(SitePeerPrefix+"n1", fault.Spec{Kind: fault.Partition})
+	const k = 6
+	for i := 0; i < k; i++ {
+		if err := nodes[0].node.PostEvent(name, broker.Event{Name: "telemetry", Attrs: map[string]any{"n": i}}); err != nil {
+			t.Fatalf("at-least-once accept failed under partition: %v", err)
+		}
+	}
+	if got := nodes[0].node.Pending(); got != k {
+		t.Fatalf("pending = %d under partition, want %d", got, k)
+	}
+	inj.Heal(SitePeerPrefix + "n1")
+	drainForwards(t, nodes)
+	a := drainedAccounting(t, nodes, name)
+	if !a.Exact() || a.Posted != k {
+		t.Errorf("after heal: %+v, want posted %d", a, k)
+	}
+	if nodes[0].obs.MetricsOf().CounterValue(obs.MClusterForwardsResent) == 0 {
+		t.Error("no resends counted across a partition")
+	}
+}
+
+// TestVersionMismatchCountsPeerOut: a peer speaking a different protocol
+// version is rejected gracefully — counted, no hang, no corruption.
+func TestVersionMismatchCountsPeerOut(t *testing.T) {
+	nodes := startCluster(t, 2, 1, nil)
+	// A rogue node dials n1 with a future protocol version.
+	srv := serve.NewServer(serve.Config{})
+	defer srv.Close()
+	rogue, err := New(srv, Config{
+		NodeID: "rogue",
+		Peers:  []Peer{{ID: "n1", Addr: nodes[1].wire.Addr()}},
+		DialOptions: []remote.Option{
+			remote.WithProtocol(remote.ProtocolVersion + 7),
+			remote.WithRetry(fault.Policy{MaxAttempts: 1, BaseDelay: time.Millisecond}),
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rogue.Close()
+	rogue.Tick()
+	p, err := rogue.peerByID("n1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	herr := rogue.peerControl(p, "cluster.heartbeat", "", map[string]any{"id": "rogue"})
+	if !remote.IsVersionMismatch(herr) {
+		t.Fatalf("rogue heartbeat err = %v, want version mismatch", herr)
+	}
+}

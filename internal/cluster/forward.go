@@ -1,0 +1,526 @@
+package cluster
+
+import (
+	"fmt"
+
+	"github.com/mddsm/mddsm/internal/broker"
+	"github.com/mddsm/mddsm/internal/remote"
+	"github.com/mddsm/mddsm/internal/script"
+	"github.com/mddsm/mddsm/internal/serve"
+)
+
+// Cross-node event forwarding: at-least-once with acknowledgements.
+//
+// An event for a tenant placed elsewhere is accepted into a bounded
+// pending queue — stamped (origin node, monotonic sequence) — and the
+// queue is flushed opportunistically (on accept, on Tick, after a
+// migration). A forward is acknowledged by the owner's control reply;
+// until then it stays pending and is retransmitted, so a dropped ack or a
+// mid-flight owner change costs a retry, never the event. The receiver
+// deduplicates on (origin, seq) before posting, so the retry after a lost
+// ack is counted once, keeping ledgers exact under at-least-once. A
+// forward that exhausts its attempts parks in the node's forward
+// dead-letter list (the cluster-plane analogue of the runtime DLQ), where
+// RedeliverForwards can feed it back once the cluster heals.
+
+// deadForward pairs a parked forward with why it parked.
+type deadForward struct {
+	pf     *pendingForward
+	reason string
+}
+
+// PostEvent admits one event into the cluster through this node: posted
+// locally when this node owns the tenant, otherwise accepted into the
+// at-least-once forward queue. A nil return means the event is owned by
+// the cluster (delivered, or queued with delivery guaranteed until parked
+// as a counted forward dead-letter).
+func (n *Node) PostEvent(tenantName string, ev broker.Event) error {
+	if n.Owner(tenantName) == n.cfg.NodeID {
+		return n.srv.PostEvent(tenantName, ev)
+	}
+	return n.enqueue(tenantName, ev)
+}
+
+// Execute runs one command script on the tenant's owner, proxying over the
+// wire when the owner is another member.
+func (n *Node) Execute(tenantName string, sc *script.Script) error {
+	if n.Owner(tenantName) == n.cfg.NodeID {
+		return n.srv.Execute(tenantName, sc)
+	}
+	for _, cmd := range sc.Commands {
+		args := map[string]any{"op": cmd.Op, "target": cmd.Target}
+		if len(cmd.Args) > 0 {
+			args["args"] = cmd.Args
+		}
+		if _, err := n.ownerControl(tenantName, "cluster.exec", args); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// enqueue accepts one event into the bounded pending queue and tries to
+// deliver immediately.
+func (n *Node) enqueue(tenantName string, ev broker.Event) error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return fmt.Errorf("cluster: node closed")
+	}
+	if len(n.pending) >= n.cfg.ForwardQueue {
+		n.mFwdRejected.Inc()
+		n.mu.Unlock()
+		return fmt.Errorf("cluster: forward queue full (%d pending)", n.cfg.ForwardQueue)
+	}
+	n.seq++
+	pf := &pendingForward{
+		Tenant: tenantName,
+		Origin: n.cfg.NodeID,
+		Seq:    n.seq,
+		Event:  ev,
+	}
+	n.pending = append(n.pending, pf)
+	n.mFwdQueued.Inc()
+	n.mu.Unlock()
+	n.Flush()
+	return nil
+}
+
+// Flush drives the pending queue once: each forward is sent to the
+// tenant's current owner (or posted locally if placement moved the tenant
+// here), acknowledged forwards leave the queue, failed ones stay for the
+// next flush, and ones out of attempts park in the dead-letter list.
+func (n *Node) Flush() {
+	n.mu.Lock()
+	if n.closed || len(n.pending) == 0 {
+		n.mu.Unlock()
+		return
+	}
+	batch := n.pending
+	n.pending = nil
+	members := n.membersLocked()
+	owners := make([]string, len(batch))
+	for i, pf := range batch {
+		owners[i] = n.ownerOf(pf.Tenant, members)
+	}
+	n.mu.Unlock()
+
+	var keep []*pendingForward
+	var parked []deadForward
+	for i, pf := range batch {
+		if pf.Attempts > 0 {
+			n.mFwdResent.Inc()
+		}
+		var err error
+		if owners[i] == n.cfg.NodeID {
+			// Placement brought the tenant to us mid-queue (migration or
+			// failover adoption): deliver locally.
+			err = n.srv.PostEvent(pf.Tenant, pf.Event)
+		} else {
+			err = n.sendForward(owners[i], pf)
+		}
+		if err == nil {
+			n.mFwdSent.Inc()
+			continue
+		}
+		pf.Attempts++
+		if pf.Attempts >= n.cfg.ForwardAttempts {
+			n.mFwdParked.Inc()
+			parked = append(parked, deadForward{pf: pf, reason: err.Error()})
+			continue
+		}
+		keep = append(keep, pf)
+	}
+
+	n.mu.Lock()
+	// Concurrent posts may have appended while we were sending; retries go
+	// to the front so ordering pressure stays roughly FIFO.
+	n.pending = append(keep, n.pending...)
+	n.deadFwd = append(n.deadFwd, parked...)
+	if over := len(n.deadFwd) - DefaultDeadForwardsBound; over > 0 {
+		n.deadFwd = n.deadFwd[over:] // bounded: oldest parked forwards fall off
+	}
+	n.mu.Unlock()
+}
+
+// sendForward transmits one forward to the owning member.
+func (n *Node) sendForward(owner string, pf *pendingForward) error {
+	if err := n.cfg.Injector.Inject(SiteForward); err != nil {
+		return err
+	}
+	p, err := n.peerByID(owner)
+	if err != nil {
+		return err
+	}
+	n.mu.Lock()
+	dead := p.dead
+	n.mu.Unlock()
+	if dead {
+		return fmt.Errorf("cluster: member %q is dead", owner)
+	}
+	args := map[string]any{
+		"origin": pf.Origin,
+		"seq":    pf.Seq,
+		"name":   pf.Event.Name,
+	}
+	if len(pf.Event.Attrs) > 0 {
+		args["attrs"] = pf.Event.Attrs
+	}
+	return n.peerControl(p, "cluster.forward", pf.Tenant, args)
+}
+
+// Pending reports how many forwards are queued unacknowledged.
+func (n *Node) Pending() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.pending)
+}
+
+// DeadForwards lists the forwards that exhausted their attempts.
+func (n *Node) DeadForwards() []DeadForward {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]DeadForward, len(n.deadFwd))
+	for i, d := range n.deadFwd {
+		out[i] = DeadForward{Tenant: d.pf.Tenant, Event: d.pf.Event, Reason: d.reason}
+	}
+	return out
+}
+
+// RedeliverForwards feeds every parked forward back into the pending
+// queue with a fresh attempt budget (original origin/sequence stamps, so
+// dedup still holds) and flushes. It returns how many re-entered the
+// queue.
+func (n *Node) RedeliverForwards() int {
+	n.mu.Lock()
+	moved := 0
+	for _, d := range n.deadFwd {
+		if len(n.pending) >= n.cfg.ForwardQueue {
+			break
+		}
+		d.pf.Attempts = 0
+		n.pending = append(n.pending, d.pf)
+		moved++
+	}
+	n.deadFwd = n.deadFwd[moved:]
+	n.mu.Unlock()
+	if moved > 0 {
+		n.Flush()
+	}
+	return moved
+}
+
+// Migrate moves one local tenant to another live member: placement is
+// re-routed first (new traffic buffers in the forward queue, addressed to
+// the target), the tenant is exported as a quiesced exact cut, adopted on
+// the target over the wire, the placement override is broadcast, and the
+// buffered forwards drain to the new home. On adoption failure the export
+// is re-adopted locally, so the tenant never ceases to exist.
+func (n *Node) Migrate(tenantName, target string) error {
+	if target == n.cfg.NodeID {
+		return fmt.Errorf("cluster: tenant %q already here", tenantName)
+	}
+	p, err := n.peerByID(target)
+	if err != nil {
+		return err
+	}
+	n.mu.Lock()
+	if p.dead {
+		n.mu.Unlock()
+		return fmt.Errorf("cluster: member %q is dead", target)
+	}
+	// Re-route before the export: frames arriving mid-migration buffer in
+	// the forward queue instead of racing the quiesce.
+	n.overrides[tenantName] = target
+	n.mu.Unlock()
+
+	exp, err := n.srv.Export(tenantName)
+	if err != nil {
+		n.mu.Lock()
+		delete(n.overrides, tenantName)
+		n.mu.Unlock()
+		return err
+	}
+	args := map[string]any{
+		"bundle":   exp.Bundle,
+		"snapshot": string(exp.Snapshot),
+		"ledger":   exp.Ledger.Attrs(),
+	}
+	if err := n.peerControl(p, "cluster.migrate", tenantName, args); err != nil {
+		// Roll back: the tenant comes home, placement follows.
+		if aerr := n.srv.Adopt(tenantName, exp); aerr != nil {
+			return fmt.Errorf("cluster: migrate %s: %v (rollback failed: %w)", tenantName, err, aerr)
+		}
+		n.mu.Lock()
+		n.overrides[tenantName] = n.cfg.NodeID
+		n.mu.Unlock()
+		return err
+	}
+	n.mMigOut.Inc()
+	n.mu.Lock()
+	delete(n.replicas, tenantName) // any held replica is for a past life
+	n.gReplicas.Set(int64(len(n.replicas)))
+	n.mu.Unlock()
+	n.broadcastPlacement(tenantName, target)
+	n.Flush()
+	return nil
+}
+
+// broadcastPlacement tells every live peer about a placement override,
+// best effort — heartbeat piggybacking repairs whoever missed it.
+func (n *Node) broadcastPlacement(tenantName, owner string) {
+	n.mu.Lock()
+	targets := make([]*peerState, 0, len(n.peers))
+	for _, p := range n.peers {
+		if !p.dead {
+			targets = append(targets, p)
+		}
+	}
+	n.mu.Unlock()
+	for _, p := range targets {
+		_ = n.peerControl(p, "cluster.place", tenantName, map[string]any{"node": owner})
+	}
+}
+
+// ownerControl sends a control verb to the tenant's current owner and
+// returns the reply attributes.
+func (n *Node) ownerControl(tenantName, verb string, args map[string]any) (map[string]any, error) {
+	owner := n.Owner(tenantName)
+	if owner == n.cfg.NodeID {
+		return nil, fmt.Errorf("cluster: tenant %q is local", tenantName)
+	}
+	p, err := n.peerByID(owner)
+	if err != nil {
+		return nil, err
+	}
+	return n.peerControlAttrs(p, verb, tenantName, args)
+}
+
+// ---------------------------------------------------------------------------
+// remote.Router / remote.Control
+// ---------------------------------------------------------------------------
+
+// clusterEndpoint resolves ownership per frame, so a client connected to
+// any member reaches every tenant.
+type clusterEndpoint struct {
+	n    *Node
+	name string
+}
+
+func (e clusterEndpoint) Execute(sc *script.Script) error {
+	return e.n.Execute(e.name, sc)
+}
+
+func (e clusterEndpoint) DeliverEvent(ev broker.Event) error {
+	return e.n.PostEvent(e.name, ev)
+}
+
+// Route implements remote.Router: every tenant frame gets a cluster
+// endpoint; ownership is resolved when the frame executes, not when the
+// connection routes, so placement changes apply to live connections.
+func (n *Node) Route(tenantName string) (remote.Endpoint, error) {
+	if tenantName == "" {
+		return nil, fmt.Errorf("cluster: tenant name must not be empty")
+	}
+	return clusterEndpoint{n: n, name: tenantName}, nil
+}
+
+// Control implements remote.Control. Cluster-plane verbs ("cluster.*") are
+// handled by the node; node-scoped verbs (tenants, obs) answer locally;
+// tenant-scoped verbs run on the tenant's owner, proxied one hop when the
+// owner is another member.
+func (n *Node) Control(verb, tenantName string, args map[string]any) (map[string]any, error) {
+	if verbIsCluster(verb) {
+		return n.clusterControl(verb, tenantName, args)
+	}
+	switch verb {
+	case "tenants", "obs":
+		return n.srv.Control(verb, tenantName, args)
+	}
+	if n.Owner(tenantName) == n.cfg.NodeID {
+		return n.srv.Control(verb, tenantName, args)
+	}
+	if b, _ := args["_proxied"].(bool); b {
+		// A proxied frame landing on a non-owner means the members
+		// disagree on placement right now; fail rather than loop.
+		return nil, fmt.Errorf("cluster: placement for %q is unsettled", tenantName)
+	}
+	fwd := make(map[string]any, len(args)+1)
+	for k, v := range args {
+		fwd[k] = v
+	}
+	fwd["_proxied"] = true
+	return n.ownerControl(tenantName, verb, fwd)
+}
+
+// clusterControl dispatches the cluster-plane verbs.
+func (n *Node) clusterControl(verb, tenantName string, args map[string]any) (map[string]any, error) {
+	switch verb {
+	case "cluster.join", "cluster.heartbeat":
+		return n.handleHeartbeat(args)
+	case "cluster.forward":
+		return n.handleForward(tenantName, args)
+	case "cluster.exec":
+		if n.Owner(tenantName) != n.cfg.NodeID {
+			return nil, fmt.Errorf("cluster: tenant %q not placed here", tenantName)
+		}
+		return nil, n.srv.Execute(tenantName, execScript(args))
+	case "cluster.migrate":
+		return n.handleMigrate(tenantName, args)
+	case "cluster.replicate":
+		return n.handleReplicate(tenantName, args)
+	case "cluster.place":
+		id, _ := args["node"].(string)
+		if id == "" {
+			return nil, fmt.Errorf("cluster: place needs args.node")
+		}
+		n.mu.Lock()
+		n.overrides[tenantName] = id
+		n.mu.Unlock()
+		return nil, nil
+	case "cluster.members":
+		members := n.Members()
+		list := make([]any, len(members))
+		for i, m := range members {
+			list[i] = m
+		}
+		return map[string]any{"members": list}, nil
+	default:
+		return nil, fmt.Errorf("cluster: unknown verb %q", verb)
+	}
+}
+
+// handleHeartbeat records a peer's liveness and merges its replicated
+// placement map. Join and heartbeat share this path: both mean "I am
+// alive, here is my view".
+func (n *Node) handleHeartbeat(args map[string]any) (map[string]any, error) {
+	id, _ := args["id"].(string)
+	if id == "" {
+		return nil, fmt.Errorf("cluster: heartbeat needs args.id")
+	}
+	n.mHBRecv.Inc()
+	n.mu.Lock()
+	if p, ok := n.peers[id]; ok {
+		p.missed = 0
+		p.suspect = false
+		p.dead = false
+	}
+	if m, ok := args["overrides"].(map[string]any); ok {
+		n.mergeOverridesLocked(m)
+	}
+	members := n.membersLocked()
+	n.gPeersLive.Set(int64(len(members)))
+	n.mu.Unlock()
+	list := make([]any, len(members))
+	for i, m := range members {
+		list[i] = m
+	}
+	return map[string]any{"members": list}, nil
+}
+
+// handleForward receives one cross-node event: ownership is verified,
+// duplicates (retries after a lost ack) are acknowledged without
+// re-posting, and only a successfully posted event is marked seen — a
+// failed post leaves the sender retrying.
+func (n *Node) handleForward(tenantName string, args map[string]any) (map[string]any, error) {
+	n.mFwdRecv.Inc()
+	origin, _ := args["origin"].(string)
+	seq, ok := numArg(args, "seq")
+	if origin == "" || !ok {
+		return nil, fmt.Errorf("cluster: forward needs args.origin and args.seq")
+	}
+	n.mu.Lock()
+	if owner := n.ownerOf(tenantName, n.membersLocked()); owner != n.cfg.NodeID {
+		n.mFwdRejected.Inc()
+		n.mu.Unlock()
+		return nil, fmt.Errorf("cluster: tenant %q not placed here (owner %s)", tenantName, owner)
+	}
+	if s, ok := n.seen[origin]; ok {
+		if _, dup := s[seq]; dup {
+			n.mFwdDeduped.Inc()
+			n.mu.Unlock()
+			return nil, nil // already counted; ack the retry
+		}
+	}
+	n.mu.Unlock()
+
+	name, _ := args["name"].(string)
+	attrs, _ := args["attrs"].(map[string]any)
+	if err := n.srv.PostEvent(tenantName, broker.Event{Name: name, Attrs: attrs}); err != nil {
+		return nil, err
+	}
+	n.mu.Lock()
+	if n.seen[origin] == nil {
+		n.seen[origin] = make(map[uint64]struct{})
+	}
+	n.seen[origin][seq] = struct{}{}
+	n.mu.Unlock()
+	return nil, nil
+}
+
+// handleMigrate adopts a tenant pushed by its previous owner and claims
+// placement.
+func (n *Node) handleMigrate(tenantName string, args map[string]any) (map[string]any, error) {
+	exp, err := exportFromArgs(args)
+	if err != nil {
+		return nil, err
+	}
+	if err := n.srv.Adopt(tenantName, exp); err != nil {
+		return nil, err
+	}
+	n.mMigIn.Inc()
+	n.mu.Lock()
+	n.overrides[tenantName] = n.cfg.NodeID
+	delete(n.replicas, tenantName)
+	n.gReplicas.Set(int64(len(n.replicas)))
+	n.mu.Unlock()
+	return nil, nil
+}
+
+// handleReplicate stores a peer's tenant checkpoint for failover.
+func (n *Node) handleReplicate(tenantName string, args map[string]any) (map[string]any, error) {
+	owner, _ := args["owner"].(string)
+	if owner == "" {
+		return nil, fmt.Errorf("cluster: replicate needs args.owner")
+	}
+	exp, err := exportFromArgs(args)
+	if err != nil {
+		return nil, err
+	}
+	n.mu.Lock()
+	n.replicas[tenantName] = replica{owner: owner, exp: exp}
+	n.gReplicas.Set(int64(len(n.replicas)))
+	n.mu.Unlock()
+	return nil, nil
+}
+
+// exportFromArgs rebuilds an adoption package from wire attributes.
+func exportFromArgs(args map[string]any) (serve.ExportedTenant, error) {
+	bundle, _ := args["bundle"].(string)
+	snapshot, _ := args["snapshot"].(string)
+	if bundle == "" || snapshot == "" {
+		return serve.ExportedTenant{}, fmt.Errorf("cluster: need args.bundle and args.snapshot")
+	}
+	var ledger serve.Accounting
+	if lm, ok := args["ledger"].(map[string]any); ok {
+		ledger = serve.AccountingFromAttrs(lm)
+	}
+	return serve.ExportedTenant{Bundle: bundle, Snapshot: []byte(snapshot), Ledger: ledger}, nil
+}
+
+// numArg reads a wire number (float64 after a JSON hop, int/uint64 from
+// in-process callers) as a sequence value.
+func numArg(args map[string]any, key string) (uint64, bool) {
+	switch v := args[key].(type) {
+	case float64:
+		return uint64(v), true
+	case uint64:
+		return v, true
+	case int:
+		return uint64(v), true
+	case int64:
+		return uint64(v), true
+	default:
+		return 0, false
+	}
+}

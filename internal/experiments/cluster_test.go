@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestCommittedClusterBenchSchema guards the committed BENCH_cluster.json
+// against schema drift: it must strict-decode into ClusterReport with no
+// unknown fields and carry the 2/3/5-node ladder with exact cluster-wide
+// accounting at every scale.
+func TestCommittedClusterBenchSchema(t *testing.T) {
+	root, err := FindRepoRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(root, "BENCH_cluster.json"))
+	if err != nil {
+		t.Fatalf("committed benchmark record missing: %v", err)
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var rep ClusterReport
+	if err := dec.Decode(&rep); err != nil {
+		t.Fatalf("BENCH_cluster.json does not match the ClusterReport schema: %v", err)
+	}
+	want := []int{2, 3, 5}
+	if len(rep.Scales) != len(want) {
+		t.Fatalf("committed record has %d scales, want %d", len(rep.Scales), len(want))
+	}
+	for i, sc := range rep.Scales {
+		if sc.Nodes != want[i] {
+			t.Errorf("scale %d: nodes = %d, want %d", i, sc.Nodes, want[i])
+		}
+		if !sc.AccountingExact {
+			t.Errorf("%d-node scale reports inexact cluster-wide accounting", sc.Nodes)
+		}
+		if sc.Events == 0 || sc.Forwarded == 0 {
+			t.Errorf("%d-node scale carries no load: events=%d forwarded=%d", sc.Nodes, sc.Events, sc.Forwarded)
+		}
+		if sc.Adoptions == 0 {
+			t.Errorf("%d-node scale saw no failover adoptions", sc.Nodes)
+		}
+		if sc.MigrationNs <= 0 || sc.FailoverNs <= 0 {
+			t.Errorf("%d-node scale missing timings: migration=%d failover=%d", sc.Nodes, sc.MigrationNs, sc.FailoverNs)
+		}
+	}
+	if rep.Tenants == 0 || rep.EventsPerTenant == 0 {
+		t.Error("committed record has no workload parameters")
+	}
+}

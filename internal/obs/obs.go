@@ -57,6 +57,7 @@ const (
 	MRemoteTimeouts   = "remote.timeouts"
 	MRemoteBadFrames  = "remote.frames.bad"
 	MRemoteSlowEvents = "remote.events.slowdrop"
+	MRemoteVersionBad = "remote.version.mismatch"
 
 	// Supervision and recovery metrics (the self-healing layer: panic
 	// isolation, the dead-letter queue and the watchdog supervisor).
@@ -94,6 +95,25 @@ const (
 	MServeEvictions       = "serve.evictions"
 	MServeRehydrations    = "serve.rehydrations"
 	MServeThrottled       = "serve.events.throttled"
+
+	// Cluster metrics (internal/cluster: membership, cross-node event
+	// forwarding and live tenant migration).
+	MClusterPeersLive        = "cluster.peers.live"
+	MClusterHeartbeatsSent   = "cluster.heartbeats.sent"
+	MClusterHeartbeatsRecv   = "cluster.heartbeats.received"
+	MClusterSuspicions       = "cluster.suspicions"
+	MClusterDeaths           = "cluster.deaths"
+	MClusterForwardsSent     = "cluster.forwards.sent"
+	MClusterForwardsRecv     = "cluster.forwards.received"
+	MClusterForwardsDeduped  = "cluster.forwards.deduped"
+	MClusterForwardsResent   = "cluster.forwards.resent"
+	MClusterForwardsQueued   = "cluster.forwards.queued"
+	MClusterForwardsParked   = "cluster.forwards.deadlettered"
+	MClusterForwardsRejected = "cluster.forwards.rejected"
+	MClusterMigrationsOut    = "cluster.migrations.out"
+	MClusterMigrationsIn     = "cluster.migrations.in"
+	MClusterAdoptions        = "cluster.adoptions"
+	MClusterReplicasHeld     = "cluster.replicas.held"
 )
 
 // SupervisorState derives the per-component health gauge name for the

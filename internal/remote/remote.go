@@ -32,6 +32,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"strings"
 	"sync"
 	"time"
 
@@ -58,12 +59,28 @@ const (
 // unbounded input.
 const MaxFrame = 1 << 20
 
+// ProtocolVersion is the wire protocol revision this package speaks. A
+// frame may carry an explicit version (clients opt in via WithProtocol;
+// cluster peers always stamp it); the zero value is the original,
+// unversioned protocol, so legacy frames are byte-identical and always
+// accepted. A frame carrying any other version is rejected gracefully — a
+// counted result error naming both versions — instead of surfacing as an
+// opaque decode or behaviour mismatch deeper in.
+const ProtocolVersion = 1
+
+// versionMismatchPrefix keys IsVersionMismatch; the server's rejection
+// message starts with it.
+const versionMismatchPrefix = "remote: protocol version "
+
 // message is the wire envelope. Tenant scopes a frame to one tenant on a
 // multiplexed server (empty on single-platform wires, so the original
 // protocol is the zero value). "control" frames carry administrative verbs
-// in Op/Args and return their payload in the result's Attrs.
+// in Op/Args and return their payload in the result's Attrs. V is the
+// protocol version (omitempty: legacy frames carry none and stay
+// byte-identical).
 type message struct {
 	Type   string         `json:"type"`
+	V      int            `json:"v,omitempty"`
 	Tenant string         `json:"tenant,omitempty"`
 	Op     string         `json:"op,omitempty"`
 	Target string         `json:"target,omitempty"`
@@ -120,6 +137,14 @@ type CallError struct{ Msg string }
 // Error implements error.
 func (e *CallError) Error() string { return e.Msg }
 
+// IsVersionMismatch reports whether err is a peer's graceful rejection of
+// this side's protocol version. Cluster membership uses it to count an
+// incompatible peer out instead of retrying it forever.
+func IsVersionMismatch(err error) bool {
+	var ce *CallError
+	return errors.As(err, &ce) && strings.HasPrefix(ce.Msg, versionMismatchPrefix)
+}
+
 // options collects the tunables shared by Server, Client and Conn.
 type options struct {
 	dialTimeout time.Duration
@@ -128,6 +153,7 @@ type options struct {
 	retrySet    bool
 	injector    *fault.Injector
 	metrics     *obs.Metrics
+	protocol    int
 }
 
 func defaultOptions() options {
@@ -175,6 +201,16 @@ func WithMetrics(m *obs.Metrics) Option {
 	return func(o *options) { o.metrics = m }
 }
 
+// WithProtocol stamps every frame a client (or Conn) sends with an
+// explicit protocol version. Unversioned frames (the default) speak the
+// original protocol and are always accepted; a versioned frame lets the
+// server reject an incompatible peer with a counted, self-describing
+// error. Cluster peers dial each other with
+// WithProtocol(ProtocolVersion).
+func WithProtocol(v int) Option {
+	return func(o *options) { o.protocol = v }
+}
+
 // Endpoint is the platform surface the server exposes: command execution
 // and event intake. runtime.Platform satisfies it via a thin adapter; any
 // other command consumer works too.
@@ -216,8 +252,9 @@ type Server struct {
 	listener net.Listener
 	opts     options
 
-	mBadFrames *obs.Counter
-	mSlowSubs  *obs.Counter
+	mBadFrames  *obs.Counter
+	mSlowSubs   *obs.Counter
+	mVersionBad *obs.Counter
 
 	mu    sync.Mutex
 	subs  map[net.Conn]*subscriber
@@ -250,14 +287,15 @@ func NewRouterServer(router Router, addr string, opts ...Option) (*Server, error
 		return nil, fmt.Errorf("remote server: %w", err)
 	}
 	s := &Server{
-		router:     router,
-		listener:   ln,
-		opts:       o,
-		mBadFrames: o.metrics.Counter(obs.MRemoteBadFrames),
-		mSlowSubs:  o.metrics.Counter(obs.MRemoteSlowEvents),
-		subs:       make(map[net.Conn]*subscriber),
-		conns:      make(map[net.Conn]bool),
-		done:       make(chan struct{}),
+		router:      router,
+		listener:    ln,
+		opts:        o,
+		mBadFrames:  o.metrics.Counter(obs.MRemoteBadFrames),
+		mSlowSubs:   o.metrics.Counter(obs.MRemoteSlowEvents),
+		mVersionBad: o.metrics.Counter(obs.MRemoteVersionBad),
+		subs:        make(map[net.Conn]*subscriber),
+		conns:       make(map[net.Conn]bool),
+		done:        make(chan struct{}),
 	}
 	if ctl, ok := router.(Control); ok {
 		s.control = ctl
@@ -364,7 +402,16 @@ func (s *Server) serve(conn net.Conn) {
 			return
 		}
 		reply := message{Type: "result", OK: true}
-		if err := s.opts.injector.Inject(SiteServe); err != nil {
+		if msg.V != 0 && msg.V != ProtocolVersion {
+			// A versioned frame from an incompatible peer: reject it
+			// gracefully and keep the connection — the peer gets a
+			// self-describing error instead of a dropped socket or a
+			// behaviour mismatch deeper in the stack.
+			s.mVersionBad.Inc()
+			reply.OK = false
+			reply.Error = fmt.Sprintf("%s%d not supported (this endpoint speaks %d)",
+				versionMismatchPrefix, msg.V, ProtocolVersion)
+		} else if err := s.opts.injector.Inject(SiteServe); err != nil {
 			reply.OK = false
 			reply.Error = err.Error()
 		} else {
@@ -542,6 +589,7 @@ func (c *Client) receiveLoop(br *bufio.Reader) {
 func (c *Client) roundTrip(msg message) (message, error) {
 	c.sendMu.Lock()
 	defer c.sendMu.Unlock()
+	msg.V = c.opts.protocol
 	select {
 	case <-c.closed:
 		return message{}, c.readErr
@@ -736,7 +784,11 @@ func (c *Conn) ensureLocked() error {
 }
 
 // forward pumps one inner client's event stream into the Conn's persistent
-// channel until the inner channel closes (connection death).
+// channel until the inner channel closes (connection death) — then, on a
+// subscribed Conn that was not deliberately closed, heals the subscription
+// proactively instead of waiting for the next Call/PostEvent: without
+// this, a Conn used only as an event sink would sit on a silently severed
+// stream until some unrelated operation happened to redial.
 func (c *Conn) forward(sub <-chan broker.Event) {
 	c.fwd.Add(1)
 	go func() {
@@ -747,7 +799,24 @@ func (c *Conn) forward(sub <-chan broker.Event) {
 			default: // slow consumer: drop rather than stall
 			}
 		}
+		c.resubscribe()
 	}()
+}
+
+// resubscribe re-establishes a dropped connection's subscription with the
+// Conn's retry policy. It gives up (leaving the next operation to heal)
+// when the policy is exhausted; it does nothing when the Conn is closed,
+// never subscribed, or already healed by a concurrent operation.
+func (c *Conn) resubscribe() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed || !c.subscribed {
+		return
+	}
+	if c.cli != nil && !c.cli.Closed() {
+		return // a concurrent op already redialled (and resubscribed)
+	}
+	_ = c.retryer.Do(c.ensureLocked)
 }
 
 // do runs one operation against a live client, retrying transient failures
@@ -779,6 +848,20 @@ func (c *Conn) Call(cmd script.Command) error {
 // transient transport failures.
 func (c *Conn) PostEvent(ev broker.Event) error {
 	return c.do(func(cli *Client) error { return cli.PostEvent(ev) })
+}
+
+// Control sends an administrative verb to a multiplexed server, retrying
+// transient transport failures. Like commands, the caller's verbs must be
+// idempotent to be safe to replay — the cluster verbs (join, heartbeat,
+// sequence-deduped forwards, epoch-guarded migrations) are designed so.
+func (c *Conn) Control(verb, tenant string, args map[string]any) (map[string]any, error) {
+	var attrs map[string]any
+	err := c.do(func(cli *Client) error {
+		var err error
+		attrs, err = cli.Control(verb, tenant, args)
+		return err
+	})
+	return attrs, err
 }
 
 // Subscribe returns the Conn's persistent event channel, subscribing the

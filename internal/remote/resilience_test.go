@@ -280,6 +280,152 @@ func TestConnLeaksNothingAfterClose(t *testing.T) {
 	}
 }
 
+// TestSubscriptionHealsWithoutOperations: a Conn used purely as an event
+// sink — no Call or PostEvent ever issued after Subscribe — must notice a
+// dropped connection and re-establish the subscription on its own. Before
+// the proactive resubscribe path, such a stream stayed silently severed
+// until an unrelated operation happened to redial.
+func TestSubscriptionHealsWithoutOperations(t *testing.T) {
+	r := &rec{}
+	p := nodePlatform(t, r)
+	srv, err := NewServer(p, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+	p.SetExternalEvents(srv.PublishEvent)
+
+	m := obs.NewMetrics()
+	conn, err := Connect(addr,
+		WithMetrics(m),
+		WithRetry(fault.Policy{MaxAttempts: 400, BaseDelay: 5 * time.Millisecond, MaxDelay: 50 * time.Millisecond}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	events, err := conn.Subscribe()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Sever the wire: kill the server, then bring it back on the same
+	// address while the Conn's forwarder races to resubscribe.
+	srv.Close()
+	srv2Ch := make(chan *Server, 1)
+	go func() {
+		deadline := time.Now().Add(5 * time.Second)
+		for time.Now().Before(deadline) {
+			s2, err := NewServer(p, addr)
+			if err == nil {
+				srv2Ch <- s2
+				return
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		srv2Ch <- nil
+	}()
+	srv2 := <-srv2Ch
+	if srv2 == nil {
+		t.Fatal("server never restarted")
+	}
+	defer srv2.Close()
+	p.SetExternalEvents(srv2.PublishEvent)
+
+	// No Call, no PostEvent: the only way events can flow again is the
+	// Conn healing the subscription itself. Publish until one lands (the
+	// resubscribe may still be mid-backoff when the first ones go out).
+	deadline := time.After(10 * time.Second)
+	tick := time.NewTicker(20 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		select {
+		case ev := <-events:
+			if ev.Name == "revived" {
+				if m.Counter(obs.MRemoteRedials).Value() == 0 {
+					t.Error("remote.redials = 0: subscription healed without a redial?")
+				}
+				return
+			}
+		case <-tick.C:
+			srv2.PublishEvent(broker.Event{Name: "revived"})
+		case <-deadline:
+			t.Fatal("event stream silently severed: subscription never healed without an operation")
+		}
+	}
+}
+
+// TestSubscriptionHealsThroughPartition: same guarantee under an injected
+// partition — the dial site is latched mid-subscribe and later healed; the
+// stream must recover once the partition lifts.
+func TestSubscriptionHealsThroughPartition(t *testing.T) {
+	r := &rec{}
+	p := nodePlatform(t, r)
+	srv, err := NewServer(p, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+	p.SetExternalEvents(srv.PublishEvent)
+
+	inj := fault.NewInjector(7)
+	conn, err := Connect(addr,
+		WithInjector(inj),
+		WithRetry(fault.Policy{MaxAttempts: 400, BaseDelay: 5 * time.Millisecond, MaxDelay: 50 * time.Millisecond}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	events, err := conn.Subscribe()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Partition the dial path (latched until healed), then cut the live
+	// connection: the forwarder's resubscribe now spins against the
+	// partition.
+	inj.Arm(SiteDial, fault.Spec{Kind: fault.Partition})
+	srv.Close()
+	srv2Ch := make(chan *Server, 1)
+	go func() {
+		deadline := time.Now().Add(5 * time.Second)
+		for time.Now().Before(deadline) {
+			s2, err := NewServer(p, addr)
+			if err == nil {
+				srv2Ch <- s2
+				return
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		srv2Ch <- nil
+	}()
+	srv2 := <-srv2Ch
+	if srv2 == nil {
+		t.Fatal("server never restarted")
+	}
+	defer srv2.Close()
+	p.SetExternalEvents(srv2.PublishEvent)
+
+	// Let the resubscribe attempts hit the partition, then lift it.
+	time.Sleep(50 * time.Millisecond)
+	inj.Heal(SiteDial)
+
+	deadline := time.After(10 * time.Second)
+	tick := time.NewTicker(20 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		select {
+		case ev := <-events:
+			if ev.Name == "healed" {
+				return
+			}
+		case <-tick.C:
+			srv2.PublishEvent(broker.Event{Name: "healed"})
+		case <-deadline:
+			t.Fatal("event stream severed across a healed partition")
+		}
+	}
+}
+
 // TestConnReconnectsAcrossServerRestart: the Conn redials after the server
 // dies and comes back on the same address, replaying the idempotent
 // command; the subscription survives on the same channel.

@@ -1,0 +1,102 @@
+package remote
+
+import (
+	"encoding/json"
+	"testing"
+
+	"github.com/mddsm/mddsm/internal/obs"
+	"github.com/mddsm/mddsm/internal/script"
+)
+
+// TestLegacyFrameBytesUnchanged pins the satellite guarantee: the version
+// field is omitempty, so an unversioned frame marshals byte-identically to
+// the pre-version protocol.
+func TestLegacyFrameBytesUnchanged(t *testing.T) {
+	data, err := json.Marshal(message{Type: "command", Op: "setProp", Target: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"type":"command","op":"setProp","target":"x"}`
+	if string(data) != want {
+		t.Fatalf("unversioned frame changed: %s", data)
+	}
+}
+
+// TestVersionedClientAccepted: a client stamping the current protocol
+// version round-trips normally.
+func TestVersionedClientAccepted(t *testing.T) {
+	r := &rec{}
+	srv, _ := startServer(t, r)
+	c, err := Dial(srv.Addr(), WithProtocol(ProtocolVersion))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Call(script.NewCommand("setProp", "object:lamp")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestVersionMismatchRejectedGracefully: a frame from the future is
+// refused with a counted, self-describing result error — the connection
+// survives, nothing decodes opaquely — and IsVersionMismatch classifies
+// the rejection.
+func TestVersionMismatchRejectedGracefully(t *testing.T) {
+	r := &rec{}
+	p := nodePlatform(t, r)
+	m := obs.NewMetrics()
+	srv, err := NewServer(p, "127.0.0.1:0", WithMetrics(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	c, err := Dial(srv.Addr(), WithProtocol(ProtocolVersion+41))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	callErr := c.Call(script.NewCommand("setProp", "object:lamp"))
+	if callErr == nil {
+		t.Fatal("mismatched version accepted")
+	}
+	if !IsVersionMismatch(callErr) {
+		t.Fatalf("IsVersionMismatch(%v) = false", callErr)
+	}
+	if got := m.Counter(obs.MRemoteVersionBad).Value(); got != 1 {
+		t.Errorf("remote.version.mismatch = %d, want 1", got)
+	}
+	if c.Closed() {
+		t.Error("connection dropped on version mismatch; rejection must be graceful")
+	}
+	// The same connection still serves compatible frames? No — the client
+	// stamps every frame, so every call is refused, but each refusal is a
+	// clean result, never a poisoned connection.
+	if err := c.Call(script.NewCommand("again", "t")); !IsVersionMismatch(err) {
+		t.Errorf("second call: %v, want version mismatch", err)
+	}
+	if r.text() != "" {
+		t.Errorf("mismatched frames reached the endpoint:\n%s", r.text())
+	}
+}
+
+// TestVersionMismatchNotRetried: the Conn treats a version rejection as
+// permanent (CallError), so an incompatible peer fails fast instead of
+// burning the retry budget.
+func TestVersionMismatchNotRetried(t *testing.T) {
+	r := &rec{}
+	srv, _ := startServer(t, r)
+	m := obs.NewMetrics()
+	conn, err := Connect(srv.Addr(), WithProtocol(ProtocolVersion+1), WithMetrics(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := conn.Call(script.NewCommand("op", "t")); !IsVersionMismatch(err) {
+		t.Fatalf("err = %v, want version mismatch", err)
+	}
+	if got := m.Counter(obs.MRemoteRedials).Value(); got != 0 {
+		t.Errorf("remote.redials = %d after a permanent version rejection", got)
+	}
+}

@@ -122,6 +122,22 @@ func (p *Platform) Checkpoint() ([]byte, error) {
 	return out, nil
 }
 
+// Quiesce stops the platform (draining the pump with exact accounting)
+// and takes a checkpoint of the settled state: the exact cut that
+// eviction, replication and live migration transfer. On checkpoint failure
+// the platform is restarted so the caller is never left with a silently
+// stopped tenant. After a successful Quiesce the platform stays stopped;
+// restart it with Start or discard it.
+func (p *Platform) Quiesce() ([]byte, error) {
+	p.Stop()
+	snap, err := p.Checkpoint()
+	if err != nil {
+		p.Start()
+		return nil, fmt.Errorf("runtime: quiesce %s: %w", p.Name, err)
+	}
+	return snap, nil
+}
+
 // SnapshotsEquivalent reports whether two Checkpoint snapshots describe
 // the same models@runtime state. The Controller's Generated and CacheHits
 // counters are excluded from the comparison: they are live generator

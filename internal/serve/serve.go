@@ -152,6 +152,11 @@ type Server struct {
 	mu      sync.Mutex
 	tenants map[string]*tenant
 	parked  map[string]*parked
+	// carried holds accounting ledgers that arrived with adopted tenants
+	// (live migration / failover): the counters a tenant accumulated on
+	// other nodes before landing here. Accounting and Stat fold them in so
+	// a tenant's ledger stays exact across moves.
+	carried map[string]Accounting
 	seq     uint64
 	closed  bool
 }
@@ -184,6 +189,7 @@ func NewServer(cfg Config) *Server {
 		mThrottled:    o.MetricsOf().Counter(obs.MServeThrottled),
 		tenants:       make(map[string]*tenant),
 		parked:        make(map[string]*parked),
+		carried:       make(map[string]Accounting),
 	}
 	if cfg.Quota.Runtime.ValidationCache == nil && !cfg.Quota.Runtime.DisableValidationCache {
 		s.vcache = metamodel.NewValidationCache(metamodel.DefaultValidationCacheSize)
@@ -267,14 +273,11 @@ func (s *Server) evictLocked(name string) error {
 	if !ok {
 		return fmt.Errorf("serve: tenant %q not resident", name)
 	}
-	// Stop first: the checkpoint must be a quiesced cut, not a mid-flight
-	// one — Stop drains the pump with exact accounting.
-	t.inst.Platform.Stop()
-	snap, err := t.inst.Platform.Checkpoint()
+	// Quiesce: stop-with-drain (exact accounting) then checkpoint the
+	// settled state. On checkpoint failure Quiesce restarts the platform,
+	// so the tenant is never stranded half-evicted.
+	snap, err := t.inst.Platform.Quiesce()
 	if err != nil {
-		// The platform is stopped but intact; bring it back online rather
-		// than stranding the tenant half-evicted.
-		t.inst.Platform.Start()
 		return fmt.Errorf("serve: evict %s: %w", name, err)
 	}
 	delete(s.tenants, name)
@@ -405,34 +408,19 @@ func (s *Server) Snapshot(name string) ([]byte, error) {
 func (s *Server) Stat(name string) (map[string]any, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	a, err := s.accountingLocked(name)
+	if err != nil {
+		return nil, err
+	}
+	st := map[string]any{
+		"tenant": name, "bundle": a.Bundle, "resident": a.Resident,
+		"posted": a.Posted, "delivered": a.Delivered, "failures": a.Failures,
+		"deadlettered": a.DeadLettered, "dropped": a.Dropped, "rejected": a.Rejected,
+	}
 	if p, ok := s.parked[name]; ok {
-		st := map[string]any{
-			"tenant": name, "bundle": p.bundle, "resident": false,
-			"snapshotBytes": len(p.snapshot),
-		}
-		if p.obs != nil {
-			addCounters(st, p.obs)
-		}
-		return st, nil
+		st["snapshotBytes"] = len(p.snapshot)
 	}
-	t, ok := s.tenants[name]
-	if !ok {
-		return nil, fmt.Errorf("serve: no tenant %q", name)
-	}
-	st := map[string]any{"tenant": name, "bundle": t.bundle, "resident": true}
-	addCounters(st, t.obs)
 	return st, nil
-}
-
-// addCounters copies a tenant obs bundle's pump accounting into a stat map.
-func addCounters(st map[string]any, to *obs.Obs) {
-	m := to.MetricsOf()
-	st["posted"] = m.CounterValue(obs.MEventsPosted)
-	st["delivered"] = m.CounterValue(obs.MEventsDelivered)
-	st["failures"] = m.CounterValue(obs.MDeliverFailures)
-	st["deadlettered"] = m.CounterValue(obs.MEventsDeadLettered)
-	st["dropped"] = m.CounterValue(obs.MEventsDropped)
-	st["rejected"] = m.CounterValue(obs.MEventsRejected)
 }
 
 // Accounting is one tenant's exact event ledger, the typed counterpart of
@@ -458,33 +446,27 @@ func (a Accounting) Exact() bool {
 	return a.Posted == a.Delivered+a.Failures+a.DeadLettered+a.Dropped
 }
 
-// Accounting returns the tenant's event ledger, resident or parked.
+// Add sums two ledgers counter-wise, keeping a's identity fields. Cluster
+// accounting folds per-node ledgers (and the ledger a migrated tenant
+// carries with it) into one exact total this way.
+func (a Accounting) Add(b Accounting) Accounting {
+	a.Posted += b.Posted
+	a.Delivered += b.Delivered
+	a.Failures += b.Failures
+	a.DeadLettered += b.DeadLettered
+	a.Dropped += b.Dropped
+	a.Rejected += b.Rejected
+	return a
+}
+
+// Accounting returns the tenant's event ledger, resident or parked. The
+// ledger folds in anything the tenant carried from previous homes (see
+// Adopt), so the invariant spans the tenant's whole life, not just this
+// node.
 func (s *Server) Accounting(name string) (Accounting, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	var (
-		to     *obs.Obs
-		bundle string
-		live   bool
-	)
-	if t, ok := s.tenants[name]; ok {
-		to, bundle, live = t.obs, t.bundle, true
-	} else if p, ok := s.parked[name]; ok {
-		to, bundle = p.obs, p.bundle
-	} else {
-		return Accounting{}, fmt.Errorf("serve: no tenant %q", name)
-	}
-	a := Accounting{Bundle: bundle, Resident: live}
-	if to != nil {
-		m := to.MetricsOf()
-		a.Posted = m.CounterValue(obs.MEventsPosted)
-		a.Delivered = m.CounterValue(obs.MEventsDelivered)
-		a.Failures = m.CounterValue(obs.MDeliverFailures)
-		a.DeadLettered = m.CounterValue(obs.MEventsDeadLettered)
-		a.Dropped = m.CounterValue(obs.MEventsDropped)
-		a.Rejected = m.CounterValue(obs.MEventsRejected)
-	}
-	return a, nil
+	return s.accountingLocked(name)
 }
 
 // Tenants lists every tenant, resident and parked, sorted by name.
@@ -572,6 +554,13 @@ func (s *Server) Route(name string) (remote.Endpoint, error) {
 //	submit   args {"model": <model JSON>}   submit an application model
 //	tenants  –                              list all tenants
 //	obs      –                              server-wide metrics snapshot
+//	export   –                              quiesce + remove; returns the
+//	                                        adoption package (bundle,
+//	                                        snapshot, ledger)
+//	adopt    args {"bundle","snapshot",     install an exported tenant
+//	              "ledger"}
+//	redeliver –                             replay the tenant's DLQ
+//	forget   –                              drop a tenant without export
 func (s *Server) Control(verb, tenantName string, args map[string]any) (map[string]any, error) {
 	switch verb {
 	case "create":
@@ -613,6 +602,34 @@ func (s *Server) Control(verb, tenantName string, args map[string]any) (map[stri
 		return map[string]any{"tenants": list}, nil
 	case "obs":
 		return map[string]any{"metrics": s.obs.Snapshot()}, nil
+	case "export":
+		exp, err := s.Export(tenantName)
+		if err != nil {
+			return nil, err
+		}
+		return map[string]any{
+			"bundle":   exp.Bundle,
+			"snapshot": string(exp.Snapshot),
+			"ledger":   exp.Ledger.Attrs(),
+		}, nil
+	case "adopt":
+		bundle, _ := args["bundle"].(string)
+		snapshot, _ := args["snapshot"].(string)
+		var ledger Accounting
+		if lm, ok := args["ledger"].(map[string]any); ok {
+			ledger = AccountingFromAttrs(lm)
+		}
+		return nil, s.Adopt(tenantName, ExportedTenant{
+			Bundle: bundle, Snapshot: []byte(snapshot), Ledger: ledger,
+		})
+	case "redeliver":
+		rd, rq, err := s.Redeliver(tenantName)
+		if err != nil {
+			return nil, err
+		}
+		return map[string]any{"redelivered": rd, "requeued": rq}, nil
+	case "forget":
+		return nil, s.Forget(tenantName)
 	default:
 		return nil, fmt.Errorf("serve: unknown control verb %q", verb)
 	}

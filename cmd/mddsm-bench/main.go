@@ -5,15 +5,17 @@
 // "serve" for the multi-tenant capacity ladder, "mixed" for the
 // heterogeneous mixed-workload soak over generated synthetic domains, or
 // "cluster" for the multi-node broker ladder: cross-node delivery,
-// live migration, and node-kill failover at 2/3/5 nodes).
+// live migration, and node-kill failover at 2/3/5 nodes, or "http" for
+// the models-over-HTTP REST/SSE write ladder).
 //
 // Usage:
 //
-//	mddsm-bench [-e e1|e2|e3|e4|e5|e6|pump|validate|serve|mixed|cluster] [-iters N] [-root DIR]
+//	mddsm-bench [-e e1|e2|e3|e4|e5|e6|pump|validate|serve|mixed|cluster|http] [-iters N] [-root DIR]
 //	mddsm-bench -e validate -json BENCH_validate.json
 //	mddsm-bench -e mixed -json BENCH_mixed.json
 //	mddsm-bench -e pump -json BENCH_pump.json
 //	mddsm-bench -e cluster -json BENCH_cluster.json
+//	mddsm-bench -e http -json BENCH_http.json
 package main
 
 import (
@@ -34,10 +36,10 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("mddsm-bench", flag.ContinueOnError)
-	exp := fs.String("e", "", "experiment to run (e1..e6, pump, validate, serve, mixed, cluster); empty runs all")
+	exp := fs.String("e", "", "experiment to run (e1..e6, pump, validate, serve, mixed, cluster, http); empty runs all")
 	iters := fs.Int("iters", 50, "iterations per scenario for timing experiments (e2)")
 	root := fs.String("root", "", "repository root for source-size accounting (e5) and bundled models (validate); auto-detected when empty")
-	jsonOut := fs.String("json", "", `with -e validate/serve/mixed/pump/cluster: write the machine-readable report to this path (e.g. BENCH_pump.json)`)
+	jsonOut := fs.String("json", "", `with -e validate/serve/mixed/pump/cluster/http: write the machine-readable report to this path (e.g. BENCH_pump.json)`)
 	common := cliutil.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -84,6 +86,7 @@ func run(args []string) error {
 		"serve":   func() error { return experiments.ReportServe(w, *jsonOut) },
 		"mixed":   func() error { return experiments.ReportMixed(w, *jsonOut) },
 		"cluster": func() error { return experiments.ReportCluster(w, *jsonOut) },
+		"http":    func() error { return experiments.ReportHTTP(w, *jsonOut) },
 		"validate": func() error {
 			dir, err := repoRoot("validate needs the bundled testdata models")
 			if err != nil {
@@ -95,11 +98,11 @@ func run(args []string) error {
 	if *exp != "" {
 		fn, ok := all[*exp]
 		if !ok {
-			return fmt.Errorf("unknown experiment %q (want e1..e6, pump, validate, serve, mixed or cluster)", *exp)
+			return fmt.Errorf("unknown experiment %q (want e1..e6, pump, validate, serve, mixed, cluster or http)", *exp)
 		}
 		return fn()
 	}
-	for _, name := range []string{"e1", "e2", "e3", "e4", "e5", "e6", "pump", "validate", "serve", "mixed", "cluster"} {
+	for _, name := range []string{"e1", "e2", "e3", "e4", "e5", "e6", "pump", "validate", "serve", "mixed", "cluster", "http"} {
 		if err := all[name](); err != nil {
 			return fmt.Errorf("%s: %w", name, err)
 		}

@@ -5,8 +5,10 @@
 // Usage:
 //
 //	mddsm-serve -addr 127.0.0.1:7433 -max-resident 64 -event-rate 1000
+//	mddsm-serve -addr 127.0.0.1:7433 -http :8080
 //	mddsm-serve -addr 127.0.0.1:7433 -node-id n0 \
-//	    -peers n0=127.0.0.1:7433,n1=127.0.0.1:7434,n2=127.0.0.1:7435
+//	    -peers n0=127.0.0.1:7433,n1=127.0.0.1:7434,n2=127.0.0.1:7435 \
+//	    -http :8080 -http-peers n1=127.0.0.1:8081,n2=127.0.0.1:8082
 //
 // Clients drive tenants through control verbs (create, evict, stat,
 // snapshot, submit, tenants, obs) and tenant-stamped command/event frames;
@@ -22,17 +24,26 @@
 // tenants adopted from their last replica by the survivors (see
 // internal/cluster). The peer list may include this node; its own entry is
 // ignored.
+//
+// With -http the same process additionally serves the auto-provisioned
+// REST/SSE API of internal/api — per-metamodel object CRUD, event posting,
+// /watch delta streams, /metrics and /healthz. In a cluster, -http-peers
+// maps member IDs to their HTTP addresses so requests for tenants placed
+// elsewhere answer with 307 redirects.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
 	"syscall"
 	"time"
 
+	"github.com/mddsm/mddsm/internal/api"
 	"github.com/mddsm/mddsm/internal/cliutil"
 	"github.com/mddsm/mddsm/internal/cluster"
 	_ "github.com/mddsm/mddsm/internal/domains/all"
@@ -62,6 +73,8 @@ func run(args []string, ready func(addr string), stop <-chan os.Signal) error {
 	nodeID := fs.String("node-id", "", "cluster member name; empty runs standalone")
 	peersFlag := fs.String("peers", "", "comma-separated cluster members as id=host:port (self is ignored; requires -node-id)")
 	heartbeat := fs.Duration("heartbeat", 500*time.Millisecond, "cluster heartbeat interval (with -node-id)")
+	httpAddr := fs.String("http", "", "HTTP listen address for the auto-provisioned REST/SSE API (empty disables)")
+	httpPeers := fs.String("http-peers", "", "comma-separated peer HTTP addresses as id=host:port for placement redirects (with -http and -node-id)")
 	common := cliutil.Register(fs).RegisterPump(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -120,6 +133,40 @@ func run(args []string, ready func(addr string), stop <-chan os.Signal) error {
 		s.Close()
 		return err
 	}
+	var httpSrv *http.Server
+	var apiSrv *api.Server
+	if *httpAddr != "" {
+		peerHTTP, err := parseHTTPPeers(*httpPeers)
+		if err != nil {
+			srv.Close()
+			if node != nil {
+				node.Close()
+			}
+			s.Close()
+			return err
+		}
+		apiSrv, err = api.New(api.Config{Serve: s, Cluster: node, PeerHTTP: peerHTTP, Obs: o})
+		if err != nil {
+			srv.Close()
+			if node != nil {
+				node.Close()
+			}
+			s.Close()
+			return err
+		}
+		ln, err := net.Listen("tcp", *httpAddr)
+		if err != nil {
+			srv.Close()
+			if node != nil {
+				node.Close()
+			}
+			s.Close()
+			return err
+		}
+		httpSrv = &http.Server{Handler: apiSrv}
+		go httpSrv.Serve(ln)
+		fmt.Printf("mddsm-serve: http API on %s\n", ln.Addr())
+	}
 	if node != nil {
 		fmt.Printf("mddsm-serve: listening on %s (max-resident %d, cluster member %s, %d peers)\n",
 			srv.Addr(), *maxResident, *nodeID, len(node.Members())-1)
@@ -132,6 +179,10 @@ func run(args []string, ready func(addr string), stop <-chan os.Signal) error {
 
 	<-stop
 	fmt.Println("mddsm-serve: draining")
+	if httpSrv != nil {
+		apiSrv.Close() // disconnect SSE watchers so handlers return
+		httpSrv.Close()
+	}
 	srv.Close() // stop accepting and drop connections first
 	if node != nil {
 		node.Close() // stop heartbeats and peer links
@@ -142,6 +193,27 @@ func run(args []string, ready func(addr string), stop <-chan os.Signal) error {
 		fmt.Println(o.Snapshot())
 	}
 	return nil
+}
+
+// parseHTTPPeers turns "n0=host:port,n1=host:port" into the placement
+// redirect map member ID -> HTTP base address.
+func parseHTTPPeers(spec string) (map[string]string, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	out := make(map[string]string)
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, addr, ok := strings.Cut(part, "=")
+		if !ok || id == "" || addr == "" {
+			return nil, fmt.Errorf("bad -http-peers entry %q (want id=host:port)", part)
+		}
+		out[id] = addr
+	}
+	return out, nil
 }
 
 // parsePeers turns "n0=host:port,n1=host:port" into the cluster peer list.

@@ -1,0 +1,455 @@
+package api
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"testing"
+
+	"github.com/mddsm/mddsm/internal/metamodel"
+	"github.com/mddsm/mddsm/internal/runtime"
+	"github.com/mddsm/mddsm/internal/serve"
+)
+
+// The HTTP conformance battery. Every bundle — the four hand-built
+// domains plus eight generated ones — gets a pair of twin tenants: twin
+// A is driven purely over REST, twin B replays the same edits through
+// serve.SubmitModel using the handlers' own apply functions. The
+// battery asserts three things per write:
+//
+//  1. acceptance parity — HTTP accepts iff the direct submission does;
+//  2. problem fidelity — a 422 body carries the compiled validator's
+//     problem list byte-for-byte;
+//  3. state parity — after the volley, the twins' platform snapshots
+//     are equivalent, so the HTTP path added no semantics of its own.
+
+// batteryClassCap bounds per-bundle volley size so the full battery
+// stays fast even for the widest generated metamodels.
+const batteryClassCap = 6
+
+// twin drives one tenant pair through mirrored writes.
+type twin struct {
+	t        *testing.T
+	e        *env
+	a, b     string // tenant names: a over HTTP, b direct
+	base     string // /tenants/{a}/models/{mm}
+	mm       *metamodel.Metamodel
+	accepted int
+	rejected int
+}
+
+func newTwin(t *testing.T, e *env, i int, bundle string, seed *metamodel.Model) *twin {
+	t.Helper()
+	tw := &twin{t: t, e: e, a: fmt.Sprintf("a%02d", i), b: fmt.Sprintf("b%02d", i)}
+	e.createTenant(tw.a, bundle)
+	if err := e.srv.Create(tw.b, bundle); err != nil {
+		t.Fatal(err)
+	}
+	_, mm, err := e.srv.Model(tw.a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tw.mm = mm
+	tw.base = "/tenants/" + tw.a + "/models/" + mm.Name
+	if seed != nil {
+		for _, tenant := range []string{tw.a, tw.b} {
+			if _, err := e.srv.SubmitModel(tenant, seed.Clone()); err != nil {
+				t.Fatalf("seed %s: %v", tenant, err)
+			}
+		}
+	}
+	return tw
+}
+
+// write mirrors one object write onto both twins and checks parity.
+// The HTTP verb runs against twin A; the same document runs through the
+// handlers' apply functions and a direct SubmitModel on twin B.
+func (tw *twin) write(method, id string, doc objectDoc) (int, []byte) {
+	t := tw.t
+	t.Helper()
+	var body any
+	if method != http.MethodDelete {
+		body = doc
+	}
+	code, respBody := tw.e.do(method, tw.base+"/objects/"+id, body)
+
+	next, mm, err := tw.e.srv.Model(tw.b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prob *Problem
+	switch method {
+	case http.MethodPut:
+		_, prob = applyPut(next, mm, id, doc)
+	case http.MethodPatch:
+		prob = applyPatch(next, id, doc)
+	case http.MethodDelete:
+		prob = applyDelete(next, id)
+	default:
+		t.Fatalf("unsupported battery verb %s", method)
+	}
+	if prob != nil {
+		// The edit itself was refused before validation; HTTP must have
+		// refused the same way and left both models untouched.
+		if code != prob.Status {
+			t.Fatalf("%s %s: HTTP %d but direct apply refused with %d (%s)\n%s",
+				method, id, code, prob.Status, prob.Title, respBody)
+		}
+		tw.rejected++
+		return code, respBody
+	}
+	_, submitErr := tw.e.srv.SubmitModel(tw.b, next)
+	if accepted := code < 300; accepted != (submitErr == nil) {
+		t.Fatalf("%s %s: acceptance divergence: HTTP %d vs direct submit err %v\n%s",
+			method, id, code, submitErr, respBody)
+	}
+	if submitErr == nil {
+		tw.accepted++
+		return code, respBody
+	}
+	tw.rejected++
+	var ve *metamodel.ValidationError
+	if errors.As(submitErr, &ve) {
+		if code != http.StatusUnprocessableEntity {
+			t.Fatalf("%s %s: validator refused but HTTP answered %d\n%s", method, id, code, respBody)
+		}
+		p := decodeProblem(t, respBody)
+		wantJSON, err := json.Marshal(ve.Problems)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotJSON, err := json.Marshal(p.Problems)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(gotJSON, wantJSON) {
+			t.Fatalf("%s %s: problem list diverged from the validator's\nhttp:      %s\nvalidator: %s",
+				method, id, gotJSON, wantJSON)
+		}
+	}
+	return code, respBody
+}
+
+// conformantDoc builds a valid document for one class: every attribute
+// set to an in-kind value, every required reference aimed at an existing
+// instance of its target (when one exists).
+func (tw *twin) conformantDoc(class string, salt int) objectDoc {
+	tw.t.Helper()
+	doc := objectDoc{Class: class}
+	attrs := tw.mm.AllAttributes(class)
+	if len(attrs) > 0 {
+		doc.Attrs = make(map[string]any, len(attrs))
+		for _, a := range attrs {
+			doc.Attrs[a.Name] = conformantValue(tw.mm, a, salt)
+		}
+	}
+	m, _, err := tw.e.srv.Model(tw.b)
+	if err != nil {
+		tw.t.Fatal(err)
+	}
+	for _, ref := range tw.mm.AllReferences(class) {
+		if !ref.Required {
+			continue
+		}
+		if targets := m.ObjectsKindOf(tw.mm, ref.Target); len(targets) > 0 {
+			if doc.Refs == nil {
+				doc.Refs = make(map[string][]string)
+			}
+			doc.Refs[ref.Name] = []string{targets[0].ID}
+		}
+	}
+	return doc
+}
+
+// snapshotsMatch asserts the twins' platform snapshots are equivalent
+// modulo generator statistics.
+func (tw *twin) snapshotsMatch() {
+	t := tw.t
+	t.Helper()
+	sa, err := tw.e.srv.Snapshot(tw.a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := tw.e.srv.Snapshot(tw.b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eq, err := runtime.SnapshotsEquivalent(sa, sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq {
+		t.Fatalf("twin snapshots diverged after the battery:\nA(http):   %s\nB(direct): %s", sa, sb)
+	}
+}
+
+func TestHTTPConformanceBattery(t *testing.T) {
+	type entry struct {
+		bundle string
+		seed   *metamodel.Model
+	}
+	var entries []entry
+	for _, bundle := range []string{"cml", "mgrid", "smartspace", "csense"} {
+		entries = append(entries, entry{bundle: bundle})
+	}
+	for _, d := range batteryDomains(t) {
+		entries = append(entries, entry{bundle: d.Name, seed: d.Initial()})
+	}
+	if len(entries) < 12 {
+		t.Fatalf("battery covers %d bundles, want at least 12", len(entries))
+	}
+	e := newEnv(t, serve.Config{MaxResident: 2*len(entries) + 2})
+
+	for i, ent := range entries {
+		ent := ent
+		i := i
+		t.Run(ent.bundle, func(t *testing.T) {
+			tw := newTwin(t, e, i, ent.bundle, ent.seed)
+			tw.t = t
+			classes := concreteClasses(tw.mm)
+			if len(classes) > batteryClassCap {
+				classes = classes[:batteryClassCap]
+			}
+			if len(classes) == 0 {
+				t.Fatalf("bundle %s has no concrete classes", ent.bundle)
+			}
+
+			// Conformant PUT volley: one object per class, created from
+			// scratch over HTTP and mirrored directly.
+			ids := make(map[string]string, len(classes)) // id -> class
+			for k, class := range classes {
+				id := fmt.Sprintf("h%d", k)
+				code, body := tw.write(http.MethodPut, id, tw.conformantDoc(class, k))
+				if code == http.StatusCreated {
+					ids[id] = class
+				} else if code >= 300 {
+					// A refusal here is legitimate domain behaviour — a
+					// required reference with no target yet (422) or a
+					// synthesis dispatch the domain's controllers reject
+					// (409). Parity with the direct path was already
+					// checked; anything else is a battery bug.
+					p := decodeProblem(t, body)
+					if p.Status != http.StatusUnprocessableEntity && p.Status != http.StatusConflict {
+						t.Fatalf("PUT %s (%s): unexpected refusal %d %s", id, class, code, body)
+					}
+				}
+			}
+			if len(ids) == 0 {
+				t.Fatalf("bundle %s accepted no object creations", ent.bundle)
+			}
+
+			// Conformant PATCH volley: flip one attribute per object.
+			for id, class := range ids {
+				attrs := tw.mm.AllAttributes(class)
+				doc := objectDoc{}
+				if len(attrs) > 0 {
+					doc.Attrs = map[string]any{attrs[0].Name: conformantValue(tw.mm, attrs[0], 77)}
+				}
+				tw.write(http.MethodPatch, id, doc)
+			}
+
+			// Replacement PUT: same class, required features only, so the
+			// optional attributes are unset and defaults re-apply.
+			for id, class := range ids {
+				doc := objectDoc{Class: class, Attrs: map[string]any{}}
+				for _, a := range tw.mm.AllAttributes(class) {
+					if a.Required {
+						doc.Attrs[a.Name] = conformantValue(tw.mm, a, 5)
+					}
+				}
+				full := tw.conformantDoc(class, 5)
+				doc.Refs = full.Refs
+				tw.write(http.MethodPut, id, doc)
+				break // one replacement per bundle is enough
+			}
+
+			// Non-conformant volleys — each must be refused with the
+			// validator's exact problem list on the HTTP side.
+			tw.write(http.MethodPut, "bad-class", objectDoc{Class: "NoSuchClass"})
+			var someID, someClass string
+			for id, class := range ids {
+				someID, someClass = id, class
+				break
+			}
+			attrs := tw.mm.AllAttributes(someClass)
+			if len(attrs) > 0 {
+				tw.write(http.MethodPatch, someID,
+					objectDoc{Attrs: map[string]any{attrs[0].Name: wrongTypedValue(attrs[0])}})
+			}
+			tw.write(http.MethodPatch, someID,
+				objectDoc{Attrs: map[string]any{"no_such_attribute": 1.0}})
+			tw.write(http.MethodPatch, someID,
+				objectDoc{Refs: map[string][]string{"no_such_reference": {"ghost"}}})
+			if refs := tw.mm.AllReferences(someClass); len(refs) > 0 {
+				tw.write(http.MethodPatch, someID,
+					objectDoc{Refs: map[string][]string{refs[0].Name: {"dangling-target"}}})
+			}
+			// Unsetting a required attribute without a default must refuse.
+			for _, a := range attrs {
+				if a.Required && a.Default == nil {
+					tw.write(http.MethodPatch, someID,
+						objectDoc{Attrs: map[string]any{a.Name: nil}})
+					break
+				}
+			}
+
+			// Lifecycle tail: delete one object (reference-stripping may
+			// still refuse if a required ref becomes unsatisfiable — parity
+			// is what matters), then a delete of a ghost id (404 on both).
+			tw.write(http.MethodDelete, someID, objectDoc{})
+			tw.write(http.MethodDelete, "never-existed", objectDoc{})
+
+			if tw.rejected == 0 {
+				t.Error("battery produced no refusals; the non-conformant volleys went missing")
+			}
+			if tw.accepted == 0 {
+				t.Error("battery produced no accepted writes")
+			}
+
+			// Invariant: the served model always conforms.
+			m, mm, err := e.srv.Model(tw.a)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := m.Validate(mm); err != nil {
+				t.Fatalf("served model does not conform after battery: %v", err)
+			}
+			tw.snapshotsMatch()
+		})
+	}
+}
+
+// wrongTypedValue returns a JSON value guaranteed to violate the
+// attribute's kind.
+func wrongTypedValue(a metamodel.Attribute) any {
+	switch a.Kind.String() {
+	case "string", "enum":
+		return map[string]any{"not": "a scalar"}
+	default:
+		return "definitely not a number or bool"
+	}
+}
+
+// TestHTTPDeltaValidationMode replays a miniature battery on a host
+// running the delta validator, covering the second validation path the
+// REST front end can sit on. Problem lists are compared as sets here:
+// delta validation reports the same violations but scoped to the
+// touched objects.
+func TestHTTPDeltaValidationMode(t *testing.T) {
+	e := newEnv(t, serve.Config{
+		MaxResident: 4,
+		Quota:       serve.Quota{Runtime: runtime.Config{DeltaValidation: true}},
+	})
+	e.createTenant("d0", "cml")
+
+	code, _ := e.do("PUT", "/tenants/d0/models/cml/objects/p0",
+		objectDoc{Class: "Person", Attrs: map[string]any{"name": "alice"}})
+	if code != http.StatusCreated {
+		t.Fatalf("delta-mode create: %d", code)
+	}
+	code, body := e.do("PATCH", "/tenants/d0/models/cml/objects/p0",
+		objectDoc{Attrs: map[string]any{"name": nil}})
+	if code != http.StatusUnprocessableEntity {
+		t.Fatalf("delta-mode bad patch: %d %s", code, body)
+	}
+	p := decodeProblem(t, body)
+	if len(p.Problems) == 0 {
+		t.Fatalf("delta-mode 422 carries no problems: %s", body)
+	}
+	got := map[string]bool{}
+	for _, pr := range p.Problems {
+		got[pr] = true
+	}
+	// The full validator on the same candidate must agree on every problem.
+	next, mm, err := e.srv.Model("d0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	next.Get("p0").UnsetAttr("name")
+	var ve *metamodel.ValidationError
+	if err := next.Validate(mm); !errors.As(err, &ve) {
+		t.Fatalf("full validator accepted the non-conformant candidate: %v", err)
+	}
+	for _, pr := range ve.Problems {
+		if !got[pr] {
+			t.Errorf("delta 422 is missing full-validator problem %q (got %v)", pr, p.Problems)
+		}
+	}
+	// The committed model is still the conformant one.
+	m, mm, err := e.srv.Model("d0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(mm); err != nil {
+		t.Fatalf("served model stopped conforming: %v", err)
+	}
+	if v, ok := m.Get("p0").Attr("name"); !ok || v != "alice" {
+		t.Fatalf("rejected write leaked into the served model: %v %v", v, ok)
+	}
+}
+
+// TestHTTPProvisionedRoutes spot-checks the "API for free" contract: a
+// generated bundle registered with domgen answers on its derived routes
+// without any hand-written glue.
+func TestHTTPProvisionedRoutes(t *testing.T) {
+	doms := batteryDomains(t)
+	e := newEnv(t, serve.Config{MaxResident: 4})
+	d := doms[3]
+	e.createTenant("g0", d.Name)
+	_, mm, err := e.srv.Model("g0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, body := e.do("GET", "/tenants/g0/models/"+mm.Name+"/classes", nil)
+	if code != http.StatusOK {
+		t.Fatalf("classes: %d %s", code, body)
+	}
+	var doc struct {
+		Metamodel string `json:"metamodel"`
+		Classes   []struct {
+			Name       string `json:"name"`
+			Collection string `json:"collection"`
+		} `json:"classes"`
+	}
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Metamodel != mm.Name || len(doc.Classes) != len(mm.ClassNames()) {
+		t.Fatalf("schema mismatch: %s", body)
+	}
+	// Every advertised collection URL must answer.
+	for _, c := range doc.Classes {
+		code, body := e.do("GET", c.Collection, nil)
+		if code != http.StatusOK {
+			t.Fatalf("collection %s: %d %s", c.Collection, code, body)
+		}
+	}
+	// A wrong model name in the path is a 404 naming the real model.
+	code, body = e.do("GET", "/tenants/g0/models/not-the-model/objects", nil)
+	if code != http.StatusNotFound {
+		t.Fatalf("wrong model name: %d %s", code, body)
+	}
+	if p := decodeProblem(t, body); len(p.Problems) != 1 || p.Problems[0] != mm.Name {
+		t.Fatalf("wrong-model problem should name %q: %s", mm.Name, body)
+	}
+	// domgen initial models are conformant, so seeding over the direct
+	// path and reading back over HTTP agree on the object count.
+	if _, err := e.srv.SubmitModel("g0", d.Initial()); err != nil {
+		t.Fatal(err)
+	}
+	code, body = e.do("GET", "/tenants/g0/models/"+mm.Name+"/objects", nil)
+	if code != http.StatusOK {
+		t.Fatalf("objects: %d %s", code, body)
+	}
+	var listing struct {
+		Count int `json:"count"`
+	}
+	if err := json.Unmarshal(body, &listing); err != nil {
+		t.Fatal(err)
+	}
+	if want := d.Initial().Len(); listing.Count != want {
+		t.Fatalf("objects listing count = %d, want %d", listing.Count, want)
+	}
+}

@@ -1,0 +1,135 @@
+package api
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"github.com/mddsm/mddsm/internal/serve"
+)
+
+// FuzzHTTPObjects throws arbitrary verbs, URL suffixes and JSON bodies
+// at the object routes of a live tenant. The invariants: the server
+// never panics, every structured refusal is a problem document whose
+// status matches the response code, and the served model conforms to
+// its metamodel after every request — a fuzzed write either commits a
+// conformant model or changes nothing.
+func FuzzHTTPObjects(f *testing.F) {
+	s := serve.NewServer(serve.Config{MaxResident: 4})
+	a, err := New(Config{Serve: s})
+	if err != nil {
+		s.Close()
+		f.Fatal(err)
+	}
+	ts := httptest.NewServer(a)
+	f.Cleanup(func() {
+		a.Close()
+		ts.Close()
+		s.Close()
+	})
+	if err := s.Create("fz", "cml"); err != nil {
+		f.Fatal(err)
+	}
+
+	f.Add("PUT", "p0", `{"class":"Person","attrs":{"name":"alice"}}`)
+	f.Add("PUT", "p0", `{"class":"Person","attrs":{"name":"alice","role":"chair"}}`)
+	f.Add("PATCH", "p0", `{"attrs":{"role":"speaker"}}`)
+	f.Add("PATCH", "p0", `{"attrs":{"name":null}}`)
+	f.Add("PUT", "s0", `{"class":"Session","attrs":{"topic":"fuzz"},"refs":{"participants":["p0"]}}`)
+	f.Add("PUT", "x", `{"class":"NoSuchClass"}`)
+	f.Add("PATCH", "p0", `{"attrs":{"bandwidth":"not a float"}}`)
+	f.Add("PATCH", "p0", `{"refs":{"participants":["ghost"]}}`)
+	f.Add("DELETE", "p0", ``)
+	f.Add("GET", "p0", ``)
+	f.Add("PUT", "p0", `{"id":"mismatch","class":"Person"}`)
+	f.Add("PUT", "%2e%2e%2f%2e%2e", `{"class":"Person"}`)
+	f.Add("PATCH", "p0", `not json at all`)
+	f.Add("PUT", "p0", `{"class":"Person","attrs":{"name":{"nested":"object"}}}`)
+	f.Add("POST", "../../events", `{"name":"telemetry"}`)
+
+	client := ts.Client()
+	f.Fuzz(func(t *testing.T, method, idSuffix, body string) {
+		req, err := http.NewRequest(method, ts.URL+"/tenants/fz/models/cml/objects/"+idSuffix,
+			strings.NewReader(body))
+		if err != nil {
+			t.Skip() // the fuzzer built an unsendable request, not a server bug
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			t.Skip()
+		}
+		out, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		resp.Body.Close()
+
+		if ct := resp.Header.Get("Content-Type"); ct == "application/problem+json" {
+			var p Problem
+			if err := json.Unmarshal(out, &p); err != nil {
+				t.Fatalf("%s %q: problem response is not JSON: %v\n%s", method, idSuffix, err, out)
+			}
+			if p.Status != resp.StatusCode {
+				t.Fatalf("%s %q: problem status %d != response code %d\n%s",
+					method, idSuffix, p.Status, resp.StatusCode, out)
+			}
+		}
+		if resp.StatusCode == http.StatusUnprocessableEntity {
+			var p Problem
+			if json.Unmarshal(out, &p) == nil && len(p.Problems) == 0 {
+				t.Fatalf("%s %q: 422 without the validator's problems\n%s", method, idSuffix, out)
+			}
+		}
+
+		// The standing invariant: whatever the fuzzer did, the served
+		// model still conforms.
+		m, mm, err := s.Model("fz")
+		if err != nil {
+			t.Fatalf("tenant lost after %s %q: %v", method, idSuffix, err)
+		}
+		if err := m.Validate(mm); err != nil {
+			t.Fatalf("served model stopped conforming after %s %q %q: %v", method, idSuffix, body, err)
+		}
+	})
+}
+
+// TestFuzzSeedsReplay replays the committed corpus deterministically so
+// the plain test run (no -fuzz flag) covers the same ground.
+func TestFuzzSeedsReplay(t *testing.T) {
+	e := newEnv(t, serve.Config{MaxResident: 4})
+	e.createTenant("fz", "cml")
+	seeds := []struct{ method, id, body string }{
+		{"PUT", "p0", `{"class":"Person","attrs":{"name":"alice"}}`},
+		{"PATCH", "p0", `{"attrs":{"role":"speaker"}}`},
+		{"PUT", "x", `{"class":"NoSuchClass"}`},
+		{"PATCH", "p0", `not json at all`},
+		{"DELETE", "ghost", ``},
+	}
+	for _, sd := range seeds {
+		req, err := http.NewRequest(sd.method, e.ts.URL+"/tenants/fz/models/cml/objects/"+sd.id,
+			strings.NewReader(sd.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := e.ts.Client().Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode >= 500 {
+			t.Fatalf("%s %s: server error %d %s", sd.method, sd.id, resp.StatusCode, out)
+		}
+		if bytes.Contains(out, []byte("panic")) {
+			t.Fatalf("%s %s: response smells like a panic: %s", sd.method, sd.id, out)
+		}
+	}
+	m, mm, err := e.srv.Model("fz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(mm); err != nil {
+		t.Fatalf("served model stopped conforming: %v", err)
+	}
+}

@@ -1,0 +1,130 @@
+package api
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+
+	"github.com/mddsm/mddsm/internal/obs"
+)
+
+// promFamily collects the rendered sample lines of one metric family;
+// the exposition prints a single # TYPE header per family.
+type promFamily struct {
+	typ   string
+	lines []string
+}
+
+type promSet struct {
+	fams  map[string]*promFamily
+	names []string
+}
+
+func newPromSet() *promSet { return &promSet{fams: make(map[string]*promFamily)} }
+
+func (p *promSet) family(name, typ string) *promFamily {
+	f, ok := p.fams[name]
+	if !ok {
+		f = &promFamily{typ: typ}
+		p.fams[name] = f
+		p.names = append(p.names, name)
+	}
+	return f
+}
+
+// promName mangles a dotted instrument name into the Prometheus
+// namespace: "pump.deliver.latency" -> "mddsm_pump_deliver_latency".
+func promName(name string) string {
+	var b strings.Builder
+	b.WriteString("mddsm_")
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// escapeLabel escapes a label value per the exposition format: backslash,
+// double quote and newline.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return v
+}
+
+func renderLabels(pairs []string) string {
+	if len(pairs) == 0 {
+		return ""
+	}
+	return "{" + strings.Join(pairs, ",") + "}"
+}
+
+func formatSeconds(f float64) string {
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}
+
+// addMetrics renders every instrument of one registry into the family
+// set, tagged with the given label pairs (e.g. tenant="x").
+func (p *promSet) addMetrics(m *obs.Metrics, labels []string) {
+	lbl := renderLabels(labels)
+	m.Each(
+		func(name string, c *obs.Counter) {
+			f := p.family(promName(name), "counter")
+			f.lines = append(f.lines, fmt.Sprintf("%s%s %d", promName(name), lbl, c.Value()))
+		},
+		func(name string, g *obs.Gauge) {
+			pn := promName(name)
+			f := p.family(pn, "gauge")
+			f.lines = append(f.lines, fmt.Sprintf("%s%s %d", pn, lbl, g.Value()))
+			fm := p.family(pn+"_max", "gauge")
+			fm.lines = append(fm.lines, fmt.Sprintf("%s_max%s %d", pn, lbl, g.Max()))
+		},
+		func(name string, h *obs.Histogram) {
+			pn := promName(name)
+			f := p.family(pn, "histogram")
+			cum := int64(0)
+			for i := 0; i < obs.HistBuckets; i++ {
+				cum += h.Bucket(i)
+				le := "+Inf"
+				if sec, ok := obs.HistBoundSeconds(i); ok {
+					le = formatSeconds(sec)
+				}
+				bl := append(append([]string(nil), labels...), `le="`+le+`"`)
+				f.lines = append(f.lines, fmt.Sprintf("%s_bucket%s %d", pn, renderLabels(bl), cum))
+			}
+			f.lines = append(f.lines, fmt.Sprintf("%s_sum%s %s", pn, lbl, formatSeconds(h.Sum().Seconds())))
+			f.lines = append(f.lines, fmt.Sprintf("%s_count%s %d", pn, lbl, h.Count()))
+		},
+	)
+}
+
+func (p *promSet) render(w http.ResponseWriter) {
+	sort.Strings(p.names)
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	for _, name := range p.names {
+		f := p.fams[name]
+		fmt.Fprintf(w, "# TYPE %s %s\n", name, f.typ)
+		for _, line := range f.lines {
+			fmt.Fprintln(w, line)
+		}
+	}
+}
+
+// handleMetrics exposes every instrument of the server-wide bundle
+// (unlabeled) and of each tenant's bundle (labeled tenant="name",
+// resident and parked alike) in the Prometheus text exposition format.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	p := newPromSet()
+	p.addMetrics(s.obs.MetricsOf(), nil)
+	s.serve.EachTenantObs(func(tenant string, o *obs.Obs, resident bool) {
+		p.addMetrics(o.MetricsOf(), []string{`tenant="` + escapeLabel(tenant) + `"`})
+	})
+	p.render(w)
+}

@@ -1,0 +1,121 @@
+package api
+
+import (
+	"flag"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/mddsm/mddsm/internal/obs"
+	"github.com/mddsm/mddsm/internal/serve"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata golden files")
+
+// TestMetricsGoldenExposition pins the Prometheus text exposition
+// byte-for-byte: name mangling, label escaping, cumulative buckets with
+// the shared bound table, seconds-valued sums, the gauge _max twin
+// family, sorted family order and the # TYPE grammar. If this golden
+// changes, every dashboard scraping /metrics changes with it.
+func TestMetricsGoldenExposition(t *testing.T) {
+	server := obs.NewMetrics()
+	server.Counter("api.requests").Add(3)
+	server.Gauge("serve.resident").Set(2)
+	server.Gauge("serve.resident").Set(1)
+	h := server.Histogram("api.request.latency")
+	h.Observe(5 * time.Microsecond)
+	h.Observe(2 * time.Millisecond)
+	h.Observe(800 * time.Millisecond)
+
+	tenant := obs.NewMetrics()
+	tenant.Counter("pump.deliver").Add(7)
+	tenant.Gauge("broker.queue.depth").Set(4)
+
+	p := newPromSet()
+	p.addMetrics(server, nil)
+	awkward := "te\"n\\ant\nx" // quote, backslash and newline all need escaping
+	p.addMetrics(tenant, []string{`tenant="` + escapeLabel(awkward) + `"`})
+
+	rec := httptest.NewRecorder()
+	p.render(rec)
+	if ct := rec.Header().Get("Content-Type"); ct != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Fatalf("content type = %q", ct)
+	}
+	got := rec.Body.Bytes()
+
+	golden := filepath.Join("testdata", "metrics.golden")
+	if *updateGolden {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("golden file missing (run with -update-golden): %v", err)
+	}
+	if string(got) != string(want) {
+		t.Fatalf("exposition format drifted from the golden file\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+var expositionLine = regexp.MustCompile(
+	`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? (-?[0-9]+(\.[0-9]+)?([eE][+-]?[0-9]+)?|\+Inf|NaN)$`)
+
+// TestMetricsEndpointLive scrapes a working stack and checks the whole
+// page against the exposition grammar: families sorted and unique, every
+// sample line well-formed, server metrics unlabeled and tenant metrics
+// labeled.
+func TestMetricsEndpointLive(t *testing.T) {
+	e := newEnv(t, serve.Config{MaxResident: 4})
+	e.createTenant("m0", "cml")
+	if code, body := e.do("PUT", "/tenants/m0/models/cml/objects/p0",
+		objectDoc{Class: "Person", Attrs: map[string]any{"name": "alice"}}); code != http.StatusCreated {
+		t.Fatalf("seed write: %d %s", code, body)
+	}
+
+	code, body := e.do("GET", "/metrics", nil)
+	if code != http.StatusOK {
+		t.Fatalf("/metrics: %d", code)
+	}
+	page := string(body)
+	if !strings.Contains(page, "# TYPE mddsm_api_requests counter") {
+		t.Error("missing the api request counter family")
+	}
+	if !strings.Contains(page, "# TYPE mddsm_api_writes counter") || !strings.Contains(page, "\nmddsm_api_writes 1\n") {
+		t.Errorf("one accepted write should read back as mddsm_api_writes 1:\n%s", page)
+	}
+	if !strings.Contains(page, `tenant="m0"`) {
+		t.Error("tenant metrics are not labeled per tenant")
+	}
+
+	var families []string
+	current := ""
+	for _, line := range strings.Split(strings.TrimRight(page, "\n"), "\n") {
+		if name, ok := strings.CutPrefix(line, "# TYPE "); ok {
+			fam := strings.Fields(name)[0]
+			families = append(families, fam)
+			current = fam
+			continue
+		}
+		if !expositionLine.MatchString(line) {
+			t.Fatalf("malformed exposition line: %q", line)
+		}
+		if current == "" || !strings.HasPrefix(line, current) {
+			t.Fatalf("sample %q outside its # TYPE family (current %q)", line, current)
+		}
+	}
+	if !sort.StringsAreSorted(families) {
+		t.Error("families are not sorted")
+	}
+	for i := 1; i < len(families); i++ {
+		if families[i] == families[i-1] {
+			t.Errorf("duplicate family %q", families[i])
+		}
+	}
+}

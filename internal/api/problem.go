@@ -1,0 +1,71 @@
+package api
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+
+	"github.com/mddsm/mddsm/internal/metamodel"
+	"github.com/mddsm/mddsm/internal/serve"
+)
+
+// Problem is the structured error document every non-2xx API response
+// carries (application/problem+json). For 422 responses the Problems
+// slice is exactly the validator's problem list — byte-identical to what
+// metamodel.Validate reports for the same candidate model, so clients
+// and the conformance battery can compare without parsing prose.
+type Problem struct {
+	Title    string   `json:"title"`
+	Status   int      `json:"status"`
+	Detail   string   `json:"detail,omitempty"`
+	Problems []string `json:"problems,omitempty"`
+}
+
+func writeProblem(w http.ResponseWriter, status int, title, detail string, problems []string) {
+	w.Header().Set("Content-Type", "application/problem+json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(Problem{Title: title, Status: status, Detail: detail, Problems: problems})
+}
+
+// serveProblem maps a serve.Server refusal to its HTTP status via the
+// sentinel errors the server wraps, falling back to 500.
+func serveProblem(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, serve.ErrNoTenant):
+		writeProblem(w, http.StatusNotFound, "no such tenant", err.Error(), nil)
+	case errors.Is(err, serve.ErrThrottled):
+		writeProblem(w, http.StatusTooManyRequests, "over event rate quota", err.Error(), nil)
+	case errors.Is(err, serve.ErrQueueFull):
+		writeProblem(w, http.StatusServiceUnavailable, "event queue full", err.Error(), nil)
+	case errors.Is(err, serve.ErrTenantExists):
+		writeProblem(w, http.StatusConflict, "tenant exists", err.Error(), nil)
+	default:
+		writeProblem(w, http.StatusInternalServerError, "internal error", err.Error(), nil)
+	}
+}
+
+// submitProblem maps a SubmitModel refusal: a validation failure becomes
+// 422 carrying the validator's exact problem list; any other refusal
+// (LTS has no transition, dispatch failure) is a 409 conflict.
+func submitProblem(w http.ResponseWriter, err error) {
+	var ve *metamodel.ValidationError
+	if errors.As(err, &ve) {
+		writeProblem(w, http.StatusUnprocessableEntity, "model does not conform", err.Error(), ve.Problems)
+		return
+	}
+	if errors.Is(err, serve.ErrNoTenant) {
+		serveProblem(w, err)
+		return
+	}
+	writeProblem(w, http.StatusConflict, "write refused", err.Error(), nil)
+}
+
+func writeJSON(w http.ResponseWriter, status int, doc any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(doc)
+}

@@ -1,0 +1,167 @@
+package api
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"sync"
+	"testing"
+
+	_ "github.com/mddsm/mddsm/internal/domains/all"
+	"github.com/mddsm/mddsm/internal/domgen"
+	"github.com/mddsm/mddsm/internal/metamodel"
+	"github.com/mddsm/mddsm/internal/serve"
+)
+
+// env is one in-process API stack: a tenant host, the API server over
+// it, and an HTTP listener driving it through a real client.
+type env struct {
+	t   *testing.T
+	srv *serve.Server
+	api *Server
+	ts  *httptest.Server
+}
+
+func newEnv(t *testing.T, cfg serve.Config) *env {
+	t.Helper()
+	if cfg.MaxResident == 0 {
+		cfg.MaxResident = 64
+	}
+	s := serve.NewServer(cfg)
+	a, err := New(Config{Serve: s})
+	if err != nil {
+		s.Close()
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(a)
+	e := &env{t: t, srv: s, api: a, ts: ts}
+	t.Cleanup(func() {
+		a.Close()
+		ts.Close()
+		s.Close()
+	})
+	return e
+}
+
+// do issues one JSON request against the stack and returns status + body.
+func (e *env) do(method, path string, body any) (int, []byte) {
+	e.t.Helper()
+	var rd io.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			e.t.Fatal(err)
+		}
+		rd = bytes.NewReader(data)
+	}
+	req, err := http.NewRequest(method, e.ts.URL+path, rd)
+	if err != nil {
+		e.t.Fatal(err)
+	}
+	resp, err := e.ts.Client().Do(req)
+	if err != nil {
+		e.t.Fatalf("%s %s: %v", method, path, err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		e.t.Fatal(err)
+	}
+	return resp.StatusCode, out
+}
+
+func (e *env) createTenant(name, bundle string) {
+	e.t.Helper()
+	code, body := e.do("POST", "/tenants/"+name, map[string]any{"bundle": bundle})
+	if code != http.StatusCreated {
+		e.t.Fatalf("create tenant %s on %s: %d %s", name, bundle, code, body)
+	}
+}
+
+// decodeProblem parses a problem document from a non-2xx response body.
+func decodeProblem(t *testing.T, body []byte) Problem {
+	t.Helper()
+	var p Problem
+	if err := json.Unmarshal(body, &p); err != nil {
+		t.Fatalf("response is not problem JSON: %v\n%s", err, body)
+	}
+	return p
+}
+
+// conformantValue produces a valid value for the attribute, different
+// per salt so PATCH volleys actually change the model.
+func conformantValue(mm *metamodel.Metamodel, a metamodel.Attribute, salt int) any {
+	switch a.Kind.String() {
+	case "string":
+		return fmt.Sprintf("v%d", salt)
+	case "int":
+		return float64(salt) // JSON numbers arrive as float64; mirror that
+	case "float":
+		return 0.5 + float64(salt)
+	case "bool":
+		return salt%2 == 0
+	case "enum":
+		lits := mm.Enum(a.EnumType).Literals
+		return lits[salt%len(lits)]
+	default:
+		return nil
+	}
+}
+
+// batteryDomains registers the battery's 8 synthetic domains, sweeping
+// the generator's parameter space deterministically. Registration is
+// once per test binary; every caller sees the same domains.
+var (
+	batteryOnce sync.Once
+	batteryDoms []*domgen.Domain
+	batteryErr  error
+)
+
+func batteryDomains(t *testing.T) []*domgen.Domain {
+	t.Helper()
+	batteryOnce.Do(func() {
+		shapes := []string{domgen.ShapeLoop, domgen.ShapeRing, domgen.ShapeStar}
+		for i := 0; i < 8; i++ {
+			spec := domgen.Spec{
+				Name:           fmt.Sprintf("httpapi-%d", i),
+				Seed:           9000 + int64(i),
+				Classes:        1 + i%7,
+				Depth:          i % 3,
+				AttrsPerClass:  1 + i%5,
+				Enums:          i % 3,
+				EnumLiterals:   2 + i%3,
+				LTSStates:      1 + i%5,
+				LTSShape:       shapes[i%len(shapes)],
+				LTSDensity:     float64(i%5) / 4,
+				EventTypes:     1 + i%6,
+				InitialObjects: 2 + 2*(i%6),
+			}
+			d, err := domgen.Register(spec)
+			if err != nil {
+				batteryErr = fmt.Errorf("register battery domain %d: %w", i, err)
+				return
+			}
+			batteryDoms = append(batteryDoms, d)
+		}
+	})
+	if batteryErr != nil {
+		t.Fatal(batteryErr)
+	}
+	return batteryDoms
+}
+
+// concreteClasses returns the instantiable classes of mm, sorted.
+func concreteClasses(mm *metamodel.Metamodel) []string {
+	var out []string
+	for _, name := range mm.ClassNames() {
+		if !mm.Class(name).Abstract {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

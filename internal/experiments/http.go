@@ -1,0 +1,278 @@
+package experiments
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/mddsm/mddsm/internal/api"
+	_ "github.com/mddsm/mddsm/internal/domains/all"
+	"github.com/mddsm/mddsm/internal/serve"
+)
+
+// The models-over-HTTP benchmark: REST object writes against the
+// auto-provisioned API, each funnelled through the full models@runtime
+// loop (validate → diff → interpret → commit) plus the HTTP stack, and
+// event posts through the same front end. mddsm-bench prints the table
+// and, with -json, writes BENCH_http.json for CI and EXPERIMENTS.md.
+
+// HTTPWriteSLO is the p99 REST-write latency objective per scale step; a
+// write is a full round trip including validation and commit.
+const HTTPWriteSLO = 25 * time.Millisecond
+
+// httpScales are the resident-tenant counts the benchmark steps through.
+var httpScales = []int{1, 8, 25}
+
+const (
+	httpWritesPerTenant = 40
+	httpEventsPerTenant = 100
+)
+
+// HTTPScaleResult is one scale step: N tenants driven over HTTP.
+type HTTPScaleResult struct {
+	Tenants      int     `json:"tenants"`
+	Writes       int     `json:"writes"`
+	Events       int     `json:"events"`
+	WritesPerSec float64 `json:"writes_per_sec"`
+	WriteP50Ns   int64   `json:"write_p50_ns"`
+	WriteP99Ns   int64   `json:"write_p99_ns"`
+	EventP50Ns   int64   `json:"event_p50_ns"`
+	EventP99Ns   int64   `json:"event_p99_ns"`
+	SLOMet       bool    `json:"slo_met"`
+}
+
+// HTTPReport is the full machine-readable record.
+type HTTPReport struct {
+	SLONs           int64             `json:"slo_ns"`
+	WritesPerTenant int               `json:"writes_per_tenant"`
+	EventsPerTenant int               `json:"events_per_tenant"`
+	Scales          []HTTPScaleResult `json:"scales"`
+	WatchDeltaNs    int64             `json:"watch_delta_ns"`
+}
+
+// startHTTP mounts a fresh API server over s on a loopback listener.
+func startHTTP(s *serve.Server) (base string, shutdown func(), err error) {
+	a, err := api.New(api.Config{Serve: s})
+	if err != nil {
+		return "", nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		a.Close()
+		return "", nil, err
+	}
+	hs := &http.Server{Handler: a}
+	go hs.Serve(ln)
+	return "http://" + ln.Addr().String(), func() { a.Close(); hs.Close() }, nil
+}
+
+// doJSON performs one JSON request and returns the status code.
+func doJSON(client *http.Client, method, url string, body any) (int, []byte, error) {
+	var rd io.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			return 0, nil, err
+		}
+		rd = bytes.NewReader(data)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		return 0, nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	return resp.StatusCode, out, err
+}
+
+// MeasureHTTP runs the ladder: at each scale it provisions that many cml
+// tenants over HTTP, then per tenant issues one PUT (object create) and a
+// train of PATCHes — every one a validated model commit — and posts
+// events through the same mux, recording both latency distributions. It
+// finishes by measuring the PATCH→SSE propagation delay on a watched
+// tenant.
+func MeasureHTTP() (*HTTPReport, error) {
+	rep := &HTTPReport{
+		SLONs:           HTTPWriteSLO.Nanoseconds(),
+		WritesPerTenant: httpWritesPerTenant,
+		EventsPerTenant: httpEventsPerTenant,
+	}
+	client := &http.Client{}
+	for _, n := range httpScales {
+		s := serve.NewServer(serve.Config{MaxResident: n})
+		base, shutdown, err := startHTTP(s)
+		if err != nil {
+			s.Close()
+			return nil, err
+		}
+		names := make([]string, n)
+		for i := range names {
+			names[i] = fmt.Sprintf("t%03d", i)
+			code, body, err := doJSON(client, "POST", base+"/tenants/"+names[i],
+				map[string]any{"bundle": "cml"})
+			if err != nil || code != http.StatusCreated {
+				shutdown()
+				s.Close()
+				return nil, fmt.Errorf("http bench: create %s: %d %s %v", names[i], code, body, err)
+			}
+		}
+		writeLat := make([]time.Duration, 0, n*httpWritesPerTenant)
+		start := time.Now()
+		for w := 0; w < httpWritesPerTenant; w++ {
+			for _, name := range names {
+				url := base + "/tenants/" + name + "/models/cml/objects/p0"
+				var code int
+				var body []byte
+				var err error
+				t0 := time.Now()
+				if w == 0 {
+					code, body, err = doJSON(client, "PUT", url,
+						map[string]any{"class": "Person", "attrs": map[string]any{"name": "alice"}})
+				} else {
+					code, body, err = doJSON(client, "PATCH", url,
+						map[string]any{"attrs": map[string]any{"role": fmt.Sprintf("speaker-%d", w)}})
+				}
+				writeLat = append(writeLat, time.Since(t0))
+				if err != nil || code >= 300 {
+					shutdown()
+					s.Close()
+					return nil, fmt.Errorf("http bench: write %d on %s: %d %s %v", w, name, code, body, err)
+				}
+			}
+		}
+		wall := time.Since(start)
+		eventLat := make([]time.Duration, 0, n*httpEventsPerTenant)
+		for e := 0; e < httpEventsPerTenant; e++ {
+			for _, name := range names {
+				t0 := time.Now()
+				code, body, err := doJSON(client, "POST", base+"/tenants/"+name+"/events",
+					map[string]any{"name": "telemetry", "attrs": map[string]any{"load": 1.0}})
+				eventLat = append(eventLat, time.Since(t0))
+				if err != nil || code != http.StatusAccepted {
+					shutdown()
+					s.Close()
+					return nil, fmt.Errorf("http bench: event %d on %s: %d %s %v", e, name, code, body, err)
+				}
+			}
+		}
+		shutdown()
+		s.Close()
+		sort.Slice(writeLat, func(i, j int) bool { return writeLat[i] < writeLat[j] })
+		sort.Slice(eventLat, func(i, j int) bool { return eventLat[i] < eventLat[j] })
+		p99 := percentile(writeLat, 0.99)
+		rep.Scales = append(rep.Scales, HTTPScaleResult{
+			Tenants:      n,
+			Writes:       len(writeLat),
+			Events:       len(eventLat),
+			WritesPerSec: float64(len(writeLat)) / wall.Seconds(),
+			WriteP50Ns:   percentile(writeLat, 0.50),
+			WriteP99Ns:   p99,
+			EventP50Ns:   percentile(eventLat, 0.50),
+			EventP99Ns:   percentile(eventLat, 0.99),
+			SLOMet:       p99 <= rep.SLONs,
+		})
+	}
+
+	delta, err := measureWatchDelta(client)
+	if err != nil {
+		return nil, err
+	}
+	rep.WatchDeltaNs = delta.Nanoseconds()
+	return rep, nil
+}
+
+// measureWatchDelta times one write-to-watch propagation: PATCH an object
+// and wait for the SSE delta frame carrying the change.
+func measureWatchDelta(client *http.Client) (time.Duration, error) {
+	s := serve.NewServer(serve.Config{MaxResident: 4})
+	defer s.Close()
+	base, shutdown, err := startHTTP(s)
+	if err != nil {
+		return 0, err
+	}
+	defer shutdown()
+	if code, body, err := doJSON(client, "POST", base+"/tenants/w0", map[string]any{"bundle": "cml"}); err != nil || code != http.StatusCreated {
+		return 0, fmt.Errorf("http bench: watch tenant: %d %s %v", code, body, err)
+	}
+	if code, body, err := doJSON(client, "PUT", base+"/tenants/w0/models/cml/objects/p0",
+		map[string]any{"class": "Person", "attrs": map[string]any{"name": "alice"}}); err != nil || code != http.StatusCreated {
+		return 0, fmt.Errorf("http bench: watch seed: %d %s %v", code, body, err)
+	}
+
+	resp, err := client.Get(base + "/tenants/w0/watch")
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	// Consume the snapshot frame (terminated by a blank line).
+	for sc.Scan() && sc.Text() != "" {
+	}
+
+	t0 := time.Now()
+	if code, body, err := doJSON(client, "PATCH", base+"/tenants/w0/models/cml/objects/p0",
+		map[string]any{"attrs": map[string]any{"role": "chair"}}); err != nil || code != http.StatusOK {
+		return 0, fmt.Errorf("http bench: watch patch: %d %s %v", code, body, err)
+	}
+	for sc.Scan() {
+		if strings.HasPrefix(sc.Text(), "data: ") && strings.Contains(sc.Text(), "set-attr") {
+			return time.Since(t0), nil
+		}
+	}
+	return 0, fmt.Errorf("http bench: delta frame never arrived: %v", sc.Err())
+}
+
+// ReportHTTP prints the HTTP table and, when jsonPath is non-empty,
+// writes the machine-readable record there.
+func ReportHTTP(w io.Writer, jsonPath string) error {
+	rep, err := MeasureHTTP()
+	if err != nil {
+		return err
+	}
+	t := &Table{
+		Title:   fmt.Sprintf("HTTP — models-over-REST writes (p99 write SLO %v)", HTTPWriteSLO),
+		Columns: []string{"tenants", "writes", "writes/sec", "write p50", "write p99", "event p99", "SLO"},
+	}
+	for _, sc := range rep.Scales {
+		slo := "met"
+		if !sc.SLOMet {
+			slo = "MISSED"
+		}
+		t.AddRow(fmt.Sprintf("%d", sc.Tenants), fmt.Sprintf("%d", sc.Writes),
+			fmt.Sprintf("%.0f", sc.WritesPerSec),
+			time.Duration(sc.WriteP50Ns).String(),
+			time.Duration(sc.WriteP99Ns).String(),
+			time.Duration(sc.EventP99Ns).String(),
+			slo)
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("PATCH → SSE /watch delta propagation: %s", time.Duration(rep.WatchDeltaNs)),
+		"every write is a full validate → diff → interpret → commit cycle plus the HTTP round trip")
+	t.Print(w)
+	if jsonPath != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %s\n\n", jsonPath)
+	}
+	return nil
+}

@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestCommittedHTTPBenchSchema guards the committed BENCH_http.json
+// against schema drift: it must strict-decode into HTTPReport with no
+// unknown fields and carry the full tenant ladder with non-trivial load
+// and latency numbers at every scale.
+func TestCommittedHTTPBenchSchema(t *testing.T) {
+	root, err := FindRepoRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(root, "BENCH_http.json"))
+	if err != nil {
+		t.Fatalf("committed benchmark record missing: %v", err)
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var rep HTTPReport
+	if err := dec.Decode(&rep); err != nil {
+		t.Fatalf("BENCH_http.json does not match the HTTPReport schema: %v", err)
+	}
+	if len(rep.Scales) != len(httpScales) {
+		t.Fatalf("committed record has %d scales, want %d", len(rep.Scales), len(httpScales))
+	}
+	for i, sc := range rep.Scales {
+		if sc.Tenants != httpScales[i] {
+			t.Errorf("scale %d: tenants = %d, want %d", i, sc.Tenants, httpScales[i])
+		}
+		if sc.Writes != sc.Tenants*rep.WritesPerTenant {
+			t.Errorf("%d-tenant scale: writes = %d, want %d", sc.Tenants, sc.Writes, sc.Tenants*rep.WritesPerTenant)
+		}
+		if sc.Events != sc.Tenants*rep.EventsPerTenant {
+			t.Errorf("%d-tenant scale: events = %d, want %d", sc.Tenants, sc.Events, sc.Tenants*rep.EventsPerTenant)
+		}
+		if sc.WriteP50Ns <= 0 || sc.WriteP99Ns < sc.WriteP50Ns {
+			t.Errorf("%d-tenant scale: implausible write latencies p50=%d p99=%d", sc.Tenants, sc.WriteP50Ns, sc.WriteP99Ns)
+		}
+		if sc.EventP50Ns <= 0 || sc.EventP99Ns < sc.EventP50Ns {
+			t.Errorf("%d-tenant scale: implausible event latencies p50=%d p99=%d", sc.Tenants, sc.EventP50Ns, sc.EventP99Ns)
+		}
+		if sc.WritesPerSec <= 0 {
+			t.Errorf("%d-tenant scale: no write throughput", sc.Tenants)
+		}
+	}
+	if rep.SLONs != HTTPWriteSLO.Nanoseconds() {
+		t.Errorf("SLO = %d, want %d", rep.SLONs, HTTPWriteSLO.Nanoseconds())
+	}
+	if rep.WatchDeltaNs <= 0 {
+		t.Error("committed record missing the PATCH → SSE propagation timing")
+	}
+}
+
+// TestHTTPSmoke exercises one miniature ladder step end to end so CI
+// catches regressions in the measurement harness itself, not just the
+// committed record.
+func TestHTTPSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("http bench smoke skipped in -short")
+	}
+	rep, err := MeasureHTTP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Scales) != len(httpScales) {
+		t.Fatalf("got %d scales, want %d", len(rep.Scales), len(httpScales))
+	}
+	if rep.WatchDeltaNs <= 0 {
+		t.Error("watch delta not measured")
+	}
+}

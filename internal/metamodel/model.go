@@ -42,6 +42,14 @@ func (o *Object) SetAttr(name string, v any) *Object {
 	return o
 }
 
+// UnsetAttr removes an attribute value. Validation re-applies the class
+// default, if any; unsetting a required attribute without a default makes
+// the model non-conformant.
+func (o *Object) UnsetAttr(name string) *Object {
+	delete(o.attrs, name)
+	return o
+}
+
 // Attr returns the attribute value and whether it is set.
 func (o *Object) Attr(name string) (any, bool) {
 	v, ok := o.attrs[name]

@@ -2,6 +2,7 @@ package mwmeta
 
 import (
 	"fmt"
+	"sort"
 	"strconv"
 
 	"github.com/mddsm/mddsm/internal/metamodel"
@@ -75,21 +76,33 @@ func (b *Builder) BrokerLayer(name string) *BrokerBuilder {
 	return &BrokerBuilder{b: b, layer: o}
 }
 
-// addSteps appends ordered Step objects under owner's reference.
+// addSteps appends ordered Step objects under owner's reference. Arg
+// objects are minted in sorted key order so the same spec always builds
+// the same model — snapshots of identical platforms must be comparable
+// byte-wise, never hostage to map iteration order.
 func (b *Builder) addSteps(owner *metamodel.Object, ref string, steps []StepSpec) {
 	for i, s := range steps {
 		st := b.model.NewObject(b.id("step"), ClassStep).
 			SetAttr("op", s.Op).
 			SetAttr("target", s.Target).
 			SetAttr("order", i)
-		for k, v := range s.Args {
+		for _, k := range sortedKeys(s.Args) {
 			arg := b.model.NewObject(b.id("arg"), ClassArg).
 				SetAttr("key", k).
-				SetAttr("value", v)
+				SetAttr("value", s.Args[k])
 			st.AddRef("args", arg.ID)
 		}
 		owner.AddRef(ref, st.ID)
 	}
+}
+
+func sortedKeys(m map[string]string) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 // StepSpec declares one step template when authoring actions and plans.
@@ -263,10 +276,10 @@ func addPolicy(b *Builder, p PolicySpec) *metamodel.Object {
 		SetAttr("name", p.Name).
 		SetAttr("priority", p.Priority).
 		SetAttr("condition", p.Condition)
-	for k, v := range p.Effects {
+	for _, k := range sortedKeys(p.Effects) {
 		eff := b.model.NewObject(b.id("eff"), ClassEffect).
 			SetAttr("key", k).
-			SetAttr("value", v)
+			SetAttr("value", p.Effects[k])
 		o.AddRef("effects", eff.ID)
 	}
 	return o

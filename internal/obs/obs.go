@@ -114,6 +114,18 @@ const (
 	MClusterMigrationsIn     = "cluster.migrations.in"
 	MClusterAdoptions        = "cluster.adoptions"
 	MClusterReplicasHeld     = "cluster.replicas.held"
+
+	// Auto-provisioned HTTP API metrics (internal/api).
+	MAPIRequests       = "api.requests"
+	MAPIProblems       = "api.problems"
+	MAPIWrites         = "api.writes"
+	MAPIWritesRejected = "api.writes.rejected"
+	MAPIEventsAccepted = "api.events.accepted"
+	MAPIRedirects      = "api.redirects"
+	MAPIWatchers       = "api.watchers"
+	MAPIWatchDelivered = "api.watch.delivered"
+	MAPIWatchLagged    = "api.watch.lagged"
+	HAPIRequest        = "api.request.latency"
 )
 
 // SupervisorState derives the per-component health gauge name for the
@@ -276,12 +288,30 @@ func (h *Histogram) Mean() time.Duration {
 	return time.Duration(h.sum.Load() / n)
 }
 
+// Sum returns the total of all observed samples (0 for a nil histogram).
+func (h *Histogram) Sum() time.Duration {
+	if h == nil {
+		return 0
+	}
+	return time.Duration(h.sum.Load())
+}
+
 // Bucket returns the count in bucket i.
 func (h *Histogram) Bucket(i int) int64 {
 	if h == nil || i < 0 || i >= HistBuckets {
 		return 0
 	}
 	return h.buckets[i].Load()
+}
+
+// HistBoundSeconds returns bucket i's upper bound in seconds and true, or
+// (0, false) for the unbounded overflow bucket. Exporters (Prometheus text
+// format) use it to render `le` labels.
+func HistBoundSeconds(i int) (float64, bool) {
+	if i < 0 || i >= len(histBounds) {
+		return 0, false
+	}
+	return histBounds[i].Seconds(), true
 }
 
 // bucketLabel names bucket i for snapshots.
@@ -361,6 +391,46 @@ func (m *Metrics) Histogram(name string) *Histogram {
 		m.hists[name] = h
 	}
 	return h
+}
+
+// Each visits every registered instrument in name-sorted order: counters
+// first, then gauges, then histograms. Any of the callbacks may be nil.
+// The instruments handed out are live — exporters read them without
+// copying — but the registry lock is not held during the visits, so
+// callbacks may register further instruments.
+func (m *Metrics) Each(cf func(name string, c *Counter), gf func(name string, g *Gauge), hf func(name string, h *Histogram)) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	counters := make(map[string]*Counter, len(m.counters))
+	for name, c := range m.counters {
+		counters[name] = c
+	}
+	gauges := make(map[string]*Gauge, len(m.gauges))
+	for name, g := range m.gauges {
+		gauges[name] = g
+	}
+	hists := make(map[string]*Histogram, len(m.hists))
+	for name, h := range m.hists {
+		hists[name] = h
+	}
+	m.mu.Unlock()
+	if cf != nil {
+		for _, name := range sortedKeys(counters) {
+			cf(name, counters[name])
+		}
+	}
+	if gf != nil {
+		for _, name := range sortedKeys(gauges) {
+			gf(name, gauges[name])
+		}
+	}
+	if hf != nil {
+		for _, name := range sortedKeys(hists) {
+			hf(name, hists[name])
+		}
+	}
 }
 
 // CounterValue returns the named counter's value (0 when absent/disabled).

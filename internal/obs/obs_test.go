@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"fmt"
 	"strings"
 	"sync"
 	"testing"
@@ -235,5 +236,66 @@ func TestTracerRingWraps(t *testing.T) {
 	}
 	if n := len(tr.Recent()); n != defaultRingCap {
 		t.Errorf("Recent = %d records, want %d", n, defaultRingCap)
+	}
+}
+
+func TestMetricsEachVisitsSorted(t *testing.T) {
+	m := NewMetrics()
+	m.Counter("b.two").Add(2)
+	m.Counter("a.one").Inc()
+	m.Gauge("z.depth").Set(7)
+	m.Histogram("lat").Observe(time.Millisecond)
+
+	var counters, gauges, hists []string
+	m.Each(
+		func(name string, c *Counter) { counters = append(counters, fmt.Sprintf("%s=%d", name, c.Value())) },
+		func(name string, g *Gauge) { gauges = append(gauges, fmt.Sprintf("%s=%d", name, g.Value())) },
+		func(name string, h *Histogram) { hists = append(hists, fmt.Sprintf("%s=%d", name, h.Count())) },
+	)
+	if got, want := strings.Join(counters, ","), "a.one=1,b.two=2"; got != want {
+		t.Errorf("counters = %q, want %q", got, want)
+	}
+	if got, want := strings.Join(gauges, ","), "z.depth=7"; got != want {
+		t.Errorf("gauges = %q, want %q", got, want)
+	}
+	if got, want := strings.Join(hists, ","), "lat=1"; got != want {
+		t.Errorf("histograms = %q, want %q", got, want)
+	}
+
+	// A disabled registry and nil callbacks are both no-ops.
+	var disabled *Metrics
+	disabled.Each(func(string, *Counter) { t.Error("disabled registry visited") }, nil, nil)
+	m.Each(nil, nil, nil)
+}
+
+func TestHistogramSumAndBounds(t *testing.T) {
+	var h Histogram
+	h.Observe(time.Millisecond)
+	h.Observe(3 * time.Millisecond)
+	if got := h.Sum(); got != 4*time.Millisecond {
+		t.Errorf("Sum = %v, want 4ms", got)
+	}
+	var nilH *Histogram
+	if nilH.Sum() != 0 {
+		t.Error("nil histogram Sum != 0")
+	}
+
+	// Bounds are finite for all but the overflow bucket, and ascending.
+	prev := 0.0
+	for i := 0; i < HistBuckets-1; i++ {
+		sec, ok := HistBoundSeconds(i)
+		if !ok {
+			t.Fatalf("bucket %d reported unbounded", i)
+		}
+		if sec <= prev {
+			t.Fatalf("bucket bounds not ascending at %d: %g <= %g", i, sec, prev)
+		}
+		prev = sec
+	}
+	if _, ok := HistBoundSeconds(HistBuckets - 1); ok {
+		t.Error("overflow bucket reported a finite bound")
+	}
+	if _, ok := HistBoundSeconds(-1); ok {
+		t.Error("negative index reported a finite bound")
 	}
 }

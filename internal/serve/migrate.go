@@ -41,7 +41,7 @@ func (s *Server) Export(name string) (ExportedTenant, error) {
 	} else if p, ok := s.parked[name]; ok {
 		bundle, snap = p.bundle, p.snapshot
 	} else {
-		return ExportedTenant{}, fmt.Errorf("serve: no tenant %q", name)
+		return ExportedTenant{}, fmt.Errorf("serve: %w %q", ErrNoTenant, name)
 	}
 	ledger, err := s.accountingLocked(name)
 	if err != nil {
@@ -103,7 +103,7 @@ func (s *Server) Replica(name string) (ExportedTenant, error) {
 	}
 	p, ok := s.parked[name]
 	if !ok {
-		return ExportedTenant{}, fmt.Errorf("serve: no tenant %q", name)
+		return ExportedTenant{}, fmt.Errorf("serve: %w %q", ErrNoTenant, name)
 	}
 	ledger, err := s.accountingLocked(name)
 	if err != nil {
@@ -125,7 +125,7 @@ func (s *Server) Forget(name string) error {
 	t, live := s.tenants[name]
 	_, sleeping := s.parked[name]
 	if !live && !sleeping {
-		return fmt.Errorf("serve: no tenant %q", name)
+		return fmt.Errorf("serve: %w %q", ErrNoTenant, name)
 	}
 	if live {
 		t.inst.Platform.Stop()
@@ -203,7 +203,7 @@ func (s *Server) accountingLocked(name string) (Accounting, error) {
 	} else if p, ok := s.parked[name]; ok {
 		to, bundle = p.obs, p.bundle
 	} else {
-		return Accounting{}, fmt.Errorf("serve: no tenant %q", name)
+		return Accounting{}, fmt.Errorf("serve: %w %q", ErrNoTenant, name)
 	}
 	a := Accounting{Bundle: bundle, Resident: live}
 	if to != nil {

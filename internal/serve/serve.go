@@ -22,6 +22,7 @@ package serve
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -39,6 +40,22 @@ import (
 
 // DefaultMaxResident bounds live platforms when Config.MaxResident is 0.
 const DefaultMaxResident = 64
+
+// Sentinel errors, wrapped into the contextual messages the Server
+// returns so transports (the HTTP API) can map refusal classes to status
+// codes with errors.Is instead of parsing message text.
+var (
+	// ErrNoTenant marks a request naming a tenant that is neither
+	// resident nor parked.
+	ErrNoTenant = errors.New("no such tenant")
+	// ErrThrottled marks an event refused by the tenant's rate quota.
+	ErrThrottled = errors.New("over event rate quota")
+	// ErrQueueFull marks an event refused by the pump's bounded queue.
+	ErrQueueFull = errors.New("event queue full")
+	// ErrTenantExists marks a Create naming a tenant that already exists,
+	// resident or parked.
+	ErrTenantExists = errors.New("exists")
+)
 
 // Quota bounds one tenant's resource consumption.
 type Quota struct {
@@ -159,6 +176,9 @@ type Server struct {
 	carried map[string]Accounting
 	seq     uint64
 	closed  bool
+	// observer, when set, receives every runtime model a tenant's
+	// Synthesis layer commits (see SetModelObserver).
+	observer func(tenant string, m *metamodel.Model)
 }
 
 // NewServer builds a tenant host. Unless the quota names a validation
@@ -223,10 +243,10 @@ func (s *Server) Create(name, bundle string) error {
 		return fmt.Errorf("serve: server closed")
 	}
 	if _, ok := s.tenants[name]; ok {
-		return fmt.Errorf("serve: tenant %q exists", name)
+		return fmt.Errorf("serve: tenant %q %w", name, ErrTenantExists)
 	}
 	if _, ok := s.parked[name]; ok {
-		return fmt.Errorf("serve: tenant %q exists (parked)", name)
+		return fmt.Errorf("serve: tenant %q %w (parked)", name, ErrTenantExists)
 	}
 	to := obs.New()
 	inst, err := domains.New(bundle, s.tenantConfig(to))
@@ -239,10 +259,12 @@ func (s *Server) Create(name, bundle string) error {
 	}
 	inst.Platform.Start()
 	s.seq++
-	s.tenants[name] = &tenant{
+	t := &tenant{
 		name: name, bundle: bundle, inst: inst, obs: to,
 		bucket: newBucket(s.cfg.Quota, s.now()), touch: s.seq,
 	}
+	s.tenants[name] = t
+	s.watchLocked(t)
 	s.mCreated.Inc()
 	s.gResident.Set(int64(len(s.tenants)))
 	return nil
@@ -311,7 +333,7 @@ func (s *Server) resident(name string) (*tenant, error) {
 	}
 	p, ok := s.parked[name]
 	if !ok {
-		return nil, fmt.Errorf("serve: no tenant %q", name)
+		return nil, fmt.Errorf("serve: %w %q", ErrNoTenant, name)
 	}
 	// Rehydrate onto the tenant's own obs bundle (parked alongside the
 	// snapshot), so the counters continue rather than restart.
@@ -335,6 +357,7 @@ func (s *Server) resident(name string) (*tenant, error) {
 		bucket: newBucket(s.cfg.Quota, s.now()), touch: s.seq,
 	}
 	s.tenants[name] = t
+	s.watchLocked(t)
 	s.mRehydrations.Inc()
 	s.gResident.Set(int64(len(s.tenants)))
 	s.gParked.Set(int64(len(s.parked)))
@@ -357,10 +380,10 @@ func (s *Server) PostEvent(name string, ev broker.Event) error {
 	if !ok {
 		s.mThrottled.Inc()
 		t.obs.MetricsOf().Counter(obs.MEventsRejected).Inc()
-		return fmt.Errorf("serve: tenant %q over event rate quota", name)
+		return fmt.Errorf("serve: tenant %q %w", name, ErrThrottled)
 	}
 	if !t.inst.Platform.PostEvent(ev) {
-		return fmt.Errorf("serve: tenant %q event queue full", name)
+		return fmt.Errorf("serve: tenant %q %w", name, ErrQueueFull)
 	}
 	return nil
 }
@@ -396,9 +419,102 @@ func (s *Server) Snapshot(name string) ([]byte, error) {
 	t, ok := s.tenants[name]
 	s.mu.Unlock()
 	if !ok {
-		return nil, fmt.Errorf("serve: no tenant %q", name)
+		return nil, fmt.Errorf("serve: %w %q", ErrNoTenant, name)
 	}
 	return t.inst.Platform.Checkpoint()
+}
+
+// watchLocked subscribes the server's model observer to a tenant's UI
+// layer, stamping the tenant name onto every published model. s.mu must be
+// held.
+func (s *Server) watchLocked(t *tenant) {
+	if s.observer == nil || t.inst.Platform.UI == nil {
+		return
+	}
+	name, fn := t.name, s.observer
+	t.inst.Platform.UI.Subscribe(func(m *metamodel.Model) { fn(name, m) })
+}
+
+// SetModelObserver installs a hook that receives every runtime model a
+// tenant's Synthesis layer commits — the feed the HTTP watch streams fan
+// out from. The hook applies to tenants created or rehydrated afterwards
+// and is retroactively subscribed to already-resident tenants; install it
+// once, before serving traffic. The callback runs on the committing
+// goroutine, carries a caller-owned model clone, and must not call back
+// into the Server.
+func (s *Server) SetModelObserver(fn func(tenant string, m *metamodel.Model)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.observer = fn
+	for _, t := range s.tenants {
+		s.watchLocked(t)
+	}
+}
+
+// Model returns a copy of the tenant's committed application model
+// together with the DSML metamodel it conforms to, rehydrating the tenant
+// if eviction parked it. Platforms without a UI layer read through the
+// Synthesis layer; a platform with neither has no application model.
+func (s *Server) Model(name string) (*metamodel.Model, *metamodel.Metamodel, error) {
+	t, err := s.resident(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	p := t.inst.Platform
+	switch {
+	case p.UI != nil:
+		return p.UI.RuntimeModel(), p.UI.DSML(), nil
+	case p.Synthesis != nil:
+		return p.Synthesis.CurrentModel(), p.Synthesis.DSML(), nil
+	default:
+		return nil, nil, fmt.Errorf("serve: tenant %q has no model layer", name)
+	}
+}
+
+// EachTenantObs visits every tenant's observability bundle (resident and
+// parked) in name-sorted order. The bundles are live; exporters read them
+// without copying. The server lock is not held during the visits.
+func (s *Server) EachTenantObs(f func(tenant string, o *obs.Obs, resident bool)) {
+	type row struct {
+		name     string
+		o        *obs.Obs
+		resident bool
+	}
+	s.mu.Lock()
+	rows := make([]row, 0, len(s.tenants)+len(s.parked))
+	for name, t := range s.tenants {
+		rows = append(rows, row{name, t.obs, true})
+	}
+	for name, p := range s.parked {
+		if p.obs != nil {
+			rows = append(rows, row{name, p.obs, false})
+		}
+	}
+	s.mu.Unlock()
+	sort.Slice(rows, func(i, j int) bool { return rows[i].name < rows[j].name })
+	for _, r := range rows {
+		f(r.name, r.o, r.resident)
+	}
+}
+
+// Health reports each resident tenant's supervised component states as
+// "tenant/component" -> health ("healthy", "degraded", "quarantined").
+// Parked tenants have no live components and are omitted.
+func (s *Server) Health() map[string]string {
+	s.mu.Lock()
+	insts := make(map[string]*domains.Instance, len(s.tenants))
+	for name, t := range s.tenants {
+		insts[name] = t.inst
+	}
+	s.mu.Unlock()
+	out := make(map[string]string, 2*len(insts))
+	for name, inst := range insts {
+		sup := inst.Platform.Supervisor()
+		for _, comp := range []string{"pump", "monitor"} {
+			out[name+"/"+comp] = sup.Health(comp).String()
+		}
+	}
+	return out
 }
 
 // Stat describes one tenant: bundle, residency, and its platform's event
@@ -539,7 +655,7 @@ func (s *Server) Route(name string) (remote.Endpoint, error) {
 	_, sleeping := s.parked[name]
 	s.mu.Unlock()
 	if !live && !sleeping {
-		return nil, fmt.Errorf("serve: no tenant %q", name)
+		return nil, fmt.Errorf("serve: %w %q", ErrNoTenant, name)
 	}
 	return tenantEndpoint{s: s, name: name}, nil
 }

@@ -171,6 +171,11 @@ func (s *Synthesis) finish() {
 // Name returns the layer instance name.
 func (s *Synthesis) Name() string { return s.name }
 
+// DSML returns the application metamodel submissions are validated
+// against. Hosts that derive external surfaces from the metamodel (the
+// HTTP API provisioner) read it here when the platform has no UI layer.
+func (s *Synthesis) DSML() *metamodel.Metamodel { return s.dsml }
+
 // CurrentModel returns a deep copy of the running runtime model.
 func (s *Synthesis) CurrentModel() *metamodel.Model {
 	s.mu.Lock()
